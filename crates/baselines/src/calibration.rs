@@ -1,0 +1,209 @@
+//! Calibration anchors: every paper-reported number the baseline models
+//! are fitted against, with its source.
+//!
+//! The models in [`crate::commercial`] and [`crate::dedicated`] are
+//! parametric rooflines; these anchors are the measured/claimed operating
+//! points from the paper that the fitted parameters must reproduce (within
+//! the tolerance each harness asserts). Keeping them in one table makes the
+//! calibration auditable: change a model parameter, rerun `fig7_motivating`
+//! and `fig16_speedup`, and compare against this table.
+
+use serde::{Deserialize, Serialize};
+use uni_microops::Pipeline;
+
+/// An anchor: a target FPS for (device, pipeline) on Unbounded-360 at
+/// 1280×720, with the paper statement it derives from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Anchor {
+    /// Device name (matches [`crate::Device::name`]).
+    pub device: &'static str,
+    /// Pipeline.
+    pub pipeline: Pipeline,
+    /// Target FPS.
+    pub fps: f64,
+    /// Source statement in the paper.
+    pub source: &'static str,
+}
+
+/// The real-time threshold of the paper (FPS).
+pub const REAL_TIME_FPS: f64 = 30.0;
+
+/// Anchors for the commercial devices (Fig. 7 / Tab. I / Sec. I).
+///
+/// Exact bar heights in Fig. 7 are not published as numbers; anchors are
+/// derived from Tab. I's upper bounds on Orin NX, the two cross-device
+/// ratios stated in Sec. I (8Gen2 = 2.4× Xavier on mesh, 1.75× *slower*
+/// on low-rank), and the requirement that exactly three settings across
+/// the whole figure are real-time.
+pub fn commercial_anchors() -> Vec<Anchor> {
+    use Pipeline::*;
+    vec![
+        Anchor { device: "Orin NX", pipeline: Mesh, fps: 20.0, source: "Tab. I: ≤20 FPS on [76]" },
+        Anchor { device: "Orin NX", pipeline: Mlp, fps: 0.2, source: "Tab. I: ≤0.2 FPS on [76]" },
+        Anchor { device: "Orin NX", pipeline: LowRankGrid, fps: 10.0, source: "Tab. I: ≤10 FPS on [76]" },
+        Anchor { device: "Orin NX", pipeline: HashGrid, fps: 1.0, source: "Tab. I: ≤1 FPS on [76]" },
+        Anchor { device: "Orin NX", pipeline: Gaussian3d, fps: 5.0, source: "Tab. I: ≤5 FPS on [76]" },
+        Anchor { device: "Xavier NX", pipeline: Mesh, fps: 10.7, source: "Sec. I: 8Gen2 achieves 2.4× over Xavier for mesh" },
+        Anchor { device: "8Gen2", pipeline: Mesh, fps: 25.7, source: "Sec. I: 2.4× speedup over Xavier NX for mesh" },
+        Anchor { device: "Xavier NX", pipeline: LowRankGrid, fps: 7.0, source: "Sec. I: 8Gen2 is 1.75× slower than Xavier for low-rank" },
+        Anchor { device: "8Gen2", pipeline: LowRankGrid, fps: 4.0, source: "Sec. I: 1.75× slower than Xavier NX" },
+        Anchor { device: "AMD 780M", pipeline: Mesh, fps: 36.0, source: "Fig. 7: one of only three real-time settings" },
+    ]
+}
+
+/// Anchors for the Uni-Render accelerator itself on Unbounded-360
+/// (derived from the speedup statements of Sec. VII-B).
+pub fn uni_render_anchors() -> Vec<Anchor> {
+    use Pipeline::*;
+    vec![
+        Anchor { device: "Uni-Render", pipeline: Mesh, fps: 18.0, source: "Sec. VII-B: 0.9× Orin NX on the mesh pipeline" },
+        Anchor { device: "Uni-Render", pipeline: Mlp, fps: 11.0, source: "Sec. VII-B: up to 119× over commercial devices (vs Xavier-class MLP ≈0.1 FPS)" },
+        Anchor { device: "Uni-Render", pipeline: LowRankGrid, fps: 39.0, source: "Sec. VII-B: 3× over RT-NeRF on low-rank" },
+        Anchor { device: "Uni-Render", pipeline: HashGrid, fps: 50.0, source: "Sec. VII-B: 6× over Instant-3D on hash grid" },
+        Anchor { device: "Uni-Render", pipeline: Gaussian3d, fps: 30.0, source: "Sec. VIII-A: 12× over Xavier NX on 3DGS (GSCore reaches 15×)" },
+    ]
+}
+
+/// Cross-accelerator ratios of Sec. VII-B / VIII-A (ours ÷ theirs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioAnchor {
+    /// Baseline accelerator.
+    pub device: &'static str,
+    /// Pipeline compared on.
+    pub pipeline: Pipeline,
+    /// Uni-Render speedup over the baseline (FPS ratio; <1 = slower).
+    pub speedup: f64,
+    /// Uni-Render energy-efficiency improvement (frames/J ratio).
+    pub energy_ratio: f64,
+    /// Source statement.
+    pub source: &'static str,
+}
+
+/// The dedicated-accelerator comparison anchors.
+pub fn dedicated_anchors() -> Vec<RatioAnchor> {
+    use Pipeline::*;
+    vec![
+        RatioAnchor {
+            device: "RT-NeRF",
+            pipeline: LowRankGrid,
+            speedup: 3.0,
+            energy_ratio: 6.0,
+            source: "Sec. VII-B: 3× speedup and 6× energy efficiency over RT-NeRF",
+        },
+        RatioAnchor {
+            device: "Instant-3D",
+            pipeline: HashGrid,
+            speedup: 6.0,
+            energy_ratio: 2.2,
+            source: "Sec. VII-B: 6× speedup and 2.2× energy efficiency over Instant-3D",
+        },
+        RatioAnchor {
+            device: "MetaVRain",
+            pipeline: Mlp,
+            speedup: 0.1,
+            energy_ratio: 0.02,
+            source: "Sec. VII-B: 10% FPS with 5× more power → 2% energy efficiency",
+        },
+        RatioAnchor {
+            device: "GSCore",
+            pipeline: Gaussian3d,
+            speedup: 0.8,
+            energy_ratio: 1.0,
+            source: "Sec. VIII-A: ours 12× over Xavier vs GSCore's 15× (20% slower)",
+        },
+        RatioAnchor {
+            device: "CICERO",
+            pipeline: HashGrid,
+            speedup: 0.86,
+            energy_ratio: 1.0,
+            source: "Sec. VIII-A: 14% slower than CICERO at equal MAC count",
+        },
+    ]
+}
+
+/// Tab. IV anchors: Uni-Render FPS on NeRF-Synthetic (800×800).
+pub fn tab4_anchors() -> Vec<(Pipeline, f64, &'static str)> {
+    use Pipeline::*;
+    vec![
+        (Mesh, 117.0, "Tab. IV: mesh-based 117 FPS"),
+        (Mlp, 23.0, "Tab. IV: MLP-based 23 FPS (>200 with Pixel-Reuse)"),
+        (LowRankGrid, 80.0, "Tab. IV: low-rank 80 FPS"),
+        (HashGrid, 187.0, "Tab. IV: hash-grid 187 FPS"),
+        (Gaussian3d, 65.0, "Tab. IV: 3D-Gaussian 65 FPS"),
+    ]
+}
+
+/// Fig. 17 anchors: MixRT hybrid speedups over the commercial devices on
+/// the four indoor scenes (2.0×–3.7× overall; 2.0×–2.6× vs Xavier/Orin).
+pub fn fig17_speedup_band() -> (f64, f64) {
+    (2.0, 3.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reference_known_devices() {
+        let known = ["8Gen2", "Xavier NX", "Orin NX", "AMD 780M", "Uni-Render"];
+        for a in commercial_anchors().iter().chain(uni_render_anchors().iter()) {
+            assert!(known.contains(&a.device), "{}", a.device);
+            assert!(a.fps > 0.0);
+            assert!(!a.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn stated_cross_device_ratios_hold_in_anchor_table() {
+        let anchors = commercial_anchors();
+        let fps = |d: &str, p: Pipeline| {
+            anchors
+                .iter()
+                .find(|a| a.device == d && a.pipeline == p)
+                .map(|a| a.fps)
+                .expect("anchor present")
+        };
+        let mesh_ratio = fps("8Gen2", Pipeline::Mesh) / fps("Xavier NX", Pipeline::Mesh);
+        assert!((mesh_ratio - 2.4).abs() < 0.05, "2.4× on mesh: {mesh_ratio}");
+        let lr_ratio =
+            fps("Xavier NX", Pipeline::LowRankGrid) / fps("8Gen2", Pipeline::LowRankGrid);
+        assert!((lr_ratio - 1.75).abs() < 0.05, "1.75× slower: {lr_ratio}");
+    }
+
+    #[test]
+    fn no_commercial_anchor_is_real_time_except_amd_mesh() {
+        for a in commercial_anchors() {
+            let rt = a.fps > REAL_TIME_FPS;
+            assert_eq!(
+                rt,
+                a.device == "AMD 780M" && a.pipeline == Pipeline::Mesh,
+                "{} {}",
+                a.device,
+                a.pipeline
+            );
+        }
+    }
+
+    #[test]
+    fn tab4_every_pipeline_has_an_anchor() {
+        let anchors = tab4_anchors();
+        assert_eq!(anchors.len(), 5);
+        // All real-time per Tab. IV's checkmarks (MLP via the Pixel-Reuse
+        // row).
+        for (p, fps, _) in &anchors {
+            if *p == Pipeline::Mlp {
+                assert!(*fps >= 23.0);
+            } else {
+                assert!(*fps > REAL_TIME_FPS, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn metavrain_ratio_is_consistent() {
+        let a = dedicated_anchors();
+        let mv = a.iter().find(|r| r.device == "MetaVRain").expect("present");
+        // 10% FPS at 5× power = 2% energy efficiency.
+        assert!((mv.speedup * (1.0 / 5.0) - mv.energy_ratio).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Calibrated models of the devices and accelerators Uni-Render is
+//! benchmarked against (Sec. III and Sec. VII).
+//!
+//! We do not have the physical hardware (Snapdragon 8Gen2 development kit,
+//! Jetson Xavier NX / Orin NX, an AMD 780M desktop) nor the dedicated ASICs
+//! (Instant-3D, RT-NeRF, MetaVRain, GSCore, CICERO). Each baseline is a
+//! roofline-style model executing the *same micro-operator traces* as the
+//! Uni-Render simulator: per-unit peak throughputs come from spec sheets,
+//! per-micro-operator efficiencies are fitted so the model reproduces the
+//! operating points the paper reports (Fig. 7, Tab. I, Sec. VII-B) — see
+//! [`calibration`] for every anchor and its source quote.
+
+pub mod calibration;
+pub mod commercial;
+pub mod dedicated;
+
+pub use commercial::{amd_780m, orin_nx, snapdragon_8gen2, xavier_nx, RooflineDevice};
+pub use dedicated::{cicero, gscore, instant3d, metavrain, rt_nerf};
+
+use serde::{Deserialize, Serialize};
+use uni_microops::{Pipeline, Trace};
+
+/// A baseline device's execution result for one frame trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Frame latency in seconds.
+    pub seconds: f64,
+    /// Energy per frame in joules (device power × latency).
+    pub energy_j: f64,
+}
+
+impl DeviceReport {
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            1.0 / self.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Energy efficiency in frames per joule.
+    pub fn frames_per_joule(&self) -> f64 {
+        if self.energy_j > 0.0 {
+            1.0 / self.energy_j
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A baseline rendering device.
+pub trait Device {
+    /// Device name as used in the paper's figures.
+    fn name(&self) -> &str;
+
+    /// Typical power in watts while rendering.
+    fn power_w(&self) -> f64;
+
+    /// Whether this device can execute the given pipeline at all
+    /// (dedicated accelerators support exactly one — the "×" bars of
+    /// Figs. 7 and 16).
+    fn supports(&self, pipeline: Pipeline) -> bool;
+
+    /// Executes a frame trace; `None` when the pipeline is unsupported.
+    fn execute(&self, trace: &Trace) -> Option<DeviceReport>;
+}
+
+/// The four commercial devices of Sec. III-A, in the paper's order.
+pub fn commercial_devices() -> Vec<Box<dyn Device>> {
+    vec![
+        Box::new(snapdragon_8gen2()),
+        Box::new(xavier_nx()),
+        Box::new(orin_nx()),
+        Box::new(amd_780m()),
+    ]
+}
+
+/// The three dedicated neural-rendering accelerators of Sec. III-A.
+pub fn dedicated_accelerators() -> Vec<Box<dyn Device>> {
+    vec![
+        Box::new(instant3d()),
+        Box::new(rt_nerf()),
+        Box::new(metavrain()),
+    ]
+}
+
+/// All seven baselines of Figs. 7 and 16 (commercial then dedicated).
+pub fn all_baselines() -> Vec<Box<dyn Device>> {
+    let mut v = commercial_devices();
+    v.extend(dedicated_accelerators());
+    v
+}
+
+/// The two related-work accelerators discussed in Sec. VIII-A
+/// (GSCore for 3DGS, CICERO for hash grids).
+pub fn related_accelerators() -> Vec<Box<dyn Device>> {
+    vec![Box::new(gscore()), Box::new(cicero())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_baselines_in_paper_order() {
+        let all = all_baselines();
+        assert_eq!(all.len(), 7);
+        let names: Vec<&str> = all.iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "8Gen2",
+                "Xavier NX",
+                "Orin NX",
+                "AMD 780M",
+                "Instant-3D",
+                "RT-NeRF",
+                "MetaVRain"
+            ]
+        );
+    }
+
+    #[test]
+    fn commercial_devices_support_everything() {
+        for d in commercial_devices() {
+            for p in Pipeline::ALL {
+                assert!(d.supports(p), "{} must support {p}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dedicated_accelerators_support_exactly_one_typical_pipeline() {
+        for d in dedicated_accelerators() {
+            let supported: Vec<Pipeline> = Pipeline::TYPICAL
+                .into_iter()
+                .filter(|&p| d.supports(p))
+                .collect();
+            assert_eq!(supported.len(), 1, "{} supports {supported:?}", d.name());
+        }
+    }
+
+    #[test]
+    fn device_report_math() {
+        let r = DeviceReport {
+            seconds: 0.02,
+            energy_j: 0.4,
+        };
+        assert!((r.fps() - 50.0).abs() < 1e-9);
+        assert!((r.frames_per_joule() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the figure/table regeneration path: trace
+//! generation (probe render + decomposition) and end-to-end simulation per
+//! pipeline on one baked scene. These measure the *harness* cost — the
+//! simulated FPS numbers themselves come from the `fig*`/`tab*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use uni_baselines::all_baselines;
+use uni_core::{Accelerator, AcceleratorConfig};
+use uni_microops::Pipeline;
+use uni_renderers::{all_renderers, Renderer};
+use uni_scene::{BakedScene, SceneSpec};
+
+fn scene() -> &'static BakedScene {
+    static SCENE: OnceLock<BakedScene> = OnceLock::new();
+    SCENE.get_or_init(|| SceneSpec::demo("bench-scene", 99).with_detail(0.05).bake())
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    let s = scene();
+    let camera = s.orbit().camera_at(0.9);
+    for renderer in all_renderers() {
+        group.bench_with_input(
+            BenchmarkId::new("trace", renderer.pipeline().to_string()),
+            &renderer,
+            |b, r| {
+                b.iter(|| r.trace(black_box(s), black_box(&camera)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_models");
+    let s = scene();
+    let camera = s.orbit().camera_at(0.9);
+    let renderer = all_renderers()
+        .into_iter()
+        .find(|r| r.pipeline() == Pipeline::HashGrid)
+        .expect("hash renderer");
+    let trace = renderer.trace(s, &camera);
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    group.bench_function("uni_render_simulate", |b| {
+        b.iter(|| accel.simulate(black_box(&trace)));
+    });
+    group.bench_function("all_seven_baselines", |b| {
+        let baselines = all_baselines();
+        b.iter(|| {
+            for d in &baselines {
+                black_box(d.execute(black_box(&trace)));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reference_render_64x48");
+    group.sample_size(10);
+    let s = scene();
+    let camera = s.orbit().camera_at(0.9).with_resolution(64, 48);
+    for renderer in all_renderers() {
+        group.bench_with_input(
+            BenchmarkId::new("render", renderer.pipeline().to_string()),
+            &renderer,
+            |b, r| {
+                b.iter(|| r.render(black_box(s), black_box(&camera)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_device_models, bench_render);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks of the simulator substrate: the cycle-exact
+//! engines that validate the dataflow formulas, the dataflow mappers, the
+//! reference rasterizer/renderers, and representation fetch paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uni_core::{cyclesim, Accelerator, AcceleratorConfig};
+use uni_geometry::{Aabb, Vec3};
+use uni_microops::{Dims, IndexFunction, Invocation, Pipeline, Trace, Workload};
+use uni_scene::{HashGrid, HashGridConfig};
+
+fn bench_cyclesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cyclesim");
+    for batch in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("systolic_gemm_8x8", batch),
+            &batch,
+            |b, &batch| {
+                let weights = vec![vec![0.5f32; 8]; 8];
+                let inputs = vec![vec![1.0f32; 8]; batch];
+                b.iter(|| cyclesim::systolic_gemm(black_box(&weights), black_box(&inputs)));
+            },
+        );
+    }
+    group.bench_function("merge_sort_1024_keys", |b| {
+        let keys: Vec<u32> = (0..1024u32).rev().collect();
+        b.iter(|| cyclesim::merge_sort(black_box(&keys), 4));
+    });
+    group.bench_function("adder_tree_16", |b| {
+        let values = [1.0f32; 16];
+        let weights = [0.25f32; 16];
+        b.iter(|| cyclesim::adder_tree(black_box(&values), black_box(&weights)));
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let accel = Accelerator::new(AcceleratorConfig::paper());
+    let trace = {
+        let mut t = Trace::new(Pipeline::HashGrid, 1280, 720);
+        t.push(Invocation::new(
+            "hash",
+            Workload::GridIndex {
+                points: 4 << 20,
+                levels: 16,
+                corners: 8,
+                feature_dim: 4,
+                table_bytes: 64 << 20,
+                function: IndexFunction::RandomHash,
+                dims: Dims::D3,
+                decomposed: false,
+            },
+        ));
+        for i in 0..3 {
+            t.push(Invocation::new(
+                format!("decoder {i}"),
+                Workload::Gemm {
+                    batch: 4 << 20,
+                    in_dim: 64,
+                    out_dim: 64,
+                    weight_bytes: 8320,
+                },
+            ));
+        }
+        t
+    };
+    group.bench_function("simulate_hash_frame", |b| {
+        b.iter(|| accel.simulate(black_box(&trace)));
+    });
+    group.bench_function("simulate_many_8_frames", |b| {
+        let traces: Vec<Trace> = (0..8).map(|_| trace.clone()).collect();
+        b.iter(|| accel.simulate_many(black_box(&traces)));
+    });
+    group.finish();
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("representations");
+    let mut grid = HashGrid::new(HashGridConfig::tiny(), Aabb::cube(1.0));
+    for l in 0..grid.config().levels {
+        let res = grid.config().level_resolution(l) + 1;
+        for z in (0..res).step_by(3) {
+            for y in (0..res).step_by(3) {
+                for x in (0..res).step_by(3) {
+                    grid.write_vertex(l, x, y, z, &[0.5, 0.2, 0.3, 0.4]);
+                }
+            }
+        }
+    }
+    group.bench_function("hashgrid_fetch", |b| {
+        let mut out = vec![0f32; grid.config().feature_dim() as usize];
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let p = Vec3::new(
+                (i % 97) as f32 / 97.0 * 2.0 - 1.0,
+                (i % 89) as f32 / 89.0 * 2.0 - 1.0,
+                (i % 83) as f32 / 83.0 * 2.0 - 1.0,
+            );
+            grid.fetch(black_box(p), &mut out);
+            black_box(&out);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cyclesim, bench_simulator, bench_representations);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Sec. VII-E ablation — reconfiguration overhead analysis:
+//! (1) efficiency impact: the GEMM buffer stage vs a vanilla systolic
+//!     array, and MetaVRain's per-pixel energy advantage on pure MLP work;
+//! (2) module utilization: gated module groups per micro-operator and the
+//!     leakage saved by power/clock gating;
+//! (3) sensitivity of each pipeline's FPS to the reconfiguration cost.
+
+use uni_baselines::{metavrain, Device};
+use uni_bench::{prepare, renderer_for, simulate_paper, trace_scene, HARNESS_DETAIL};
+use uni_core::{Accelerator, AcceleratorConfig, EnergyModel, ModuleStatus};
+use uni_microops::{MicroOp, Pipeline};
+use uni_scene::datasets::unbounded360;
+
+fn main() {
+    let prepared = prepare(vec![unbounded360(HARNESS_DETAIL).remove(2)]);
+
+    // (1) GEMM buffer-stage overhead: rerun the MLP pipeline with the
+    // penalty removed (vanilla systolic array).
+    let mlp_trace = trace_scene(renderer_for(Pipeline::Mlp).as_ref(), &prepared[0]);
+    let with_penalty = simulate_paper(&mlp_trace);
+    let mut vanilla_cfg = AcceleratorConfig::paper();
+    vanilla_cfg.gemm_buffer_penalty = 1.0;
+    let vanilla = Accelerator::new(vanilla_cfg).simulate(&mlp_trace);
+    println!("Sec. VII-E (1) — efficiency impact of reconfigurability\n");
+    println!(
+        "GEMM buffer stage: {:.2} FPS with the extra stage vs {:.2} FPS vanilla ({:.0}% throughput cost)",
+        with_penalty.fps(),
+        vanilla.fps(),
+        (1.0 - with_penalty.fps() / vanilla.fps()) * 100.0
+    );
+    let mv = metavrain()
+        .execute(&mlp_trace)
+        .expect("MetaVRain supports MLP");
+    let ours_eff = with_penalty.frames_per_joule();
+    let mv_eff = mv.frames_per_joule();
+    println!(
+        "MetaVRain on MLP: {:.1}x more energy-efficient than ours (paper: 2.8x per-pixel energy)",
+        mv_eff / ours_eff
+    );
+
+    // (2) Module utilization + gating.
+    println!("\nSec. VII-E (2) — module utilization and gating\n");
+    for op in MicroOp::ALL {
+        let s = ModuleStatus::for_op(op);
+        println!(
+            "  {:<26} gated {} / 6 module groups ({})",
+            op.to_string(),
+            s.gated_module_count(),
+            s
+        );
+    }
+    let mut no_gating = EnergyModel::default();
+    no_gating.gating_efficiency = 0.0;
+    let gated = simulate_paper(&mlp_trace);
+    let ungated = Accelerator::new(AcceleratorConfig::paper())
+        .with_energy_model(no_gating)
+        .simulate(&mlp_trace);
+    println!(
+        "\nLeakage with gating {:.3} mJ/frame vs without {:.3} mJ/frame ({:.0}% saved)",
+        gated.energy.leakage_j * 1e3,
+        ungated.energy.leakage_j * 1e3,
+        (1.0 - gated.energy.leakage_j / ungated.energy.leakage_j) * 100.0
+    );
+
+    // (3) Reconfiguration-cost sensitivity per pipeline.
+    println!("\nSec. VII-E (3) — reconfiguration cost sensitivity\n");
+    println!(
+        "{:<28} {:>8} {:>14} {:>14} {:>14}",
+        "Pipeline", "switches", "FPS @0 cyc", "FPS @2k cyc", "FPS @100k cyc"
+    );
+    for pipeline in Pipeline::ALL {
+        let trace = trace_scene(renderer_for(pipeline).as_ref(), &prepared[0]);
+        let fps_at = |cycles: u64| {
+            let mut cfg = AcceleratorConfig::paper();
+            cfg.reconfig_cycles = cycles;
+            Accelerator::new(cfg).simulate(&trace).fps()
+        };
+        println!(
+            "{:<28} {:>8} {:>14.2} {:>14.2} {:>14.2}",
+            pipeline.to_string(),
+            trace.reconfiguration_count(),
+            fps_at(0),
+            fps_at(2_000),
+            fps_at(100_000),
+        );
+    }
+    println!("\nShape check: frame-level reconfiguration is cheap (<1% at the 2k-cycle");
+    println!("design point); the flexibility cost shows up as dataflow overheads, not");
+    println!("switch latency.");
+}

@@ -1,0 +1,66 @@
+//! Calibration probe: prints per-pipeline FPS for Uni-Render and every
+//! baseline on one Unbounded-360 scene and one NeRF-Synthetic scene, plus
+//! workload magnitudes. Used while fitting the model constants against the
+//! anchors in `uni_baselines::calibration`; the figure harnesses assert the
+//! final shapes.
+
+use uni_baselines::all_baselines;
+use uni_bench::{prepare, renderer_for, simulate_paper, HARNESS_DETAIL};
+use uni_microops::{MicroOp, Pipeline};
+use uni_scene::datasets::{nerf_synthetic, unbounded360};
+
+fn main() {
+    let detail = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(HARNESS_DETAIL);
+    for (label, catalog) in [
+        ("Unbounded-360 / garden @1280x720", vec![unbounded360(detail).remove(2)]),
+        ("NeRF-Synthetic / lego @800x800", vec![nerf_synthetic(detail).remove(4)]),
+    ] {
+        println!("=== {label} (bake detail {detail}) ===");
+        let prepared = prepare(catalog);
+        let scene = &prepared[0];
+        let baselines = all_baselines();
+        for pipeline in Pipeline::ALL {
+            let renderer = renderer_for(pipeline);
+            let trace = uni_bench::trace_scene(renderer.as_ref(), scene);
+            let ours = simulate_paper(&trace);
+            let stats = trace.stats();
+            println!(
+                "\n[{pipeline}] ours: {:.2} FPS, {:.2} W, {:.1} MB dram, util {:.2}",
+                ours.fps(),
+                ours.power_w(),
+                ours.dram_bytes as f64 / 1e6,
+                ours.utilization
+            );
+            for op in MicroOp::ALL {
+                let c = stats.cost_of(op);
+                if c.total_ops() == 0 && c.dram_bytes() == 0 {
+                    continue;
+                }
+                println!(
+                    "    {:<26} int {:>12} fp {:>12} sfu {:>10} dram {:>9.1}MB cyc-share {:>5.1}%",
+                    op.to_string(),
+                    c.int_macs,
+                    c.fp_macs,
+                    c.sfu_ops,
+                    c.dram_bytes() as f64 / 1e6,
+                    ours.op_share(op) * 100.0
+                );
+            }
+            for device in &baselines {
+                match device.execute(&trace) {
+                    Some(r) => println!(
+                        "    {:<12} {:>8.2} FPS   {:>8.4} frames/J",
+                        device.name(),
+                        r.fps(),
+                        r.frames_per_joule()
+                    ),
+                    None => println!("    {:<12} unsupported", device.name()),
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 15 — area and power breakdown of the accelerator across the three
+//! categories {computing & control logic, SRAM inside the PE array, SRAM
+//! outside the PE array}.
+
+use uni_bench::{prepare, renderer_for, simulate_paper, trace_scene, HARNESS_DETAIL};
+use uni_core::{area, AcceleratorConfig, EnergyBreakdown};
+use uni_microops::Pipeline;
+use uni_scene::datasets::unbounded360;
+
+fn main() {
+    let cfg = AcceleratorConfig::paper();
+    let die = area(&cfg);
+    println!("Fig. 15 — area and power breakdown (paper: area 54/31/15 %, power 75/10/15 %)\n");
+    println!(
+        "Total area: {:.2} mm² (paper: 14.96 mm²)",
+        die.total_mm2()
+    );
+    let (a_logic, a_array, a_glob) = die.shares();
+    println!(
+        "Area  — compute+control {a_logic:.1}%  |  SRAM in array {a_array:.1}%  |  SRAM outside {a_glob:.1}%"
+    );
+
+    // Power breakdown measured over a representative mix: all five typical
+    // pipelines on one Unbounded-360 scene.
+    let prepared = prepare(vec![unbounded360(HARNESS_DETAIL).remove(2)]);
+    let mut total = EnergyBreakdown::default();
+    let mut seconds = 0.0;
+    for pipeline in Pipeline::TYPICAL {
+        let renderer = renderer_for(pipeline);
+        let trace = trace_scene(renderer.as_ref(), &prepared[0]);
+        let report = simulate_paper(&trace);
+        total.compute_j += report.energy.compute_j;
+        total.sram_array_j += report.energy.sram_array_j;
+        total.sram_global_j += report.energy.sram_global_j;
+        total.leakage_j += report.energy.leakage_j;
+        total.dram_j += report.energy.dram_j;
+        seconds += report.seconds;
+    }
+    let (p_logic, p_array, p_glob) = total.shares();
+    println!(
+        "Power — compute+control {p_logic:.1}%  |  SRAM in array {p_array:.1}%  |  SRAM outside {p_glob:.1}%"
+    );
+    println!(
+        "Mean on-chip power over the five-pipeline mix: {:.2} W (paper: 5.78 W typical)",
+        total.on_chip_j() / seconds
+    );
+    println!(
+        "(DRAM energy excluded from power, as in the paper; it would add {:.2} W)",
+        total.dram_j / seconds
+    );
+}

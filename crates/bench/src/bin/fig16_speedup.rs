@@ -1,0 +1,108 @@
+//! Fig. 16 — (a) speedup and (b) energy-efficiency improvement of
+//! Uni-Render over every baseline device/accelerator across the five
+//! typical pipelines on Unbounded-360, with geometric means.
+//!
+//! Paper shape anchors: speedups 0.7×–119× and energy 1.5×–354× vs the
+//! commercial devices; mesh is the one pipeline where commercial devices
+//! win on FPS (0.7×/0.9×) while Uni-Render still wins on energy; dedicated
+//! accelerators show "×" off their home pipeline; MetaVRain beats ours on
+//! MLP energy (the flexibility cost of Sec. VII-E).
+
+use uni_baselines::all_baselines;
+use uni_bench::{geo_mean, prepare, renderer_for, simulate_paper, trace_scene, HARNESS_DETAIL};
+use uni_microops::Pipeline;
+use uni_scene::datasets::unbounded360;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut catalog = unbounded360(HARNESS_DETAIL);
+    if !full {
+        catalog.truncate(3);
+    }
+    let prepared = prepare(catalog);
+    let baselines = all_baselines();
+
+    // ours[pipeline] = (fps, frames/J) geo-means.
+    let mut rows_speed: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut rows_energy: Vec<Vec<Option<f64>>> = Vec::new();
+
+    for pipeline in Pipeline::TYPICAL {
+        let renderer = renderer_for(pipeline);
+        let traces: Vec<_> = prepared
+            .iter()
+            .map(|s| trace_scene(renderer.as_ref(), s))
+            .collect();
+        let ours: Vec<_> = traces.iter().map(simulate_paper).collect();
+        let ours_fps = geo_mean(&ours.iter().map(|r| r.fps()).collect::<Vec<_>>());
+        let ours_fpj =
+            geo_mean(&ours.iter().map(|r| r.frames_per_joule()).collect::<Vec<_>>());
+
+        let mut speed_row = Vec::new();
+        let mut energy_row = Vec::new();
+        for d in &baselines {
+            let reports: Vec<_> = traces.iter().filter_map(|t| d.execute(t)).collect();
+            if reports.is_empty() {
+                speed_row.push(None);
+                energy_row.push(None);
+            } else {
+                let base_fps =
+                    geo_mean(&reports.iter().map(|r| r.fps()).collect::<Vec<_>>());
+                let base_fpj = geo_mean(
+                    &reports.iter().map(|r| r.frames_per_joule()).collect::<Vec<_>>(),
+                );
+                speed_row.push(Some(ours_fps / base_fps));
+                energy_row.push(Some(ours_fpj / base_fpj));
+            }
+        }
+        rows_speed.push(speed_row);
+        rows_energy.push(energy_row);
+    }
+
+    for (title, rows) in [
+        ("(a) Speedup of Uni-Render over baselines", &rows_speed),
+        ("(b) Energy-efficiency improvement over baselines", &rows_energy),
+    ] {
+        println!("Fig. 16 {title} (Unbounded-360 @1280x720)\n");
+        print!("{:<28}", "Pipeline");
+        for d in &baselines {
+            print!("{:>12}", d.name());
+        }
+        println!();
+        for (pi, pipeline) in Pipeline::TYPICAL.into_iter().enumerate() {
+            print!("{:<28}", pipeline.to_string());
+            for v in &rows[pi] {
+                match v {
+                    Some(s) => print!("{s:>11.2}x"),
+                    None => print!("{:>12}", "x"),
+                }
+            }
+            println!();
+        }
+        // Geo-mean over supported pipelines per device.
+        print!("{:<28}", "Geo. Mean");
+        for di in 0..baselines.len() {
+            let vals: Vec<f64> = rows.iter().filter_map(|r| r[di]).collect();
+            if vals.is_empty() {
+                print!("{:>12}", "x");
+            } else {
+                print!("{:>11.2}x", geo_mean(&vals));
+            }
+        }
+        println!("\n");
+    }
+
+    let commercial_speedups: Vec<f64> = rows_speed
+        .iter()
+        .flat_map(|r| r[..4].iter().flatten().copied())
+        .collect();
+    let min = commercial_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = commercial_speedups.iter().cloned().fold(0.0f64, f64::max);
+    println!("Commercial-device speedup range: {min:.2}x .. {max:.0}x (paper: 0.7x .. 119x)");
+    let commercial_energy: Vec<f64> = rows_energy
+        .iter()
+        .flat_map(|r| r[..4].iter().flatten().copied())
+        .collect();
+    let emin = commercial_energy.iter().cloned().fold(f64::INFINITY, f64::min);
+    let emax = commercial_energy.iter().cloned().fold(0.0f64, f64::max);
+    println!("Commercial-device energy-efficiency range: {emin:.1}x .. {emax:.0}x (paper: 1.5x .. 354x)");
+}

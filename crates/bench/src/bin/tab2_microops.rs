@@ -1,0 +1,48 @@
+//! Tab. II — the five common micro-operators with their indexing and
+//! reduction task decomposition, plus the measured micro-op mix of each
+//! pipeline's trace (which steps cluster into which operator).
+
+use uni_bench::{prepare, renderer_for, trace_scene, HARNESS_DETAIL};
+use uni_microops::{MicroOp, Pipeline};
+use uni_scene::datasets::unbounded360;
+
+fn main() {
+    println!("Tab. II — common micro-operators and their indexing/reduction tasks\n");
+    println!(
+        "{:<26} {:<30} {:<16} {:<12} {:<34} {}",
+        "Micro-Operator", "Steps absorbed", "Item", "Dims", "Index function", "Reduction pattern"
+    );
+    for op in MicroOp::ALL {
+        let (idx, red) = op.tasks();
+        println!(
+            "{:<26} {:<30} {:<16} {:<12} {:<34} {:?}",
+            op.to_string(),
+            op.absorbed_steps(),
+            idx.item,
+            format!("{:?}", idx.dims),
+            format!("{:?}", idx.functions),
+            red.patterns,
+        );
+    }
+
+    println!("\nMeasured micro-op MAC shares per pipeline (garden @1280x720):");
+    let prepared = prepare(vec![unbounded360(HARNESS_DETAIL).remove(2)]);
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Pipeline", "Geometric", "Combined", "Decomposed", "Sorting", "GEMM"
+    );
+    for p in Pipeline::ALL {
+        let trace = trace_scene(renderer_for(p).as_ref(), &prepared[0]);
+        let stats = trace.stats();
+        let share = |op| format!("{:>9.1}%", stats.mac_share(op) * 100.0);
+        println!(
+            "{:<28} {} {} {} {} {}",
+            p.to_string(),
+            share(MicroOp::GeometricProcessing),
+            share(MicroOp::CombinedGridIndexing),
+            share(MicroOp::DecomposedGridIndexing),
+            share(MicroOp::Sorting),
+            share(MicroOp::Gemm),
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+
+use uni_core::{Accelerator, AcceleratorConfig, SimReport};
+use uni_microops::{Pipeline, Trace};
+use uni_renderers::{all_renderers, Renderer};
+use uni_scene::datasets::DatasetScene;
+use uni_scene::BakedScene;
+
+/// Detail factor the harnesses bake scenes at. Traces always describe
+/// full-scale workloads (see `uni_renderers::probe`); baking detail only
+/// affects content fidelity and harness runtime.
+pub const HARNESS_DETAIL: f32 = 0.12;
+
+/// A baked catalog entry ready for tracing.
+pub struct PreparedScene {
+    /// The catalog entry.
+    pub entry: DatasetScene,
+    /// The baked scene.
+    pub scene: BakedScene,
+}
+
+/// Bakes every scene of a catalog (sequentially; baking dominates harness
+/// start-up, so harnesses usually restrict the catalog first).
+pub fn prepare(catalog: Vec<DatasetScene>) -> Vec<PreparedScene> {
+    catalog
+        .into_iter()
+        .map(|entry| {
+            let scene = entry.spec.bake();
+            PreparedScene { entry, scene }
+        })
+        .collect()
+}
+
+/// Returns the renderer for a pipeline.
+pub fn renderer_for(pipeline: Pipeline) -> Box<dyn Renderer> {
+    all_renderers()
+        .into_iter()
+        .find(|r| r.pipeline() == pipeline)
+        .expect("every pipeline has a renderer")
+}
+
+/// Traces one scene at its benchmark resolution.
+pub fn trace_scene(renderer: &dyn Renderer, prepared: &PreparedScene) -> Trace {
+    let (w, h) = prepared.entry.resolution;
+    let camera = prepared.scene.spec().orbit(w, h).camera_at(0.9);
+    renderer.trace(&prepared.scene, &camera)
+}
+
+/// Simulates a trace on the paper-configuration accelerator.
+pub fn simulate_paper(trace: &Trace) -> SimReport {
+    Accelerator::new(AcceleratorConfig::paper()).simulate(trace)
+}
+
+/// Geometric mean of positive values (the paper reports Geo. Mean bars).
+pub fn geo_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geo mean of empty set");
+    let log_sum: f64 = values
+        .iter()
+        .map(|v| {
+            assert!(*v > 0.0, "geo mean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a speedup for table output (`x` suffix, `—` for unsupported).
+pub fn fmt_speedup(v: Option<f64>) -> String {
+    match v {
+        Some(s) => format!("{s:.2}x"),
+        None => "    ×".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_identical_values() {
+        assert!((geo_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_is_between_min_and_max() {
+        let g = geo_mean(&[1.0, 100.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renderer_for_every_pipeline() {
+        for p in Pipeline::ALL {
+            assert_eq!(renderer_for(p).pipeline(), p);
+        }
+    }
+
+    #[test]
+    fn fmt_speedup_handles_unsupported() {
+        assert_eq!(fmt_speedup(Some(2.0)), "2.00x");
+        assert!(fmt_speedup(None).contains('×'));
+    }
+}

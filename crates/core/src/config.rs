@@ -1,0 +1,253 @@
+//! Accelerator configuration (Sec. V architecture parameters + the Tab. V
+//! scaling knobs).
+
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a Uni-Render accelerator instance.
+///
+/// The [`AcceleratorConfig::paper`] constructor reproduces the evaluated
+/// design point: a 16×16 PE array with a 2D mesh interconnect, 1.25 MB of
+/// local (in-array) memory, a 256 KB global SRAM buffer, 1 GHz at 0.9 V in
+/// 28 nm, and 59.7 GB/s of LPDDR4 DRAM bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// PE rows.
+    pub pe_rows: u32,
+    /// PE columns.
+    pub pe_cols: u32,
+    /// INT16 MACs per PE (index computations).
+    pub int_macs_per_pe: u32,
+    /// BF16 MACs per PE (feature computations).
+    pub bf16_macs_per_pe: u32,
+    /// Special function units per PE.
+    pub sfus_per_pe: u32,
+    /// Filter/Feature scratchpad per PE: number of SRAM cells.
+    pub ff_cells_per_pe: u32,
+    /// Words per FF SRAM cell (×16-bit).
+    pub ff_words_per_cell: u32,
+    /// Partial-sum scratchpad words per PE (×16-bit).
+    pub ps_words_per_pe: u32,
+    /// Global SRAM buffer bytes (input + 2×output + private).
+    pub global_buffer_bytes: u64,
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// DRAM bandwidth in bytes/second.
+    pub dram_bandwidth: f64,
+    /// Input/output data network width in bytes per cycle (per edge).
+    pub network_bytes_per_cycle: u32,
+    /// Cycles to reconfigure between micro-operator families
+    /// (drain + control reload, Sec. VII-E).
+    pub reconfig_cycles: u64,
+    /// Extra pipeline stage penalty on GEMM throughput from routing data
+    /// through the input buffer before the ALUs (Sec. VII-E: "data must
+    /// pass through a buffer before reaching ALUs").
+    pub gemm_buffer_penalty: f64,
+}
+
+impl AcceleratorConfig {
+    /// The design point evaluated in the paper.
+    pub fn paper() -> Self {
+        Self {
+            pe_rows: 16,
+            pe_cols: 16,
+            int_macs_per_pe: 4,
+            bf16_macs_per_pe: 4,
+            sfus_per_pe: 4,
+            ff_cells_per_pe: 4,
+            ff_words_per_cell: 512,
+            ps_words_per_pe: 512,
+            global_buffer_bytes: 256 * 1024,
+            frequency_hz: 1.0e9,
+            dram_bandwidth: 59.7e9,
+            // Banked global-buffer bus: 4 × 16 B lanes so on-chip
+            // streaming keeps up with DRAM (59.7 B/cycle).
+            network_bytes_per_cycle: 64,
+            reconfig_cycles: 2_000,
+            gemm_buffer_penalty: 1.15,
+        }
+    }
+
+    /// Scales the PE array by `pe_scale` (total PE count) and the SRAM
+    /// capacities by `sram_scale` — the two axes of Tab. V.
+    ///
+    /// PE scaling grows the array along columns first, then rows, keeping
+    /// the 2D mesh. SRAM scaling grows both the per-PE scratchpads and the
+    /// global buffer (the paper scales them together as "SRAM size").
+    /// Scratchpad capacity is shared by the array, so per-PE scratchpad
+    /// words shrink when PEs grow without SRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both scales are powers of two in `1..=16`.
+    pub fn scaled(&self, pe_scale: u32, sram_scale: u32) -> Self {
+        for s in [pe_scale, sram_scale] {
+            assert!(
+                s.is_power_of_two() && (1..=16).contains(&s),
+                "scale factors must be powers of two in 1..=16"
+            );
+        }
+        let mut c = *self;
+        // Grow columns then rows: 2× -> 16×32, 4× -> 32×32. The mesh edges
+        // grow with the array, so edge bandwidth scales with the PE count.
+        let mut pe = pe_scale;
+        while pe > 1 {
+            if c.pe_cols <= c.pe_rows {
+                c.pe_cols *= 2;
+            } else {
+                c.pe_rows *= 2;
+            }
+            pe /= 2;
+        }
+        c.network_bytes_per_cycle = self.network_bytes_per_cycle * pe_scale;
+        // Total SRAM scales by sram_scale; per-PE share adjusts for the new
+        // PE count.
+        let total_ff_words = u64::from(self.pe_rows)
+            * u64::from(self.pe_cols)
+            * u64::from(self.ff_cells_per_pe)
+            * u64::from(self.ff_words_per_cell)
+            * u64::from(sram_scale);
+        let total_ps_words = u64::from(self.pe_rows)
+            * u64::from(self.pe_cols)
+            * u64::from(self.ps_words_per_pe)
+            * u64::from(sram_scale);
+        let new_pes = u64::from(c.pe_rows) * u64::from(c.pe_cols);
+        c.ff_words_per_cell =
+            ((total_ff_words / new_pes / u64::from(self.ff_cells_per_pe)).max(16)) as u32;
+        c.ps_words_per_pe = ((total_ps_words / new_pes).max(16)) as u32;
+        c.global_buffer_bytes = self.global_buffer_bytes * u64::from(sram_scale);
+        c
+    }
+
+    /// Total number of PEs.
+    pub fn pe_count(&self) -> u64 {
+        u64::from(self.pe_rows) * u64::from(self.pe_cols)
+    }
+
+    /// FF scratchpad bytes per PE.
+    pub fn ff_bytes_per_pe(&self) -> u64 {
+        u64::from(self.ff_cells_per_pe) * u64::from(self.ff_words_per_cell) * 2
+    }
+
+    /// PS scratchpad bytes per PE.
+    pub fn ps_bytes_per_pe(&self) -> u64 {
+        u64::from(self.ps_words_per_pe) * 2
+    }
+
+    /// Total in-array local memory in bytes (the paper's "1.25 MB Local
+    /// Memory" for the 16×16 array).
+    pub fn local_memory_bytes(&self) -> u64 {
+        self.pe_count() * (self.ff_bytes_per_pe() + self.ps_bytes_per_pe())
+    }
+
+    /// Total on-chip SRAM (local + global) in bytes.
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.local_memory_bytes() + self.global_buffer_bytes
+    }
+
+    /// Peak INT16 MACs per cycle across the array.
+    pub fn peak_int_macs_per_cycle(&self) -> u64 {
+        self.pe_count() * u64::from(self.int_macs_per_pe)
+    }
+
+    /// Peak BF16 MACs per cycle across the array.
+    pub fn peak_bf16_macs_per_cycle(&self) -> u64 {
+        self.pe_count() * u64::from(self.bf16_macs_per_pe)
+    }
+
+    /// Peak SFU ops per cycle across the array.
+    pub fn peak_sfu_ops_per_cycle(&self) -> u64 {
+        self.pe_count() * u64::from(self.sfus_per_pe)
+    }
+
+    /// DRAM bytes transferable per cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth / self.frequency_hz
+    }
+
+    /// Converts cycles to seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_sec5() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.pe_count(), 256, "16x16 PE array");
+        // FF scratchpad: 4 cells x 512 x 16 bit = 4 KB/PE; PS 1 KB/PE.
+        assert_eq!(c.ff_bytes_per_pe(), 4096);
+        assert_eq!(c.ps_bytes_per_pe(), 1024);
+        // 256 PEs x 5 KB = 1.25 MB local memory (Fig. 9a).
+        assert_eq!(c.local_memory_bytes(), 1_310_720);
+        assert_eq!(c.global_buffer_bytes, 262_144, "256 KB global buffer");
+        assert_eq!(c.frequency_hz, 1.0e9, "1 GHz");
+        assert!((c.dram_bandwidth - 59.7e9).abs() < 1e6, "LPDDR4-1866");
+    }
+
+    #[test]
+    fn peak_throughputs() {
+        let c = AcceleratorConfig::paper();
+        assert_eq!(c.peak_int_macs_per_cycle(), 1024);
+        assert_eq!(c.peak_bf16_macs_per_cycle(), 1024);
+        assert_eq!(c.peak_sfu_ops_per_cycle(), 1024);
+        assert!((c.dram_bytes_per_cycle() - 59.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pe_scaling_grows_array_keeps_total_sram() {
+        let base = AcceleratorConfig::paper();
+        let scaled = base.scaled(2, 1);
+        assert_eq!(scaled.pe_count(), 512);
+        // Total SRAM unchanged: per-PE scratchpads halve.
+        assert_eq!(scaled.local_memory_bytes(), base.local_memory_bytes());
+        assert_eq!(scaled.global_buffer_bytes, base.global_buffer_bytes);
+        // Compute doubles.
+        assert_eq!(
+            scaled.peak_bf16_macs_per_cycle(),
+            2 * base.peak_bf16_macs_per_cycle()
+        );
+    }
+
+    #[test]
+    fn sram_scaling_grows_capacity_keeps_compute() {
+        let base = AcceleratorConfig::paper();
+        let scaled = base.scaled(1, 4);
+        assert_eq!(scaled.pe_count(), base.pe_count());
+        assert_eq!(scaled.local_memory_bytes(), 4 * base.local_memory_bytes());
+        assert_eq!(scaled.global_buffer_bytes, 4 * base.global_buffer_bytes);
+        assert_eq!(
+            scaled.peak_bf16_macs_per_cycle(),
+            base.peak_bf16_macs_per_cycle()
+        );
+    }
+
+    #[test]
+    fn joint_scaling_multiplies_both() {
+        let base = AcceleratorConfig::paper();
+        let scaled = base.scaled(4, 4);
+        assert_eq!(scaled.pe_count(), 1024);
+        assert_eq!(scaled.total_sram_bytes(), 4 * base.total_sram_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn invalid_scale_panics() {
+        AcceleratorConfig::paper().scaled(3, 1);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_one_ghz() {
+        let c = AcceleratorConfig::paper();
+        assert!((c.cycles_to_seconds(1_000_000) - 1e-3).abs() < 1e-12);
+    }
+}

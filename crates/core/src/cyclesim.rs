@@ -1,0 +1,318 @@
+//! Cycle-exact micro-engines for validating the analytical dataflow
+//! models.
+//!
+//! The frame-level simulator uses closed-form tile timing; these clocked
+//! engines execute the same structures register by register on small
+//! configurations so tests can check the formulas against ground truth:
+//!
+//! - a weight-stationary systolic array (Mode 1, Fig. 14);
+//! - a pipelined weighted adder tree (the reduction network of Fig. 11);
+//! - a PE-local merge sort (Fig. 13).
+
+/// Result of a cycle-exact run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleResult<T> {
+    /// Exact cycles from first input to last output.
+    pub cycles: u64,
+    /// The computed values (for functional verification).
+    pub output: T,
+}
+
+/// Cycle-exact weight-stationary systolic matrix multiply.
+///
+/// Computes `out[b][o] = Σ_i input[b][i] * weights[i][o]` on a
+/// `rows × cols` array where PE `(r, c)` holds `weights[r][c]`
+/// (`rows = in_dim`, `cols = out_dim`). Activations enter from the left
+/// edge with the classic one-cycle skew per row; partial sums flow down.
+///
+/// # Panics
+///
+/// Panics if the matrix shapes do not match the array.
+pub fn systolic_gemm(
+    weights: &[Vec<f32>],
+    inputs: &[Vec<f32>],
+) -> CycleResult<Vec<Vec<f32>>> {
+    let rows = weights.len();
+    assert!(rows > 0, "empty weight matrix");
+    let cols = weights[0].len();
+    assert!(weights.iter().all(|r| r.len() == cols), "ragged weights");
+    assert!(
+        inputs.iter().all(|b| b.len() == rows),
+        "input width must equal weight rows"
+    );
+    let batch = inputs.len();
+
+    // Per-PE registers: activation moving right, partial sum moving down.
+    let mut act = vec![vec![0f32; cols]; rows];
+    let mut psum = vec![vec![0f32; cols]; rows];
+    let mut outputs = vec![vec![0f32; cols]; batch];
+    let mut produced = 0usize;
+    let mut cycles = 0u64;
+
+    // Run until every output row has drained from the bottom edge.
+    while produced < batch * cols {
+        cycles += 1;
+        let t = cycles as usize - 1;
+        // Drain bottom edge first (values computed in the previous cycle).
+        // Column c's output for batch row b appears at time
+        // b + rows + c (0-based cycle t), after entering at t = b + r for
+        // row r.
+        // Shift partial sums down / activations right, starting from the
+        // bottom-right so values move one step per cycle.
+        for r in (0..rows).rev() {
+            for c in (0..cols).rev() {
+                // Activation arriving at this PE this cycle.
+                let a_in = if c == 0 {
+                    // Left edge: batch row (t - r) feeds row r (skewed).
+                    let b = t as i64 - r as i64;
+                    if b >= 0 && (b as usize) < batch {
+                        inputs[b as usize][r]
+                    } else {
+                        0.0
+                    }
+                } else {
+                    act[r][c - 1]
+                };
+                let p_in = if r == 0 { 0.0 } else { psum[r - 1][c] };
+                let p_out = p_in + a_in * weights[r][c];
+                // Emit from the bottom row.
+                if r == rows - 1 {
+                    let b = t as i64 - (rows as i64 - 1) - c as i64;
+                    if b >= 0 && (b as usize) < batch {
+                        outputs[b as usize][c] = p_out;
+                        produced += 1;
+                    }
+                }
+                psum[r][c] = p_out;
+                act[r][c] = a_in;
+            }
+        }
+        assert!(
+            cycles < (batch + rows + cols + 8) as u64 * 2,
+            "systolic array failed to drain"
+        );
+    }
+    CycleResult {
+        cycles,
+        output: outputs,
+    }
+}
+
+/// Closed-form cycle count the GEMM dataflow model assumes for a
+/// weight-stationary systolic array: the last batch row enters at cycle
+/// `batch - 1`, traverses `rows - 1` down and `cols - 1` across, and emits
+/// one cycle later.
+pub fn systolic_gemm_formula(rows: usize, cols: usize, batch: usize) -> u64 {
+    (batch + rows + cols - 2).max(1) as u64
+}
+
+/// Cycle-exact pipelined weighted adder tree (the horizontal reduction
+/// network of Fig. 11): `n` leaf inputs with weights, one stage of adders
+/// per tree level, one new vector accepted per cycle.
+pub fn adder_tree(values: &[f32], weights: &[f32]) -> CycleResult<f32> {
+    assert_eq!(values.len(), weights.len(), "weight per value");
+    assert!(!values.is_empty(), "empty reduction");
+    let mut level: Vec<f32> = values
+        .iter()
+        .zip(weights)
+        .map(|(v, w)| v * w)
+        .collect();
+    let mut cycles = 1; // Multiply stage.
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| pair.iter().sum())
+            .collect();
+        cycles += 1;
+    }
+    CycleResult {
+        cycles,
+        output: level[0],
+    }
+}
+
+/// Latency formula for the adder tree: one multiply stage plus
+/// `ceil(log2 n)` add stages.
+pub fn adder_tree_formula(n: usize) -> u64 {
+    1 + (n.max(1) as f64).log2().ceil() as u64
+}
+
+/// Cycle-exact PE-local merge sort (Fig. 13): iteratively merges runs of
+/// doubling width through the FF scratchpad, one comparison per cycle per
+/// comparator lane.
+pub fn merge_sort(keys: &[u32], comparator_lanes: u64) -> CycleResult<Vec<u32>> {
+    assert!(comparator_lanes > 0, "need at least one comparator");
+    let mut data = keys.to_vec();
+    let n = data.len();
+    let mut comparisons = 0u64;
+    let mut width = 1usize;
+    let mut buffer = data.clone();
+    while width < n {
+        let mut start = 0;
+        while start < n {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (start, mid, start);
+            while i < mid && j < end {
+                comparisons += 1;
+                if data[i] <= data[j] {
+                    buffer[k] = data[i];
+                    i += 1;
+                } else {
+                    buffer[k] = data[j];
+                    j += 1;
+                }
+                k += 1;
+            }
+            while i < mid {
+                buffer[k] = data[i];
+                i += 1;
+                k += 1;
+            }
+            while j < end {
+                buffer[k] = data[j];
+                j += 1;
+                k += 1;
+            }
+            start = end;
+        }
+        std::mem::swap(&mut data, &mut buffer);
+        width *= 2;
+    }
+    CycleResult {
+        cycles: comparisons.div_ceil(comparator_lanes).max(1),
+        output: data,
+    }
+}
+
+/// Upper-bound formula the sorting dataflow model uses:
+/// `n ⌈log2 n⌉ / lanes` comparisons.
+pub fn merge_sort_formula(n: usize, comparator_lanes: u64) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let passes = (n as f64).log2().ceil() as u64;
+    (n as u64 * passes).div_ceil(comparator_lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference_matmul(weights: &[Vec<f32>], inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        inputs
+            .iter()
+            .map(|x| {
+                (0..weights[0].len())
+                    .map(|o| (0..weights.len()).map(|i| x[i] * weights[i][o]).sum())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn systolic_gemm_is_functionally_correct() {
+        let weights = vec![
+            vec![1.0, 2.0, -1.0],
+            vec![0.5, -0.5, 1.5],
+            vec![2.0, 1.0, 0.0],
+            vec![-1.0, 0.0, 3.0],
+        ];
+        let inputs = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![-1.0, 0.5, 2.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+        ];
+        let result = systolic_gemm(&weights, &inputs);
+        let expected = reference_matmul(&weights, &inputs);
+        for (got, want) in result.output.iter().zip(&expected) {
+            for (g, w) in got.iter().zip(want) {
+                assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_cycles_match_fill_plus_drain_formula() {
+        for (rows, cols, batch) in [(4, 3, 3), (2, 2, 10), (8, 4, 16), (3, 5, 7)] {
+            let weights = vec![vec![1.0f32; cols]; rows];
+            let inputs = vec![vec![1.0f32; rows]; batch];
+            let result = systolic_gemm(&weights, &inputs);
+            let formula = systolic_gemm_formula(rows, cols, batch);
+            assert_eq!(
+                result.cycles, formula,
+                "rows={rows} cols={cols} batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn adder_tree_matches_weighted_sum_and_formula() {
+        let values = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let weights = [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let result = adder_tree(&values, &weights);
+        let expected: f32 = values.iter().zip(&weights).map(|(v, w)| v * w).sum();
+        assert!((result.output - expected).abs() < 1e-4);
+        assert_eq!(result.cycles, adder_tree_formula(8));
+        assert_eq!(adder_tree_formula(8), 4, "1 mul + 3 add stages");
+    }
+
+    #[test]
+    fn merge_sort_sorts_and_counts() {
+        let keys = [9u32, 3, 7, 1, 8, 2, 6, 4, 5, 0];
+        let result = merge_sort(&keys, 1);
+        let mut want = keys.to_vec();
+        want.sort_unstable();
+        assert_eq!(result.output, want);
+        // Comparisons never exceed the n log n bound the model charges.
+        assert!(result.cycles <= merge_sort_formula(keys.len(), 1));
+    }
+
+    #[test]
+    fn comparator_lanes_divide_sort_cycles() {
+        let keys: Vec<u32> = (0..256).rev().collect();
+        let one = merge_sort(&keys, 1).cycles;
+        let four = merge_sort(&keys, 4).cycles;
+        let ratio = one as f64 / four as f64;
+        assert!((3.5..=4.5).contains(&ratio), "4 lanes ~4x: {ratio}");
+    }
+
+    proptest! {
+        /// The systolic engine agrees with a reference matmul on random
+        /// shapes — the ground truth behind the GEMM dataflow model.
+        #[test]
+        fn prop_systolic_functional(
+            rows in 1usize..6, cols in 1usize..6, batch in 1usize..8, seed in 0u64..100,
+        ) {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 17) as f32 / 8.0 - 1.0
+            };
+            let weights: Vec<Vec<f32>> =
+                (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+            let inputs: Vec<Vec<f32>> =
+                (0..batch).map(|_| (0..rows).map(|_| next()).collect()).collect();
+            let result = systolic_gemm(&weights, &inputs);
+            let expected = reference_matmul(&weights, &inputs);
+            for (got, want) in result.output.iter().zip(&expected) {
+                for (g, w) in got.iter().zip(want) {
+                    prop_assert!((g - w).abs() < 1e-3);
+                }
+            }
+            prop_assert_eq!(result.cycles, systolic_gemm_formula(rows, cols, batch));
+        }
+
+        /// Merge sort always sorts and respects the formula bound.
+        #[test]
+        fn prop_merge_sort_correct(mut keys in proptest::collection::vec(0u32..1000, 1..200)) {
+            let result = merge_sort(&keys, 4);
+            keys.sort_unstable();
+            prop_assert_eq!(result.output, keys.clone());
+            prop_assert!(result.cycles <= merge_sort_formula(keys.len(), 4).max(1));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! GEMM dataflow (Fig. 14): weight-stationary Mode-1 systolic execution.
+//!
+//! Neural-graphics MLPs are small (≪ 1 M parameters) but run at very large
+//! batches, so weights stay resident in the FF scratchpads while
+//! activations stream through the systolic input network. Small layers are
+//! replicated across PE regions ("Each PE: One GEMM or One Layer of MLP",
+//! Fig. 14) so utilization is governed by batch occupancy rather than
+//! matrix size. Routing activations through the input buffer before the
+//! ALUs costs an extra pipeline stage versus a vanilla systolic array —
+//! the `gemm_buffer_penalty` of Sec. VII-E.
+
+use super::DataflowCosts;
+use crate::config::AcceleratorConfig;
+use uni_microops::{Invocation, Workload};
+
+/// Maps a GEMM invocation onto the array.
+pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
+    let Workload::Gemm {
+        batch,
+        in_dim,
+        out_dim,
+        weight_bytes,
+    } = *inv.workload()
+    else {
+        panic!("gemm dataflow requires a Gemm workload");
+    };
+    let cost = inv.cost();
+    let macs = cost.fp_macs.max(1);
+    let peak = config.peak_bf16_macs_per_cycle().max(1);
+
+    // Batch occupancy: with per-PE layer replication the array is fully
+    // busy once the in-flight batch covers all PEs.
+    let occupancy = (batch as f64 / config.pe_count() as f64).min(1.0).max(0.05);
+    // Work-shape efficiency: extremely skinny layers (in*out < MACs/PE)
+    // cannot fill a PE's MAC row every cycle.
+    let shape_eff = (f64::from(in_dim) * f64::from(out_dim)
+        / f64::from(config.bf16_macs_per_pe))
+    .min(1.0);
+    let utilization = (occupancy * shape_eff.max(0.25)).clamp(0.05, 1.0);
+
+    let mut compute = (macs as f64 / (peak as f64 * utilization)
+        * config.gemm_buffer_penalty) as u64;
+    // Systolic fill/drain per weight tile.
+    let fills = u64::from(config.pe_rows + config.pe_cols);
+    // Weight tiling: if the weights exceed the array's FF capacity they are
+    // reloaded per tile through the global buffer.
+    let ff_capacity = config.local_memory_bytes() * 4 / 5; // FF share of local memory.
+    let weight_passes = weight_bytes.div_ceil(ff_capacity.max(1)).max(1);
+    let global_bw = u64::from(config.network_bytes_per_cycle) * 4; // Banked buffer.
+    let reload = if weight_passes > 1 {
+        weight_bytes / global_bw.max(1)
+    } else {
+        weight_bytes.min(ff_capacity) / global_bw.max(1)
+    };
+    compute += fills * weight_passes + reload;
+
+    // SFU work (activations / encodings) shares the timeline.
+    let sfu_cycles = cost.sfu_ops / config.peak_sfu_ops_per_cycle().max(1);
+    compute = compute.max(sfu_cycles).max(1);
+
+    // Activations spill to DRAM only when the streaming working set cannot
+    // be double-buffered on chip (producer/consumer fusion keeps chained
+    // layers on chip — the scheduler removes inter-layer traffic).
+    let act_in = batch * u64::from(in_dim) * 2;
+    let act_out = batch * u64::from(out_dim) * 2;
+    let buffered = config.global_buffer_bytes / 4;
+    let dram_read = weight_bytes + if act_in > buffered { act_in } else { 0 };
+    let dram_write = if act_out > buffered { act_out } else { 0 };
+
+    DataflowCosts {
+        compute_cycles: compute,
+        dram_read_bytes: dram_read,
+        dram_write_bytes: dram_write,
+        network_bytes: act_in + act_out + weight_bytes * weight_passes,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper()
+    }
+
+    fn gemm(batch: u64, in_dim: u32, out_dim: u32, weight_bytes: u64) -> Invocation {
+        Invocation::new(
+            "g",
+            Workload::Gemm {
+                batch,
+                in_dim,
+                out_dim,
+                weight_bytes,
+            },
+        )
+    }
+
+    #[test]
+    fn large_batch_reaches_high_utilization() {
+        let c = cost(&gemm(1 << 20, 64, 64, 64 * 64 * 2), &cfg());
+        assert!(c.utilization > 0.9, "utilization {}", c.utilization);
+        // Near-peak: ~macs/1024 cycles with the buffer penalty.
+        let macs = (1u64 << 20) * 64 * 64;
+        let ideal = macs / 1024;
+        assert!(c.compute_cycles >= ideal, "penalty applies");
+        assert!(c.compute_cycles < ideal * 2, "within 2x of peak");
+    }
+
+    #[test]
+    fn tiny_batch_underutilizes() {
+        let small = cost(&gemm(16, 64, 64, 64 * 64 * 2), &cfg());
+        let large = cost(&gemm(1 << 16, 64, 64, 64 * 64 * 2), &cfg());
+        assert!(small.utilization < large.utilization);
+    }
+
+    #[test]
+    fn buffer_penalty_slows_throughput() {
+        let mut fast_cfg = cfg();
+        fast_cfg.gemm_buffer_penalty = 1.0;
+        let with_penalty = cost(&gemm(1 << 20, 64, 64, 8192), &cfg());
+        let without = cost(&gemm(1 << 20, 64, 64, 8192), &fast_cfg);
+        assert!(with_penalty.compute_cycles > without.compute_cycles);
+    }
+
+    #[test]
+    fn compute_scales_linearly_with_batch() {
+        let a = cost(&gemm(1 << 16, 32, 32, 2048), &cfg()).compute_cycles;
+        let b = cost(&gemm(1 << 18, 32, 32, 2048), &cfg()).compute_cycles;
+        let ratio = b as f64 / a as f64;
+        assert!((3.5..=4.5).contains(&ratio), "4x batch -> ~4x cycles: {ratio}");
+    }
+
+    #[test]
+    fn small_streaming_batches_stay_on_chip() {
+        let c = cost(&gemm(1000, 8, 8, 128), &cfg());
+        assert_eq!(c.dram_read_bytes, 128, "only weights");
+        assert_eq!(c.dram_write_bytes, 0);
+    }
+
+    #[test]
+    fn huge_activations_spill() {
+        let c = cost(&gemm(10_000_000, 32, 4, 256), &cfg());
+        assert!(c.dram_read_bytes > 256);
+        assert!(c.dram_write_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_weights_add_reload_passes() {
+        let small = cost(&gemm(1 << 20, 64, 64, 1 << 10), &cfg()).compute_cycles;
+        let huge = cost(&gemm(1 << 20, 64, 64, 8 << 20), &cfg()).compute_cycles;
+        assert!(huge > small, "weight reloads cost cycles: {huge} vs {small}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-micro-operator dataflow timing models (Sec. VI, Figs. 10-14).
+//!
+//! Each dataflow maps one [`Invocation`] onto the configured PE array and
+//! returns [`DataflowCosts`]: compute cycles on the array (with the
+//! mapping's achievable utilization), effective DRAM traffic after on-chip
+//! capacity effects, and network traffic for the energy model. The frame
+//! scheduler overlaps compute with double-buffered DRAM transfers and adds
+//! reconfiguration overhead between micro-operator families.
+
+pub mod gemm;
+pub mod geometric;
+pub mod grid;
+pub mod sorting;
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+use uni_microops::{Invocation, Workload};
+
+/// The mapped cost of one invocation on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DataflowCosts {
+    /// Cycles the PE array is busy computing (network-limited streaming
+    /// included).
+    pub compute_cycles: u64,
+    /// Effective DRAM read bytes (after capacity-driven refetch).
+    pub dram_read_bytes: u64,
+    /// Effective DRAM write bytes.
+    pub dram_write_bytes: u64,
+    /// Bytes moved across the input/reduction networks (energy accounting).
+    pub network_bytes: u64,
+    /// Achieved compute-lane utilization in `(0, 1]`.
+    pub utilization: f64,
+}
+
+impl DataflowCosts {
+    /// Cycles needed to move this invocation's DRAM traffic at full
+    /// bandwidth.
+    pub fn dram_cycles(&self, config: &AcceleratorConfig) -> u64 {
+        let bytes = self.dram_read_bytes + self.dram_write_bytes;
+        (bytes as f64 / config.dram_bytes_per_cycle()).ceil() as u64
+    }
+}
+
+/// Maps an invocation to its dataflow and returns the array cost.
+pub fn map_invocation(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
+    match inv.workload() {
+        Workload::Geometric { .. } => geometric::cost(inv, config),
+        Workload::GridIndex { .. } => grid::cost(inv, config),
+        Workload::Sort { .. } => sorting::cost(inv, config),
+        Workload::Gemm { .. } => gemm::cost(inv, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uni_microops::{Dims, IndexFunction, PrimitiveKind};
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper()
+    }
+
+    #[test]
+    fn dispatch_reaches_every_dataflow() {
+        let invs = [
+            Invocation::new(
+                "g",
+                Workload::Geometric {
+                    kind: PrimitiveKind::Triangle,
+                    primitives: 1000,
+                    candidate_pairs: 10_000,
+                    hits: 1_000,
+                    prim_bytes: 64,
+                    output_pixels: 10_000,
+                },
+            ),
+            Invocation::new(
+                "h",
+                Workload::GridIndex {
+                    points: 10_000,
+                    levels: 16,
+                    corners: 8,
+                    feature_dim: 4,
+                    table_bytes: 1 << 20,
+                    function: IndexFunction::RandomHash,
+                    dims: Dims::D3,
+                    decomposed: false,
+                },
+            ),
+            Invocation::new(
+                "s",
+                Workload::Sort {
+                    patches: 100,
+                    keys_per_patch: 128.0,
+                    entry_bytes: 8,
+                },
+            ),
+            Invocation::new(
+                "m",
+                Workload::Gemm {
+                    batch: 10_000,
+                    in_dim: 32,
+                    out_dim: 32,
+                    weight_bytes: 2048,
+                },
+            ),
+        ];
+        for inv in &invs {
+            let c = map_invocation(inv, &cfg());
+            assert!(c.compute_cycles > 0, "{}", inv.stage());
+            assert!(c.utilization > 0.0 && c.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dram_cycles_follow_bandwidth() {
+        let costs = DataflowCosts {
+            compute_cycles: 0,
+            dram_read_bytes: 59_700,
+            dram_write_bytes: 0,
+            network_bytes: 0,
+            utilization: 1.0,
+        };
+        // 59 700 bytes at 59.7 B/cycle = 1000 cycles.
+        assert_eq!(costs.dram_cycles(&cfg()), 1000);
+    }
+}

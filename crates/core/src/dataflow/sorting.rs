@@ -1,0 +1,115 @@
+//! Sorting dataflow (Fig. 13): patch-parallel merge sort in Mode 2 with
+//! both networks gated.
+//!
+//! Each PE owns one image patch's unordered splat list; the ALU is
+//! reconfigured into comparators and merge runs stream through the FF
+//! scratchpad until the patch is sorted. PEs work independently — the
+//! utilization term models patch-size imbalance.
+
+use super::DataflowCosts;
+use crate::config::AcceleratorConfig;
+use uni_microops::{Invocation, Workload};
+
+/// Patch-size imbalance utilization (some patches hold many splats while
+/// neighbors are nearly empty).
+pub const SORT_UTILIZATION: f64 = 0.6;
+
+/// Maps a sorting invocation onto the array.
+pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
+    let Workload::Sort {
+        patches,
+        keys_per_patch,
+        entry_bytes,
+    } = *inv.workload()
+    else {
+        panic!("sorting dataflow requires a Sort workload");
+    };
+    let keys = (patches as f64 * keys_per_patch).round().max(1.0) as u64;
+    let passes = keys_per_patch.max(2.0).log2().ceil() as u64;
+    let compares = keys * passes;
+
+    // Comparator throughput: the 4 INT MACs act as comparators.
+    let cmp_cycles = compares / config.peak_int_macs_per_cycle().max(1);
+    // Scratchpad streaming: every pass reads and writes each entry through
+    // single-port cells — 2 accesses × entry words per key per pass,
+    // distributed over all PEs' cells.
+    let words = u64::from(entry_bytes).div_ceil(2);
+    let sram_cycles = keys * passes * 2 * words
+        / (config.pe_count() * u64::from(config.ff_cells_per_pe)).max(1);
+    // Patch spill: patches larger than one FF scratchpad merge via the
+    // global buffer at network bandwidth.
+    let patch_bytes = (keys_per_patch * f64::from(entry_bytes)) as u64;
+    let spill = patch_bytes > config.ff_bytes_per_pe();
+    let spill_cycles = if spill {
+        keys * u64::from(entry_bytes) / u64::from(config.network_bytes_per_cycle).max(1)
+    } else {
+        0
+    };
+
+    let busy = cmp_cycles.max(sram_cycles) + spill_cycles;
+    let compute = ((busy as f64 / SORT_UTILIZATION) as u64).max(1);
+    let stream = keys * u64::from(entry_bytes);
+
+    DataflowCosts {
+        compute_cycles: compute,
+        dram_read_bytes: stream,
+        dram_write_bytes: stream,
+        network_bytes: stream * 2,
+        utilization: SORT_UTILIZATION,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper()
+    }
+
+    fn sort(patches: u64, keys_per_patch: f64) -> Invocation {
+        Invocation::new(
+            "sort",
+            Workload::Sort {
+                patches,
+                keys_per_patch,
+                entry_bytes: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn cost_grows_n_log_n() {
+        let a = cost(&sort(1000, 64.0), &cfg()).compute_cycles;
+        let b = cost(&sort(1000, 256.0), &cfg()).compute_cycles;
+        // 4x keys, log factor 8/6: expect ~5.3x.
+        let ratio = b as f64 / a as f64;
+        assert!((4.0..=8.0).contains(&ratio), "n log n growth: {ratio}");
+    }
+
+    #[test]
+    fn oversized_patches_spill_through_global_buffer() {
+        // 4 KB FF pad holds 512 8-byte entries.
+        let fits = cost(&sort(1000, 400.0), &cfg()).compute_cycles;
+        let spills = cost(&sort(1000, 800.0), &cfg()).compute_cycles;
+        assert!(
+            spills as f64 > fits as f64 * 2.2,
+            "spill adds traffic: {spills} vs {fits}"
+        );
+    }
+
+    #[test]
+    fn patch_parallelism_uses_all_pes() {
+        let one = cost(&sort(256, 128.0), &cfg()).compute_cycles;
+        let four = cost(&sort(1024, 128.0), &cfg()).compute_cycles;
+        let ratio = four as f64 / one as f64;
+        assert!((3.0..=5.0).contains(&ratio), "4x patches -> ~4x: {ratio}");
+    }
+
+    #[test]
+    fn streams_keys_both_ways() {
+        let c = cost(&sort(100, 100.0), &cfg());
+        assert_eq!(c.dram_read_bytes, c.dram_write_bytes);
+        assert_eq!(c.dram_read_bytes, 100 * 100 * 8);
+    }
+}

@@ -1,0 +1,197 @@
+//! 28 nm energy and area model.
+//!
+//! Substitutes for the paper's RTL synthesis + place-and-route flow
+//! (Synopsys DC / Cadence Innovus at 28 nm, 0.9 V, 1 GHz): per-event
+//! energies and per-region area densities are set from published 28 nm
+//! characterizations and calibrated so the totals land at the paper's
+//! reported 14.96 mm² and ~5.78 W with the Fig. 15 breakdowns
+//! (area 54/31/15 %, power 75/10/15 % across {compute+control,
+//! SRAM inside the PE array, SRAM outside}).
+
+use crate::config::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants (joules).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One INT16 multiply-accumulate.
+    pub int_mac_j: f64,
+    /// One BF16 multiply-accumulate.
+    pub bf16_mac_j: f64,
+    /// One special-function operation (exp/sin/rsqrt).
+    pub sfu_j: f64,
+    /// Multiplier on compute energy covering clock tree, PE controllers,
+    /// and the data routers (the "control logic" share of Fig. 15).
+    pub control_overhead: f64,
+    /// Per byte accessed in the in-array scratchpads.
+    pub sram_local_j_per_byte: f64,
+    /// Per byte staged through the global SRAM buffer.
+    pub sram_global_j_per_byte: f64,
+    /// Per byte moved across the 2D-mesh networks (attributed to
+    /// compute+control in the Fig. 15 grouping).
+    pub noc_j_per_byte: f64,
+    /// Per byte of DRAM traffic. Reported separately: the paper's power
+    /// figures exclude DRAM ("Following [31], [52], [58], the power
+    /// estimation excludes DRAM").
+    pub dram_j_per_byte: f64,
+    /// Static leakage power per mm² of active silicon (W).
+    pub leakage_w_per_mm2: f64,
+    /// Fraction of a gated module's leakage that power gating removes.
+    pub gating_efficiency: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            int_mac_j: 0.9e-12,
+            bf16_mac_j: 2.2e-12,
+            sfu_j: 6.0e-12,
+            control_overhead: 2.6,
+            sram_local_j_per_byte: 0.12e-12,
+            sram_global_j_per_byte: 5.0e-12,
+            noc_j_per_byte: 0.5e-12,
+            dram_j_per_byte: 40.0e-12,
+            leakage_w_per_mm2: 0.045,
+            gating_efficiency: 0.8,
+        }
+    }
+}
+
+/// Area regions matching Fig. 15's three categories.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Computing and control logic (PE ALUs, controllers, routers) in mm².
+    pub logic_mm2: f64,
+    /// SRAM inside the PE array (FF + PS scratchpads) in mm².
+    pub sram_array_mm2: f64,
+    /// SRAM outside the PE array (global buffer subsystem) in mm².
+    pub sram_global_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total die area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.logic_mm2 + self.sram_array_mm2 + self.sram_global_mm2
+    }
+
+    /// Percentage shares `(logic, sram_array, sram_global)`.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let t = self.total_mm2();
+        (
+            self.logic_mm2 / t * 100.0,
+            self.sram_array_mm2 / t * 100.0,
+            self.sram_global_mm2 / t * 100.0,
+        )
+    }
+}
+
+/// Per-PE logic area in mm² (ALUs, controller, router share), calibrated so
+/// the 16×16 array's logic lands at 54 % of 14.96 mm².
+pub const PE_LOGIC_MM2: f64 = 8.078 / 256.0;
+/// In-array scratchpad density in mm² per byte (small 512×16 arrays),
+/// calibrated to 31 % of 14.96 mm² for 1.25 MB.
+pub const SRAM_ARRAY_MM2_PER_BYTE: f64 = 4.638 / 1_310_720.0;
+/// Global-buffer subsystem density in mm² per byte. Higher than the
+/// in-array density because the paper's "SRAM outside the PE array" region
+/// includes the buffer controllers and bus interfaces.
+pub const SRAM_GLOBAL_MM2_PER_BYTE: f64 = 2.244 / 262_144.0;
+
+/// Computes the area of a configuration.
+pub fn area(config: &AcceleratorConfig) -> AreaBreakdown {
+    AreaBreakdown {
+        logic_mm2: config.pe_count() as f64 * PE_LOGIC_MM2,
+        sram_array_mm2: config.local_memory_bytes() as f64 * SRAM_ARRAY_MM2_PER_BYTE,
+        sram_global_mm2: config.global_buffer_bytes as f64 * SRAM_GLOBAL_MM2_PER_BYTE,
+    }
+}
+
+/// Energy totals per Fig. 15 category (joules).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Compute + control (MACs, SFUs, controllers, networks).
+    pub compute_j: f64,
+    /// In-array scratchpad accesses.
+    pub sram_array_j: f64,
+    /// Global buffer accesses.
+    pub sram_global_j: f64,
+    /// Leakage over the frame time (attributed to compute+control in the
+    /// percentage split, matching the paper's synthesis reports).
+    pub leakage_j: f64,
+    /// External DRAM (excluded from the power figure, reported for
+    /// completeness).
+    pub dram_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// On-chip energy (the paper's power basis — DRAM excluded).
+    pub fn on_chip_j(&self) -> f64 {
+        self.compute_j + self.sram_array_j + self.sram_global_j + self.leakage_j
+    }
+
+    /// Percentage shares `(compute+control, sram_array, sram_global)` of
+    /// on-chip energy, with leakage folded into compute+control.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let t = self.on_chip_j();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            (self.compute_j + self.leakage_j) / t * 100.0,
+            self.sram_array_j / t * 100.0,
+            self.sram_global_j / t * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_area_totals_and_breakdown() {
+        let a = area(&AcceleratorConfig::paper());
+        // Paper: 14.96 mm² total.
+        assert!(
+            (a.total_mm2() - 14.96).abs() < 0.05,
+            "total {} mm²",
+            a.total_mm2()
+        );
+        let (logic, arr, glob) = a.shares();
+        // Fig. 15 area: 54 % / 31 % / 15 %.
+        assert!((logic - 54.0).abs() < 1.0, "logic {logic}%");
+        assert!((arr - 31.0).abs() < 1.0, "array sram {arr}%");
+        assert!((glob - 15.0).abs() < 1.0, "global sram {glob}%");
+    }
+
+    #[test]
+    fn area_scales_with_configuration() {
+        let base = area(&AcceleratorConfig::paper());
+        let scaled = area(&AcceleratorConfig::paper().scaled(2, 2));
+        assert!((scaled.logic_mm2 / base.logic_mm2 - 2.0).abs() < 0.01);
+        assert!((scaled.sram_array_mm2 / base.sram_array_mm2 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_breakdown_shares_sum_to_hundred() {
+        let e = EnergyBreakdown {
+            compute_j: 3.0,
+            sram_array_j: 0.5,
+            sram_global_j: 0.7,
+            leakage_j: 0.3,
+            dram_j: 10.0,
+        };
+        let (a, b, c) = e.shares();
+        assert!((a + b + c - 100.0).abs() < 1e-9);
+        // DRAM excluded from on-chip.
+        assert!((e.on_chip_j() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_constants_are_physically_ordered() {
+        let m = EnergyModel::default();
+        assert!(m.int_mac_j < m.bf16_mac_j, "INT16 cheaper than BF16");
+        assert!(m.bf16_mac_j < m.sfu_j, "SFU ops are the expensive ones");
+        assert!(m.sram_local_j_per_byte < m.sram_global_j_per_byte);
+        assert!(m.sram_global_j_per_byte < m.dram_j_per_byte);
+    }
+}

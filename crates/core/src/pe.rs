@@ -1,0 +1,285 @@
+//! Reconfigurable PE module states — a direct transcription of Tab. III.
+//!
+//! Each PE contains four configurable modules (Sec. V-C): the PE
+//! controller, the Filter/Feature scratchpad, the ALU (4 INT16 MACs +
+//! 4 BF16 MACs + 4 SFUs in reconfigurable layouts), and the Partial-Sum
+//! scratchpad. The per-micro-operator status of every module — plus the
+//! input/reduction data network states of Sec. V-B — is what
+//! [`ModuleStatus::for_op`] returns, and what the energy model's
+//! clock/power gating consults for idle modules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use uni_microops::MicroOp;
+
+/// PE controller mode (Tab. III, "PE Controller" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControllerMode {
+    /// Rasterization control (auto-counter over primitives, Z-buffer FSM).
+    RasterizationControl,
+    /// Grid indexing control (address generation from the ALU).
+    GridControl,
+    /// Merge-sort control.
+    SortingControl,
+    /// Weight-stationary GEMM control.
+    GemmControl,
+}
+
+/// Contents of the FF scratchpad (Tab. III, "FF Scratch Pad" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FfContents {
+    /// Geometry records (vertex coordinates, primitive ids).
+    GeometryRepresentation,
+    /// Grid feature slices.
+    GridFeatures,
+    /// Sort keys and intermediate merge runs.
+    SortingElements,
+    /// Resident model weights.
+    ModelWeights,
+}
+
+/// ALU layout (Tab. III, "ALU" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluLayout {
+    /// Vector mode: cross products / barycentric tests.
+    VectorMode,
+    /// Index-function mode: address computation for grid fetches.
+    IndexFunction,
+    /// Comparator mode for merge sort.
+    Comparator,
+    /// Adder-tree mode for GEMM accumulation.
+    AdderTreeMode,
+}
+
+/// PS scratchpad role (Tab. III, "PS Scratch Pad" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PsMode {
+    /// Z-buffer (min-depth hold per pixel).
+    ZBuffer,
+    /// Output feature accumulators.
+    OutputFeatures,
+    /// Clock-gated off.
+    Off,
+}
+
+/// Input / reduction data-network state (Sec. V-B and Tab. III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetState {
+    /// Paths and routers clock-gated.
+    Off,
+    /// Active (input paths; systolic or pipeline per [`NetworkMode`]).
+    On,
+    /// Reduction network active along PE rows only (weighted adder tree
+    /// within each line, Fig. 11).
+    Horizontal,
+    /// Reduction network fully active: horizontal interpolation then
+    /// vertical cross-line aggregation (Fig. 12).
+    Full,
+}
+
+/// The two array-level operating modes of Sec. V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkMode {
+    /// Mode 1: systolic-array-like data passing (GEMM).
+    Systolic,
+    /// Mode 2: pipelined reduction networks (all reduction-task ops).
+    Pipeline,
+}
+
+/// The complete module configuration for one micro-operator — one row of
+/// Tab. III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModuleStatus {
+    /// Input data paths & routers.
+    pub input_network: NetState,
+    /// Reduction data paths & routers.
+    pub reduction_network: NetState,
+    /// Array operating mode.
+    pub mode: NetworkMode,
+    /// PE controller mode.
+    pub controller: ControllerMode,
+    /// FF scratchpad contents.
+    pub ff: FfContents,
+    /// ALU layout.
+    pub alu: AluLayout,
+    /// PS scratchpad role.
+    pub ps: PsMode,
+}
+
+impl ModuleStatus {
+    /// The Tab. III row for a micro-operator.
+    pub fn for_op(op: MicroOp) -> Self {
+        match op {
+            MicroOp::GeometricProcessing => Self {
+                input_network: NetState::Off,
+                reduction_network: NetState::Off,
+                mode: NetworkMode::Pipeline,
+                controller: ControllerMode::RasterizationControl,
+                ff: FfContents::GeometryRepresentation,
+                alu: AluLayout::VectorMode,
+                ps: PsMode::ZBuffer,
+            },
+            MicroOp::CombinedGridIndexing => Self {
+                input_network: NetState::On,
+                reduction_network: NetState::Horizontal,
+                mode: NetworkMode::Pipeline,
+                controller: ControllerMode::GridControl,
+                ff: FfContents::GridFeatures,
+                alu: AluLayout::IndexFunction,
+                ps: PsMode::Off,
+            },
+            MicroOp::DecomposedGridIndexing => Self {
+                input_network: NetState::On,
+                reduction_network: NetState::Full,
+                mode: NetworkMode::Pipeline,
+                controller: ControllerMode::GridControl,
+                ff: FfContents::GridFeatures,
+                alu: AluLayout::IndexFunction,
+                ps: PsMode::Off,
+            },
+            MicroOp::Sorting => Self {
+                input_network: NetState::Off,
+                reduction_network: NetState::Off,
+                mode: NetworkMode::Pipeline,
+                controller: ControllerMode::SortingControl,
+                ff: FfContents::SortingElements,
+                alu: AluLayout::Comparator,
+                ps: PsMode::Off,
+            },
+            MicroOp::Gemm => Self {
+                input_network: NetState::On,
+                reduction_network: NetState::Off,
+                mode: NetworkMode::Systolic,
+                controller: ControllerMode::GemmControl,
+                ff: FfContents::ModelWeights,
+                alu: AluLayout::AdderTreeMode,
+                ps: PsMode::OutputFeatures,
+            },
+        }
+    }
+
+    /// Whether the PS scratchpad is active (not gated).
+    pub fn ps_active(&self) -> bool {
+        self.ps != PsMode::Off
+    }
+
+    /// Whether the reduction network is active in any form.
+    pub fn reduction_active(&self) -> bool {
+        self.reduction_network != NetState::Off
+    }
+
+    /// Number of gated (idle) module groups out of the four PE modules
+    /// plus two networks — feeds the gating term of the energy model
+    /// (Sec. VII-E, "Module Utilization").
+    pub fn gated_module_count(&self) -> u32 {
+        let mut gated = 0;
+        if self.input_network == NetState::Off {
+            gated += 1;
+        }
+        if self.reduction_network == NetState::Off {
+            gated += 1;
+        }
+        if self.ps == PsMode::Off {
+            gated += 1;
+        }
+        gated
+    }
+}
+
+impl fmt::Display for ModuleStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "input {:?} / reduce {:?} / {:?} / ctrl {:?} / ff {:?} / alu {:?} / ps {:?}",
+            self.input_network,
+            self.reduction_network,
+            self.mode,
+            self.controller,
+            self.ff,
+            self.alu,
+            self.ps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tab. III transcription, row by row.
+    #[test]
+    fn tab3_geometric_processing_row() {
+        let s = ModuleStatus::for_op(MicroOp::GeometricProcessing);
+        assert_eq!(s.input_network, NetState::Off);
+        assert_eq!(s.reduction_network, NetState::Off);
+        assert_eq!(s.controller, ControllerMode::RasterizationControl);
+        assert_eq!(s.ff, FfContents::GeometryRepresentation);
+        assert_eq!(s.alu, AluLayout::VectorMode);
+        assert_eq!(s.ps, PsMode::ZBuffer);
+    }
+
+    #[test]
+    fn tab3_combined_grid_indexing_row() {
+        let s = ModuleStatus::for_op(MicroOp::CombinedGridIndexing);
+        assert_eq!(s.input_network, NetState::On);
+        assert_eq!(s.reduction_network, NetState::Horizontal);
+        assert_eq!(s.controller, ControllerMode::GridControl);
+        assert_eq!(s.alu, AluLayout::IndexFunction);
+        assert_eq!(s.ps, PsMode::Off);
+    }
+
+    #[test]
+    fn tab3_decomposed_grid_indexing_row() {
+        let s = ModuleStatus::for_op(MicroOp::DecomposedGridIndexing);
+        assert_eq!(s.reduction_network, NetState::Full);
+        assert_eq!(s.ff, FfContents::GridFeatures);
+        assert_eq!(s.ps, PsMode::Off);
+    }
+
+    #[test]
+    fn tab3_sorting_row() {
+        let s = ModuleStatus::for_op(MicroOp::Sorting);
+        assert_eq!(s.input_network, NetState::Off);
+        assert_eq!(s.reduction_network, NetState::Off);
+        assert_eq!(s.controller, ControllerMode::SortingControl);
+        assert_eq!(s.alu, AluLayout::Comparator);
+        assert_eq!(s.ps, PsMode::Off);
+    }
+
+    #[test]
+    fn tab3_gemm_row() {
+        let s = ModuleStatus::for_op(MicroOp::Gemm);
+        assert_eq!(s.input_network, NetState::On);
+        assert_eq!(s.reduction_network, NetState::Off);
+        assert_eq!(s.mode, NetworkMode::Systolic);
+        assert_eq!(s.ff, FfContents::ModelWeights);
+        assert_eq!(s.alu, AluLayout::AdderTreeMode);
+        assert_eq!(s.ps, PsMode::OutputFeatures);
+    }
+
+    #[test]
+    fn only_gemm_uses_systolic_mode() {
+        for op in MicroOp::ALL {
+            let s = ModuleStatus::for_op(op);
+            assert_eq!(s.mode == NetworkMode::Systolic, op == MicroOp::Gemm, "{op}");
+        }
+    }
+
+    #[test]
+    fn gating_counts_are_consistent() {
+        // GEMM gates the reduction network; Sorting gates everything
+        // networked; grid indexing keeps networks busy.
+        assert_eq!(ModuleStatus::for_op(MicroOp::Gemm).gated_module_count(), 1);
+        assert_eq!(ModuleStatus::for_op(MicroOp::Sorting).gated_module_count(), 3);
+        assert_eq!(
+            ModuleStatus::for_op(MicroOp::CombinedGridIndexing).gated_module_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn display_mentions_all_modules() {
+        let s = ModuleStatus::for_op(MicroOp::Gemm).to_string();
+        assert!(s.contains("ctrl") && s.contains("alu") && s.contains("ff"));
+    }
+}

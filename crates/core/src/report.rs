@@ -1,0 +1,170 @@
+//! Simulation reports.
+
+use crate::energy::{AreaBreakdown, EnergyBreakdown};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use uni_microops::{MicroOp, Pipeline};
+
+/// The result of simulating one frame trace on the accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Pipeline that produced the trace.
+    pub pipeline: Pipeline,
+    /// Total cycles for the frame.
+    pub cycles: u64,
+    /// Frame latency in seconds.
+    pub seconds: f64,
+    /// Cycles attributed to each micro-operator (including its memory
+    /// stalls).
+    pub per_op_cycles: BTreeMap<MicroOp, u64>,
+    /// Number of micro-op-family reconfigurations performed.
+    pub reconfigurations: u64,
+    /// Cycles spent reconfiguring.
+    pub reconfiguration_cycles: u64,
+    /// Effective DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Cycle-weighted compute utilization in `(0, 1]`.
+    pub utilization: f64,
+    /// Energy per frame, by Fig. 15 category.
+    pub energy: EnergyBreakdown,
+    /// Die area of the simulated configuration.
+    pub area: AreaBreakdown,
+}
+
+impl SimReport {
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            1.0 / self.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Average on-chip power over the frame in watts (DRAM excluded, as in
+    /// the paper's 5.78 W figure).
+    pub fn power_w(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.energy.on_chip_j() / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// On-chip energy per frame in joules.
+    pub fn energy_per_frame_j(&self) -> f64 {
+        self.energy.on_chip_j()
+    }
+
+    /// Energy efficiency in frames per joule (on-chip).
+    pub fn frames_per_joule(&self) -> f64 {
+        let e = self.energy.on_chip_j();
+        if e > 0.0 {
+            1.0 / e
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the frame meets the 30 FPS real-time bar of the paper.
+    pub fn is_real_time(&self) -> bool {
+        self.fps() > 30.0
+    }
+
+    /// Fraction of cycles spent on one micro-operator.
+    pub fn op_share(&self, op: MicroOp) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        *self.per_op_cycles.get(&op).unwrap_or(&0) as f64 / self.cycles as f64
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1} FPS ({:.2} ms, {} cycles), {:.2} W on-chip, {:.1} MB DRAM/frame",
+            self.pipeline,
+            self.fps(),
+            self.seconds * 1e3,
+            self.cycles,
+            self.power_w(),
+            self.dram_bytes as f64 / 1e6,
+        )?;
+        for (op, cycles) in &self.per_op_cycles {
+            writeln!(
+                f,
+                "  {:<26} {:>12} cycles ({:>5.1}%)",
+                op.to_string(),
+                cycles,
+                self.op_share(*op) * 100.0
+            )?;
+        }
+        write!(
+            f,
+            "  reconfigurations: {} ({} cycles)",
+            self.reconfigurations, self.reconfiguration_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        let mut per_op = BTreeMap::new();
+        per_op.insert(MicroOp::Gemm, 800_000u64);
+        per_op.insert(MicroOp::Sorting, 200_000u64);
+        SimReport {
+            pipeline: Pipeline::Gaussian3d,
+            cycles: 1_000_000,
+            seconds: 1e-3,
+            per_op_cycles: per_op,
+            reconfigurations: 2,
+            reconfiguration_cycles: 4_000,
+            dram_bytes: 10_000_000,
+            utilization: 0.7,
+            energy: EnergyBreakdown {
+                compute_j: 4e-3,
+                sram_array_j: 5e-4,
+                sram_global_j: 8e-4,
+                leakage_j: 3e-4,
+                dram_j: 4e-4,
+            },
+            area: crate::energy::area(&crate::AcceleratorConfig::paper()),
+        }
+    }
+
+    #[test]
+    fn fps_and_realtime() {
+        let r = sample();
+        assert!((r.fps() - 1000.0).abs() < 1e-9);
+        assert!(r.is_real_time());
+    }
+
+    #[test]
+    fn power_excludes_dram() {
+        let r = sample();
+        // (4e-3 + 5e-4 + 8e-4 + 3e-4) / 1e-3 = 5.6 W.
+        assert!((r.power_w() - 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_shares() {
+        let r = sample();
+        assert!((r.op_share(MicroOp::Gemm) - 0.8).abs() < 1e-12);
+        assert_eq!(r.op_share(MicroOp::Sorting), 0.2);
+        assert_eq!(r.op_share(MicroOp::GeometricProcessing), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("FPS"));
+        assert!(s.contains("GEMM"));
+        assert!(s.contains("reconfigurations: 2"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Axis-aligned bounding boxes.
+//!
+//! Used for scene bounds (grid normalization in the hash/tri-plane
+//! pipelines), ray-marching intervals, and the bounding-box pre-load the
+//! Geometric Processing dataflow performs before rasterization (Fig. 10).
+
+use crate::ray::Ray;
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in 3D.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl Aabb {
+    /// The empty box (inverted bounds); the identity for [`Aabb::union`].
+    pub const EMPTY: Self = Self {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Creates a box from corners. Callers must pass `min <= max`
+    /// component-wise; use [`Aabb::from_points`] for unordered input.
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Self { min, max }
+    }
+
+    /// Smallest box containing all `points`.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        points
+            .into_iter()
+            .fold(Self::EMPTY, |acc, p| acc.union_point(p))
+    }
+
+    /// The cube `[-half, half]^3`.
+    pub fn cube(half: f32) -> Self {
+        Self::new(Vec3::splat(-half), Vec3::splat(half))
+    }
+
+    /// Whether the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Length of the space diagonal.
+    #[inline]
+    pub fn diagonal(&self) -> f32 {
+        self.extent().length()
+    }
+
+    /// Smallest box containing `self` and `p`.
+    #[inline]
+    pub fn union_point(&self, p: Vec3) -> Self {
+        Self::new(self.min.min_elem(p), self.max.max_elem(p))
+    }
+
+    /// Smallest box containing both boxes.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        Self::new(
+            self.min.min_elem(other.min),
+            self.max.max_elem(other.max),
+        )
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.y >= self.min.y
+            && p.z >= self.min.z
+            && p.x <= self.max.x
+            && p.y <= self.max.y
+            && p.z <= self.max.z
+    }
+
+    /// Expands every face outward by `pad`.
+    #[inline]
+    pub fn padded(&self, pad: f32) -> Self {
+        Self::new(self.min - Vec3::splat(pad), self.max + Vec3::splat(pad))
+    }
+
+    /// Maps `p` into normalized `[0, 1]^3` coordinates of this box.
+    ///
+    /// Grid representations (hash grid, tri-plane) index with normalized
+    /// coordinates; points outside the box map outside `[0, 1]`.
+    #[inline]
+    pub fn normalize_point(&self, p: Vec3) -> Vec3 {
+        let e = self.extent();
+        Vec3::new(
+            (p.x - self.min.x) / e.x,
+            (p.y - self.min.y) / e.y,
+            (p.z - self.min.z) / e.z,
+        )
+    }
+
+    /// Inverse of [`Aabb::normalize_point`].
+    #[inline]
+    pub fn denormalize_point(&self, u: Vec3) -> Vec3 {
+        self.min + self.extent().mul_elem(u)
+    }
+
+    /// Ray-box intersection via the slab method.
+    ///
+    /// Returns the entry/exit distances `(t_near, t_far)` clipped to
+    /// `[t_min, t_max]`, or `None` when the ray misses.
+    pub fn intersect_ray(&self, ray: &Ray, t_min: f32, t_max: f32) -> Option<(f32, f32)> {
+        let mut t0 = t_min;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let origin = ray.origin[axis];
+            let dir = ray.direction[axis];
+            let inv = 1.0 / dir;
+            let mut near = (self.min[axis] - origin) * inv;
+            let mut far = (self.max[axis] - origin) * inv;
+            if inv < 0.0 {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_box_behaves_as_union_identity() {
+        assert!(Aabb::EMPTY.is_empty());
+        let b = Aabb::cube(1.0);
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+    }
+
+    #[test]
+    fn from_points_brackets_input() {
+        let b = Aabb::from_points([
+            Vec3::new(1.0, -2.0, 3.0),
+            Vec3::new(-1.0, 5.0, 0.0),
+            Vec3::new(0.0, 0.0, -4.0),
+        ]);
+        assert_eq!(b.min, Vec3::new(-1.0, -2.0, -4.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn contains_center_and_corners() {
+        let b = Aabb::cube(2.0);
+        assert!(b.contains(b.center()));
+        assert!(b.contains(b.min));
+        assert!(b.contains(b.max));
+        assert!(!b.contains(Vec3::splat(2.1)));
+    }
+
+    #[test]
+    fn ray_through_center_hits() {
+        let b = Aabb::cube(1.0);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(0.0, 0.0, -1.0));
+        let (t0, t1) = b.intersect_ray(&ray, 0.0, f32::INFINITY).expect("hit");
+        assert!((t0 - 4.0).abs() < 1e-5);
+        assert!((t1 - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ray_missing_box_returns_none() {
+        let b = Aabb::cube(1.0);
+        let ray = Ray::new(Vec3::new(0.0, 5.0, 5.0), Vec3::new(0.0, 0.0, -1.0));
+        assert!(b.intersect_ray(&ray, 0.0, f32::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_clips_entry_to_t_min() {
+        let b = Aabb::cube(1.0);
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        let (t0, t1) = b.intersect_ray(&ray, 0.0, f32::INFINITY).expect("hit");
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_round_trip() {
+        let b = Aabb::new(Vec3::new(-2.0, 0.0, 1.0), Vec3::new(2.0, 4.0, 3.0));
+        let p = Vec3::new(1.0, 3.0, 2.5);
+        let u = b.normalize_point(p);
+        assert!(u.x >= 0.0 && u.x <= 1.0);
+        assert!((b.denormalize_point(u) - p).length() < 1e-5);
+    }
+
+    fn arb_point() -> impl Strategy<Value = Vec3> {
+        (-10f32..10.0, -10f32..10.0, -10f32..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(a in arb_point(), b in arb_point(), c in arb_point()) {
+            let box1 = Aabb::from_points([a, b]);
+            let box2 = Aabb::from_points([c]);
+            let u = box1.union(&box2);
+            prop_assert!(u.contains(a) && u.contains(b) && u.contains(c));
+        }
+
+        #[test]
+        fn prop_contained_points_normalize_into_unit_cube(
+            a in arb_point(), b in arb_point(), t in 0f32..1.0,
+        ) {
+            let bx = Aabb::from_points([a, b]).padded(0.5);
+            let p = a.lerp(b, t);
+            let u = bx.normalize_point(p);
+            prop_assert!((-1e-4..=1.0001).contains(&u.x));
+            prop_assert!((-1e-4..=1.0001).contains(&u.y));
+            prop_assert!((-1e-4..=1.0001).contains(&u.z));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Colors and image buffers, plus the PSNR quality metric from Tab. I.
+
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Linear RGB color with `f32` channels.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: f32,
+    /// Green channel.
+    pub g: f32,
+    /// Blue channel.
+    pub b: f32,
+}
+
+/// Linear RGBA color with straight (non-premultiplied) alpha.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rgba {
+    /// Color part.
+    pub rgb: Rgb,
+    /// Alpha (opacity).
+    pub a: f32,
+}
+
+impl Rgb {
+    /// Black.
+    pub const BLACK: Self = Self::new(0.0, 0.0, 0.0);
+    /// White.
+    pub const WHITE: Self = Self::new(1.0, 1.0, 1.0);
+
+    /// Creates a color.
+    #[inline]
+    pub const fn new(r: f32, g: f32, b: f32) -> Self {
+        Self { r, g, b }
+    }
+
+    /// Gray level `v` in all channels.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Self::new(v, v, v)
+    }
+
+    /// Clamps channels to `[0, 1]`.
+    #[inline]
+    pub fn saturate(self) -> Self {
+        Self::new(
+            self.r.clamp(0.0, 1.0),
+            self.g.clamp(0.0, 1.0),
+            self.b.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Rec. 709 luma.
+    #[inline]
+    pub fn luminance(self) -> f32 {
+        0.2126 * self.r + 0.7152 * self.g + 0.0722 * self.b
+    }
+
+    /// Linear interpolation toward `other`.
+    #[inline]
+    pub fn lerp(self, other: Self, t: f32) -> Self {
+        self * (1.0 - t) + other * t
+    }
+
+    /// Encodes linear to sRGB (gamma) per channel.
+    pub fn to_srgb(self) -> Self {
+        fn enc(c: f32) -> f32 {
+            let c = c.clamp(0.0, 1.0);
+            if c <= 0.003_130_8 {
+                12.92 * c
+            } else {
+                1.055 * c.powf(1.0 / 2.4) - 0.055
+            }
+        }
+        Self::new(enc(self.r), enc(self.g), enc(self.b))
+    }
+
+    /// Decodes sRGB to linear per channel.
+    pub fn from_srgb(self) -> Self {
+        fn dec(c: f32) -> f32 {
+            let c = c.clamp(0.0, 1.0);
+            if c <= 0.040_45 {
+                c / 12.92
+            } else {
+                ((c + 0.055) / 1.055).powf(2.4)
+            }
+        }
+        Self::new(dec(self.r), dec(self.g), dec(self.b))
+    }
+
+    /// Quantizes to 8-bit channels.
+    pub fn to_bytes(self) -> [u8; 3] {
+        let q = |c: f32| (c.clamp(0.0, 1.0) * 255.0 + 0.5) as u8;
+        [q(self.r), q(self.g), q(self.b)]
+    }
+}
+
+impl From<Vec3> for Rgb {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        Self::new(v.x, v.y, v.z)
+    }
+}
+
+impl From<Rgb> for Vec3 {
+    #[inline]
+    fn from(c: Rgb) -> Self {
+        Vec3::new(c.r, c.g, c.b)
+    }
+}
+
+impl Add for Rgb {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.r + rhs.r, self.g + rhs.g, self.b + rhs.b)
+    }
+}
+
+impl AddAssign for Rgb {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f32> for Rgb {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        Self::new(self.r * rhs, self.g * rhs, self.b * rhs)
+    }
+}
+
+impl fmt::Display for Rgb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rgb({:.3}, {:.3}, {:.3})", self.r, self.g, self.b)
+    }
+}
+
+impl Rgba {
+    /// Fully transparent black.
+    pub const TRANSPARENT: Self = Self {
+        rgb: Rgb::BLACK,
+        a: 0.0,
+    };
+
+    /// Creates a color with alpha.
+    #[inline]
+    pub const fn new(r: f32, g: f32, b: f32, a: f32) -> Self {
+        Self {
+            rgb: Rgb::new(r, g, b),
+            a,
+        }
+    }
+
+    /// Composites `self` *over* `dst` (straight alpha).
+    pub fn over(self, dst: Rgba) -> Rgba {
+        let a = self.a + dst.a * (1.0 - self.a);
+        if a <= 1e-8 {
+            return Rgba::TRANSPARENT;
+        }
+        let rgb = (self.rgb * self.a + dst.rgb * (dst.a * (1.0 - self.a))) * (1.0 / a);
+        Rgba { rgb, a }
+    }
+}
+
+/// A row-major image of linear RGB pixels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: u32,
+    height: u32,
+    pixels: Vec<Rgb>,
+}
+
+impl Image {
+    /// Creates an image filled with `fill`.
+    pub fn new(width: u32, height: u32, fill: Rgb) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![fill; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Borrow of the pixel data, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb) {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y as usize * self.width as usize + x as usize] = c;
+    }
+
+    /// Mean over all pixels.
+    pub fn mean(&self) -> Rgb {
+        let n = self.pixels.len().max(1) as f32;
+        let sum = self
+            .pixels
+            .iter()
+            .fold(Rgb::BLACK, |acc, &p| acc + p);
+        sum * (1.0 / n)
+    }
+
+    /// Mean squared error against another image of identical dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn mse(&self, other: &Image) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image dimensions must match"
+        );
+        let mut acc = 0f64;
+        for (a, b) in self.pixels.iter().zip(&other.pixels) {
+            let dr = f64::from(a.r - b.r);
+            let dg = f64::from(a.g - b.g);
+            let db = f64::from(a.b - b.b);
+            acc += dr * dr + dg * dg + db * db;
+        }
+        acc / (self.pixels.len() as f64 * 3.0)
+    }
+
+    /// Peak signal-to-noise ratio in dB against a reference image (range 1.0).
+    ///
+    /// This is the rendering-quality metric of Tab. I. Identical images give
+    /// `f64::INFINITY`.
+    pub fn psnr(&self, reference: &Image) -> f64 {
+        let mse = self.mse(reference);
+        if mse <= 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (1.0 / mse).log10()
+        }
+    }
+
+    /// Encodes as a binary PPM (P6) byte stream — small, dependency-free
+    /// output for the examples.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for p in &self.pixels {
+            out.extend_from_slice(&p.to_srgb().to_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn srgb_round_trip() {
+        for v in [0.0, 0.001, 0.1, 0.5, 0.9, 1.0] {
+            let c = Rgb::splat(v);
+            let back = c.to_srgb().from_srgb();
+            assert!((back.r - v).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn over_with_opaque_src_replaces_dst() {
+        let src = Rgba::new(1.0, 0.0, 0.0, 1.0);
+        let dst = Rgba::new(0.0, 1.0, 0.0, 1.0);
+        let out = src.over(dst);
+        assert!((out.rgb.r - 1.0).abs() < 1e-6 && out.rgb.g.abs() < 1e-6);
+        assert!((out.a - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn over_with_transparent_src_keeps_dst() {
+        let dst = Rgba::new(0.2, 0.4, 0.6, 0.8);
+        let out = Rgba::TRANSPARENT.over(dst);
+        assert!((out.a - dst.a).abs() < 1e-6);
+        assert!((out.rgb.g - dst.rgb.g).abs() < 1e-6);
+    }
+
+    #[test]
+    fn image_get_set() {
+        let mut img = Image::new(4, 3, Rgb::BLACK);
+        img.set(2, 1, Rgb::WHITE);
+        assert_eq!(img.get(2, 1), Rgb::WHITE);
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn image_get_out_of_bounds_panics() {
+        let img = Image::new(2, 2, Rgb::BLACK);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = Image::new(8, 8, Rgb::splat(0.5));
+        assert!(img.psnr(&img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let reference = Image::new(8, 8, Rgb::splat(0.5));
+        let mut slightly = reference.clone();
+        let mut very = reference.clone();
+        for y in 0..8 {
+            for x in 0..8 {
+                slightly.set(x, y, Rgb::splat(0.51));
+                very.set(x, y, Rgb::splat(0.7));
+            }
+        }
+        let p_slight = slightly.psnr(&reference);
+        let p_very = very.psnr(&reference);
+        assert!(p_slight > p_very, "{p_slight} vs {p_very}");
+        assert!((p_slight - 40.0).abs() < 0.1, "0.01 error -> 40 dB");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(3, 2, Rgb::WHITE);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_over_alpha_in_unit_range(
+            sa in 0f32..1.0, da in 0f32..1.0, sr in 0f32..1.0, dr in 0f32..1.0,
+        ) {
+            let src = Rgba::new(sr, 0.5, 0.5, sa);
+            let dst = Rgba::new(dr, 0.5, 0.5, da);
+            let out = src.over(dst);
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&out.a));
+            prop_assert!(out.a + 1e-6 >= sa.max(da * (1.0 - sa)));
+        }
+
+        #[test]
+        fn prop_luminance_bounded(r in 0f32..1.0, g in 0f32..1.0, b in 0f32..1.0) {
+            let l = Rgb::new(r, g, b).luminance();
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&l));
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Column-major 3×3 and 4×4 matrices.
+//!
+//! `Mat4` carries the space-conversion math of the mesh and 3D-Gaussian
+//! pipelines (Sec. II-A / II-E of the paper): model/view transforms,
+//! perspective projection into clip space, and viewport mapping.
+
+use crate::vec::{Vec3, Vec4};
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A column-major 3×3 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Columns of the matrix.
+    pub cols: [Vec3; 3],
+}
+
+/// A column-major 4×4 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat4 {
+    /// Columns of the matrix.
+    pub cols: [Vec4; 4],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds a matrix from columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Self { cols: [c0, c1, c2] }
+    }
+
+    /// Builds a diagonal matrix.
+    #[inline]
+    pub fn from_diagonal(d: Vec3) -> Self {
+        Self::from_cols(
+            Vec3::new(d.x, 0.0, 0.0),
+            Vec3::new(0.0, d.y, 0.0),
+            Vec3::new(0.0, 0.0, d.z),
+        )
+    }
+
+    /// Rotation matrix from a unit quaternion `(x, y, z, w)`.
+    ///
+    /// Used to expand a 3D Gaussian's stored rotation into its covariance
+    /// factor (Sec. II-E).
+    pub fn from_quaternion(q: Vec4) -> Self {
+        let Vec4 { x, y, z, w } = q;
+        let (xx, yy, zz) = (x * x, y * y, z * z);
+        let (xy, xz, yz) = (x * y, x * z, y * z);
+        let (wx, wy, wz) = (w * x, w * y, w * z);
+        Self::from_cols(
+            Vec3::new(1.0 - 2.0 * (yy + zz), 2.0 * (xy + wz), 2.0 * (xz - wy)),
+            Vec3::new(2.0 * (xy - wz), 1.0 - 2.0 * (xx + zz), 2.0 * (yz + wx)),
+            Vec3::new(2.0 * (xz + wy), 2.0 * (yz - wx), 1.0 - 2.0 * (xx + yy)),
+        )
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec3(&self, v: Vec3) -> Vec3 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_cols(self.row(0), self.row(1), self.row(2))
+    }
+
+    /// The `i`-th row (0-based).
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::new(self.cols[0][i], self.cols[1][i], self.cols[2][i])
+    }
+
+    /// Determinant.
+    pub fn determinant(&self) -> f32 {
+        let [a, b, c] = self.cols;
+        a.dot(b.cross(c))
+    }
+
+    /// Inverse, or `None` when the matrix is singular.
+    pub fn inverse(&self) -> Option<Self> {
+        let det = self.determinant();
+        if !det.is_finite() || det.abs() < 1e-12 {
+            return None;
+        }
+        let [a, b, c] = self.cols;
+        let inv_det = 1.0 / det;
+        // Rows of the inverse are the cross products of the column pairs.
+        let r0 = b.cross(c) * inv_det;
+        let r1 = c.cross(a) * inv_det;
+        let r2 = a.cross(b) * inv_det;
+        Some(Self::from_cols(r0, r1, r2).transpose())
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            cols: [
+                self.mul_vec3(rhs.cols[0]),
+                self.mul_vec3(rhs.cols[1]),
+                self.mul_vec3(rhs.cols[2]),
+            ],
+        }
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        cols: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Builds a matrix from columns.
+    #[inline]
+    pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
+        Self {
+            cols: [c0, c1, c2, c3],
+        }
+    }
+
+    /// Translation matrix.
+    pub fn from_translation(t: Vec3) -> Self {
+        let mut m = Self::IDENTITY;
+        m.cols[3] = t.extend(1.0);
+        m
+    }
+
+    /// Non-uniform scale matrix.
+    pub fn from_scale(s: Vec3) -> Self {
+        Self::from_cols(
+            Vec4::new(s.x, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, s.y, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, s.z, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Embeds a 3×3 linear map in the upper-left block.
+    pub fn from_mat3(m: Mat3) -> Self {
+        Self::from_cols(
+            m.cols[0].extend(0.0),
+            m.cols[1].extend(0.0),
+            m.cols[2].extend(0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation about the Y axis by `angle` radians.
+    pub fn from_rotation_y(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(c, 0.0, -s, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(s, 0.0, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Rotation about the X axis by `angle` radians.
+    pub fn from_rotation_x(angle: f32) -> Self {
+        let (s, c) = angle.sin_cos();
+        Self::from_cols(
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, c, s, 0.0),
+            Vec4::new(0.0, -s, c, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        )
+    }
+
+    /// Right-handed look-at view matrix (world → camera/view space).
+    ///
+    /// The camera looks down its local −Z axis, matching OpenGL/WebGL
+    /// conventions (the paper's baseline implementations are WebGL-based).
+    pub fn look_at_rh(eye: Vec3, target: Vec3, up: Vec3) -> Self {
+        let f = (target - eye).normalized();
+        let s = f.cross(up).normalized();
+        let u = s.cross(f);
+        Self::from_cols(
+            Vec4::new(s.x, u.x, -f.x, 0.0),
+            Vec4::new(s.y, u.y, -f.y, 0.0),
+            Vec4::new(s.z, u.z, -f.z, 0.0),
+            Vec4::new(-s.dot(eye), -u.dot(eye), f.dot(eye), 1.0),
+        )
+    }
+
+    /// Right-handed perspective projection (view → clip space).
+    ///
+    /// `fov_y` is the full vertical field of view in radians. Depth maps to
+    /// `[-1, 1]` NDC after the perspective divide.
+    pub fn perspective_rh(fov_y: f32, aspect: f32, near: f32, far: f32) -> Self {
+        let f = 1.0 / (fov_y * 0.5).tan();
+        let range = near - far;
+        Self::from_cols(
+            Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, f, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, (near + far) / range, -1.0),
+            Vec4::new(0.0, 0.0, 2.0 * near * far / range, 0.0),
+        )
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec4(&self, v: Vec4) -> Vec4 {
+        self.cols[0] * v.x + self.cols[1] * v.y + self.cols[2] * v.z + self.cols[3] * v.w
+    }
+
+    /// Transforms a 3D point (w = 1) without the perspective divide.
+    #[inline]
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.mul_vec4(p.extend(1.0)).truncate()
+    }
+
+    /// Transforms a 3D direction (w = 0).
+    #[inline]
+    pub fn transform_vector(&self, v: Vec3) -> Vec3 {
+        self.mul_vec4(v.extend(0.0)).truncate()
+    }
+
+    /// Transforms a 3D point and performs the perspective divide.
+    #[inline]
+    pub fn project_point(&self, p: Vec3) -> Vec3 {
+        self.mul_vec4(p.extend(1.0)).project()
+    }
+
+    /// The `i`-th row (0-based).
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec4 {
+        Vec4::new(
+            self.cols[0][i],
+            self.cols[1][i],
+            self.cols[2][i],
+            self.cols[3][i],
+        )
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_cols(self.row(0), self.row(1), self.row(2), self.row(3))
+    }
+
+    /// The upper-left 3×3 block.
+    pub fn upper_left(&self) -> Mat3 {
+        Mat3::from_cols(
+            self.cols[0].truncate(),
+            self.cols[1].truncate(),
+            self.cols[2].truncate(),
+        )
+    }
+
+    /// Inverse of a rigid transform (rotation + translation only).
+    ///
+    /// Cheaper and more numerically stable than a general inverse; view
+    /// matrices produced by [`Mat4::look_at_rh`] qualify.
+    pub fn inverse_rigid(&self) -> Self {
+        let r = self.upper_left().transpose();
+        let t = self.cols[3].truncate();
+        let new_t = -(r.mul_vec3(t));
+        let mut m = Self::from_mat3(r);
+        m.cols[3] = new_t.extend(1.0);
+        m
+    }
+
+    /// General inverse via Gauss-Jordan elimination, or `None` if singular.
+    pub fn inverse(&self) -> Option<Self> {
+        // Augmented [self | I] as row-major 4x8.
+        let mut a = [[0f32; 8]; 4];
+        for r in 0..4 {
+            let row = self.row(r);
+            a[r][..4].copy_from_slice(&row.to_array());
+            a[r][4 + r] = 1.0;
+        }
+        for col in 0..4 {
+            // Partial pivoting.
+            let pivot = (col..4).max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite pivots")
+            })?;
+            if a[pivot][col].abs() < 1e-12 {
+                return None;
+            }
+            a.swap(col, pivot);
+            let inv_p = 1.0 / a[col][col];
+            for v in a[col].iter_mut() {
+                *v *= inv_p;
+            }
+            for r in 0..4 {
+                if r != col {
+                    let factor = a[r][col];
+                    for c in 0..8 {
+                        a[r][c] -= factor * a[col][c];
+                    }
+                }
+            }
+        }
+        let row = |r: usize| Vec4::new(a[r][4], a[r][5], a[r][6], a[r][7]);
+        Some(Self::from_cols(row(0), row(1), row(2), row(3)).transpose())
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            cols: [
+                self.mul_vec4(rhs.cols[0]),
+                self.mul_vec4(rhs.cols[1]),
+                self.mul_vec4(rhs.cols[2]),
+                self.mul_vec4(rhs.cols[3]),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat4_close(a: &Mat4, b: &Mat4, tol: f32) -> bool {
+        (0..4).all(|i| (a.cols[i] - b.cols[i]).abs().max_component() < tol)
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let m = Mat4::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(Mat4::IDENTITY * m, m);
+        assert_eq!(m * Mat4::IDENTITY, m);
+    }
+
+    #[test]
+    fn translation_moves_points_not_vectors() {
+        let m = Mat4::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_point(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(m.transform_vector(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn look_at_places_eye_at_origin() {
+        let eye = Vec3::new(3.0, 2.0, 5.0);
+        let view = Mat4::look_at_rh(eye, Vec3::ZERO, Vec3::Y);
+        let p = view.transform_point(eye);
+        assert!(p.length() < 1e-5);
+        // The target should land on the -Z axis.
+        let t = view.transform_point(Vec3::ZERO);
+        assert!(t.x.abs() < 1e-5 && t.y.abs() < 1e-5 && t.z < 0.0);
+    }
+
+    #[test]
+    fn perspective_maps_near_and_far_to_ndc_bounds() {
+        let proj = Mat4::perspective_rh(60f32.to_radians(), 1.0, 0.1, 100.0);
+        let near = proj.project_point(Vec3::new(0.0, 0.0, -0.1));
+        let far = proj.project_point(Vec3::new(0.0, 0.0, -100.0));
+        assert!((near.z + 1.0).abs() < 1e-4, "near -> -1, got {}", near.z);
+        assert!((far.z - 1.0).abs() < 1e-4, "far -> +1, got {}", far.z);
+    }
+
+    #[test]
+    fn rigid_inverse_matches_general_inverse() {
+        let view = Mat4::look_at_rh(Vec3::new(1.0, 2.0, 3.0), Vec3::ZERO, Vec3::Y);
+        let a = view.inverse_rigid();
+        let b = view.inverse().expect("view matrices are invertible");
+        assert!(mat4_close(&a, &b, 1e-4));
+    }
+
+    #[test]
+    fn inverse_of_singular_matrix_is_none() {
+        let m = Mat4::from_scale(Vec3::new(1.0, 0.0, 1.0));
+        assert!(m.inverse().is_none());
+        let m3 = Mat3::from_diagonal(Vec3::new(1.0, 1.0, 0.0));
+        assert!(m3.inverse().is_none());
+    }
+
+    #[test]
+    fn mat3_inverse_round_trip() {
+        let m = Mat3::from_cols(
+            Vec3::new(2.0, 0.0, 1.0),
+            Vec3::new(-1.0, 3.0, 0.0),
+            Vec3::new(0.5, 0.0, 1.0),
+        );
+        let inv = m.inverse().expect("invertible");
+        let prod = m * inv;
+        for i in 0..3 {
+            assert!((prod.cols[i] - Mat3::IDENTITY.cols[i]).abs().max_component() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn quaternion_identity_is_identity_rotation() {
+        let m = Mat3::from_quaternion(Vec4::new(0.0, 0.0, 0.0, 1.0));
+        assert_eq!(m, Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn quaternion_rotation_preserves_length() {
+        // 90 degrees about Z: x -> y.
+        let half = std::f32::consts::FRAC_PI_4;
+        let q = Vec4::new(0.0, 0.0, half.sin(), half.cos());
+        let m = Mat3::from_quaternion(q);
+        let r = m.mul_vec3(Vec3::X);
+        assert!((r - Vec3::Y).length() < 1e-5, "{r:?}");
+    }
+
+    #[test]
+    fn rotation_y_moves_x_to_minus_z_quarter_turn() {
+        let m = Mat4::from_rotation_y(std::f32::consts::FRAC_PI_2);
+        let r = m.transform_vector(Vec3::X);
+        assert!((r - (-Vec3::Z)).length() < 1e-5, "{r:?}");
+    }
+
+    fn arb_rigid() -> impl Strategy<Value = Mat4> {
+        (
+            -3f32..3.0,
+            -3f32..3.0,
+            -3f32..3.0,
+            0.01f32..std::f32::consts::PI,
+            -3f32..3.0,
+        )
+            .prop_map(|(x, y, z, ry, rx)| {
+                Mat4::from_translation(Vec3::new(x, y, z))
+                    * Mat4::from_rotation_y(ry)
+                    * Mat4::from_rotation_x(rx)
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_round_trips(m in arb_rigid()) {
+            let inv = m.inverse().expect("rigid transforms are invertible");
+            let prod = m * inv;
+            prop_assert!(mat4_close(&prod, &Mat4::IDENTITY, 1e-3));
+        }
+
+        #[test]
+        fn prop_rigid_inverse_agrees(m in arb_rigid()) {
+            let a = m.inverse_rigid();
+            let b = m.inverse().expect("invertible");
+            prop_assert!(mat4_close(&a, &b, 1e-3));
+        }
+
+        #[test]
+        fn prop_mat3_det_of_rotation_is_one(angle in -3.0f32..3.0) {
+            let half = angle * 0.5;
+            let q = Vec4::new(0.0, half.sin(), 0.0, half.cos());
+            let m = Mat3::from_quaternion(q);
+            prop_assert!((m.determinant() - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Rays and ray-primitive intersection.
+//!
+//! Ray casting is the first step of every volume-rendering pipeline
+//! (Sec. II-B/C/D of the paper); ray-triangle intersection backs the
+//! reference checks for the mesh rasterizer.
+
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A half-line `origin + t * direction` for `t >= 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    /// Starting point.
+    pub origin: Vec3,
+    /// Direction. Stored as given; normalize at construction when distances
+    /// along the ray must be metric.
+    pub direction: Vec3,
+}
+
+/// A ray-triangle intersection record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriangleHit {
+    /// Distance along the ray.
+    pub t: f32,
+    /// Barycentric coordinate of vertex B.
+    pub u: f32,
+    /// Barycentric coordinate of vertex C.
+    pub v: f32,
+}
+
+impl TriangleHit {
+    /// Barycentric coordinate of vertex A (`1 - u - v`).
+    #[inline]
+    pub fn w(&self) -> f32 {
+        1.0 - self.u - self.v
+    }
+}
+
+impl Ray {
+    /// Creates a ray, normalizing the direction.
+    #[inline]
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Self {
+            origin,
+            direction: direction.normalized(),
+        }
+    }
+
+    /// Creates a ray without normalizing the direction.
+    #[inline]
+    pub const fn new_unnormalized(origin: Vec3, direction: Vec3) -> Self {
+        Self { origin, direction }
+    }
+
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Möller-Trumbore ray-triangle intersection.
+    ///
+    /// Returns `None` for misses, back-side hits at negative `t`, and
+    /// degenerate triangles. Both winding orders are accepted.
+    pub fn intersect_triangle(&self, a: Vec3, b: Vec3, c: Vec3) -> Option<TriangleHit> {
+        const EPS: f32 = 1e-8;
+        let ab = b - a;
+        let ac = c - a;
+        let p = self.direction.cross(ac);
+        let det = ab.dot(p);
+        if det.abs() < EPS {
+            return None; // Parallel or degenerate.
+        }
+        let inv_det = 1.0 / det;
+        let s = self.origin - a;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(ab);
+        let v = self.direction.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = ac.dot(q) * inv_det;
+        if t < EPS {
+            return None;
+        }
+        Some(TriangleHit { t, u, v })
+    }
+
+    /// Ray-sphere intersection; returns the nearest positive `t`.
+    pub fn intersect_sphere(&self, center: Vec3, radius: f32) -> Option<f32> {
+        let oc = self.origin - center;
+        let a = self.direction.length_squared();
+        let half_b = oc.dot(self.direction);
+        let c = oc.length_squared() - radius * radius;
+        let disc = half_b * half_b - a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_d = disc.sqrt();
+        let t0 = (-half_b - sqrt_d) / a;
+        if t0 > 1e-6 {
+            return Some(t0);
+        }
+        let t1 = (-half_b + sqrt_d) / a;
+        (t1 > 1e-6).then_some(t1)
+    }
+
+    /// Ray-plane intersection with plane `dot(n, x) = d`.
+    pub fn intersect_plane(&self, normal: Vec3, d: f32) -> Option<f32> {
+        let denom = normal.dot(self.direction);
+        if denom.abs() < 1e-8 {
+            return None;
+        }
+        let t = (d - normal.dot(self.origin)) / denom;
+        (t > 1e-6).then_some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_normalizes_direction() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -3.0));
+        assert!((r.direction.length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hit_through_triangle_centroid() {
+        let (a, b, c) = (
+            Vec3::new(-1.0, -1.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        );
+        let centroid = (a + b + c) / 3.0;
+        let r = Ray::new(centroid + Vec3::Z * 5.0, -Vec3::Z);
+        let hit = r.intersect_triangle(a, b, c).expect("hit");
+        assert!((hit.t - 5.0).abs() < 1e-5);
+        // Barycentric coordinates of the centroid are all 1/3.
+        assert!((hit.u - 1.0 / 3.0).abs() < 1e-5);
+        assert!((hit.v - 1.0 / 3.0).abs() < 1e-5);
+        assert!((hit.w() - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn miss_outside_triangle() {
+        let (a, b, c) = (Vec3::ZERO, Vec3::X, Vec3::Y);
+        let r = Ray::new(Vec3::new(2.0, 2.0, 1.0), -Vec3::Z);
+        assert!(r.intersect_triangle(a, b, c).is_none());
+    }
+
+    #[test]
+    fn triangle_behind_ray_is_not_hit() {
+        let (a, b, c) = (Vec3::ZERO, Vec3::X, Vec3::Y);
+        let r = Ray::new(Vec3::new(0.2, 0.2, -1.0), -Vec3::Z);
+        assert!(r.intersect_triangle(a, b, c).is_none());
+    }
+
+    #[test]
+    fn degenerate_triangle_is_rejected() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 1.0), -Vec3::Z);
+        assert!(r.intersect_triangle(Vec3::ZERO, Vec3::X, Vec3::X * 2.0).is_none());
+    }
+
+    #[test]
+    fn sphere_hit_front_and_inside() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 5.0), -Vec3::Z);
+        let t = r.intersect_sphere(Vec3::ZERO, 1.0).expect("hit");
+        assert!((t - 4.0).abs() < 1e-5);
+        // From inside: nearest positive root is the exit point.
+        let r2 = Ray::new(Vec3::ZERO, -Vec3::Z);
+        let t2 = r2.intersect_sphere(Vec3::ZERO, 1.0).expect("hit");
+        assert!((t2 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn plane_intersection() {
+        let r = Ray::new(Vec3::new(0.0, 2.0, 0.0), -Vec3::Y);
+        let t = r.intersect_plane(Vec3::Y, 0.0).expect("hit");
+        assert!((t - 2.0).abs() < 1e-6);
+        // Parallel ray misses.
+        let r2 = Ray::new(Vec3::new(0.0, 2.0, 0.0), Vec3::X);
+        assert!(r2.intersect_plane(Vec3::Y, 0.0).is_none());
+    }
+
+    fn arb_unit() -> impl Strategy<Value = f32> {
+        0.05f32..0.9
+    }
+
+    proptest! {
+        /// A point constructed from barycentric coordinates inside the
+        /// triangle must be hit by the perpendicular ray through it, and the
+        /// returned barycentrics must reconstruct the same point.
+        #[test]
+        fn prop_barycentric_round_trip(u in arb_unit(), v in arb_unit()) {
+            prop_assume!(u + v < 0.95);
+            let (a, b, c) = (
+                Vec3::new(-1.0, -1.0, 0.0),
+                Vec3::new(2.0, -0.5, 0.0),
+                Vec3::new(0.0, 1.5, 0.0),
+            );
+            let p = a * (1.0 - u - v) + b * u + c * v;
+            let r = Ray::new(p + Vec3::Z * 3.0, -Vec3::Z);
+            let hit = r.intersect_triangle(a, b, c).expect("interior point must be hit");
+            let q = a * hit.w() + b * hit.u + c * hit.v;
+            prop_assert!((q - p).length() < 1e-4);
+        }
+
+        /// Points on the sphere surface are reported at the correct distance.
+        #[test]
+        fn prop_sphere_distance(dist in 2f32..50.0, radius in 0.1f32..1.5) {
+            let r = Ray::new(Vec3::new(0.0, 0.0, dist), -Vec3::Z);
+            let t = r.intersect_sphere(Vec3::ZERO, radius).expect("on-axis hit");
+            prop_assert!((t - (dist - radius)).abs() < 1e-3);
+        }
+    }
+}

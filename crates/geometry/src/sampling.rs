@@ -1,0 +1,262 @@
+//! Ray sampling and a small deterministic RNG.
+//!
+//! Volume-rendering pipelines sample points along each ray (Sec. II-B,
+//! "Ray Casting"); the sampler here produces the stratified samples both the
+//! reference renderers and the workload decomposition count. A local
+//! xorshift RNG keeps hot loops free of trait dispatch and makes traces
+//! reproducible across runs.
+
+use serde::{Deserialize, Serialize};
+
+/// A small, fast, deterministic xorshift64* RNG.
+///
+/// Not cryptographic; used for jitter, procedural content, and workload
+/// seeding where cross-run determinism matters more than statistical
+/// perfection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates an RNG from a seed (0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 mantissa bits.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn next_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "range must be nonempty");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Stratified sampler producing `n` jittered distances in `[t_near, t_far]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedSampler {
+    /// Number of samples per ray.
+    pub samples_per_ray: usize,
+    /// Jitter amount in `[0, 1]`; 0 gives deterministic midpoints.
+    pub jitter: f32,
+}
+
+impl StratifiedSampler {
+    /// Creates a sampler with `samples_per_ray` strata and no jitter.
+    pub fn new(samples_per_ray: usize) -> Self {
+        Self {
+            samples_per_ray,
+            jitter: 0.0,
+        }
+    }
+
+    /// Enables jitter with the given strength in `[0, 1]`.
+    pub fn with_jitter(mut self, jitter: f32) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Produces sample distances in `[t_near, t_far]`, one per stratum.
+    ///
+    /// Returned distances are strictly increasing. With `jitter == 0` each
+    /// sample sits at its stratum midpoint.
+    pub fn sample(&self, t_near: f32, t_far: f32, rng: &mut XorShift64) -> Vec<f32> {
+        let n = self.samples_per_ray;
+        if n == 0 || t_far <= t_near {
+            return Vec::new();
+        }
+        let dt = (t_far - t_near) / n as f32;
+        (0..n)
+            .map(|i| {
+                let offset = if self.jitter > 0.0 {
+                    0.5 + (rng.next_f32() - 0.5) * self.jitter
+                } else {
+                    0.5
+                };
+                t_near + (i as f32 + offset) * dt
+            })
+            .collect()
+    }
+}
+
+/// Samples distances with inverse-depth (disparity) spacing, used by
+/// unbounded-scene pipelines (MeRF-style contraction) to spend samples near
+/// the camera.
+pub fn disparity_samples(t_near: f32, t_far: f32, n: usize) -> Vec<f32> {
+    assert!(t_near > 0.0, "disparity sampling needs positive near distance");
+    if n == 0 || t_far <= t_near {
+        return Vec::new();
+    }
+    let inv_near = 1.0 / t_near;
+    let inv_far = 1.0 / t_far;
+    (0..n)
+        .map(|i| {
+            let s = (i as f32 + 0.5) / n as f32;
+            1.0 / (inv_near + (inv_far - inv_near) * s)
+        })
+        .collect()
+}
+
+/// The scene contraction of unbounded pipelines (MeRF Eq. (2)-style):
+/// points inside the unit ball are unchanged, outside they are squashed
+/// into the shell of radius 2.
+pub fn contract(p: crate::vec::Vec3) -> crate::vec::Vec3 {
+    let norm = p.abs().max_component();
+    if norm <= 1.0 {
+        p
+    } else {
+        p * ((2.0 - 1.0 / norm) / norm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec::Vec3;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn rng_f32_in_unit_interval() {
+        let mut rng = XorShift64::new(7);
+        for _ in 0..1000 {
+            let v = rng.next_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_mean_is_near_half() {
+        let mut rng = XorShift64::new(1);
+        let n = 10_000;
+        let sum: f32 = (0..n).map(|_| rng.next_f32()).sum();
+        let mean = sum / n as f32;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn stratified_without_jitter_hits_midpoints() {
+        let sampler = StratifiedSampler::new(4);
+        let mut rng = XorShift64::new(1);
+        let ts = sampler.sample(0.0, 4.0, &mut rng);
+        assert_eq!(ts, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn stratified_samples_are_increasing_and_bounded() {
+        let sampler = StratifiedSampler::new(32).with_jitter(1.0);
+        let mut rng = XorShift64::new(9);
+        let ts = sampler.sample(1.0, 9.0, &mut rng);
+        assert_eq!(ts.len(), 32);
+        for w in ts.windows(2) {
+            assert!(w[0] < w[1], "strictly increasing");
+        }
+        assert!(ts[0] >= 1.0 && *ts.last().expect("nonempty") <= 9.0);
+    }
+
+    #[test]
+    fn empty_interval_yields_no_samples() {
+        let sampler = StratifiedSampler::new(8);
+        let mut rng = XorShift64::new(1);
+        assert!(sampler.sample(5.0, 5.0, &mut rng).is_empty());
+        assert!(sampler.sample(5.0, 1.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn disparity_concentrates_samples_near_camera() {
+        let ts = disparity_samples(0.5, 100.0, 16);
+        assert_eq!(ts.len(), 16);
+        let below_10 = ts.iter().filter(|&&t| t < 10.0).count();
+        assert!(below_10 > 10, "most samples near camera, got {below_10}");
+        for w in ts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn contract_is_identity_inside_unit_ball() {
+        let p = Vec3::new(0.3, -0.5, 0.2);
+        assert_eq!(contract(p), p);
+    }
+
+    #[test]
+    fn contract_bounds_distant_points_by_two() {
+        for scale in [1.5f32, 10.0, 1000.0] {
+            let p = Vec3::new(1.0, 0.5, -0.25) * scale;
+            let c = contract(p);
+            assert!(c.abs().max_component() < 2.0 + 1e-5, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn contract_is_continuous_at_boundary() {
+        let inside = contract(Vec3::new(0.9999, 0.0, 0.0));
+        let outside = contract(Vec3::new(1.0001, 0.0, 0.0));
+        assert!((inside - outside).length() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_stratified_one_sample_per_stratum(
+            n in 1usize..64, near in 0f32..10.0, len in 0.1f32..50.0, seed in 0u64..1000,
+        ) {
+            let sampler = StratifiedSampler::new(n).with_jitter(1.0);
+            let mut rng = XorShift64::new(seed);
+            let ts = sampler.sample(near, near + len, &mut rng);
+            prop_assert_eq!(ts.len(), n);
+            let dt = len / n as f32;
+            for (i, t) in ts.iter().enumerate() {
+                let lo = near + i as f32 * dt;
+                prop_assert!(*t >= lo - 1e-4 && *t <= lo + dt + 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_contract_max_norm_bounded(
+            x in -100f32..100.0, y in -100f32..100.0, z in -100f32..100.0,
+        ) {
+            let c = contract(Vec3::new(x, y, z));
+            prop_assert!(c.abs().max_component() <= 2.0 + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Fixed-size vector types (`Vec2`, `Vec3`, `Vec4`) over `f32`.
+//!
+//! These mirror the small-vector APIs of common graphics math crates but are
+//! implemented locally so the reproduction has no external math dependencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component `f32` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+}
+
+/// A 3-component `f32` vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+/// A 4-component `f32` vector (homogeneous coordinates, RGBA, quaternions).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+macro_rules! impl_vec_common {
+    ($ty:ident { $($f:ident),+ }, $n:expr) => {
+        impl $ty {
+            /// The zero vector.
+            pub const ZERO: Self = Self { $($f: 0.0),+ };
+            /// The all-ones vector.
+            pub const ONE: Self = Self { $($f: 1.0),+ };
+
+            /// Creates a vector from components.
+            #[inline]
+            pub const fn new($($f: f32),+) -> Self {
+                Self { $($f),+ }
+            }
+
+            /// Creates a vector with every component set to `v`.
+            #[inline]
+            pub const fn splat(v: f32) -> Self {
+                Self { $($f: v),+ }
+            }
+
+            /// Dot product.
+            #[inline]
+            pub fn dot(self, rhs: Self) -> f32 {
+                0.0 $(+ self.$f * rhs.$f)+
+            }
+
+            /// Squared Euclidean length.
+            #[inline]
+            pub fn length_squared(self) -> f32 {
+                self.dot(self)
+            }
+
+            /// Euclidean length.
+            #[inline]
+            pub fn length(self) -> f32 {
+                self.length_squared().sqrt()
+            }
+
+            /// Returns the vector scaled to unit length.
+            ///
+            /// Returns the zero vector when the input length is not a
+            /// positive finite number, so callers never observe NaNs.
+            #[inline]
+            pub fn normalized(self) -> Self {
+                let len = self.length();
+                if len.is_finite() && len > 0.0 {
+                    self / len
+                } else {
+                    Self::ZERO
+                }
+            }
+
+            /// Component-wise multiplication (Hadamard product).
+            #[inline]
+            pub fn mul_elem(self, rhs: Self) -> Self {
+                Self { $($f: self.$f * rhs.$f),+ }
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min_elem(self, rhs: Self) -> Self {
+                Self { $($f: self.$f.min(rhs.$f)),+ }
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max_elem(self, rhs: Self) -> Self {
+                Self { $($f: self.$f.max(rhs.$f)),+ }
+            }
+
+            /// Smallest component.
+            #[inline]
+            pub fn min_component(self) -> f32 {
+                let mut m = f32::INFINITY;
+                $(m = m.min(self.$f);)+
+                m
+            }
+
+            /// Largest component.
+            #[inline]
+            pub fn max_component(self) -> f32 {
+                let mut m = f32::NEG_INFINITY;
+                $(m = m.max(self.$f);)+
+                m
+            }
+
+            /// Component-wise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self { $($f: self.$f.abs()),+ }
+            }
+
+            /// Linear interpolation: `self * (1 - t) + rhs * t`.
+            #[inline]
+            pub fn lerp(self, rhs: Self, t: f32) -> Self {
+                self * (1.0 - t) + rhs * t
+            }
+
+            /// Clamps every component into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: f32, hi: f32) -> Self {
+                Self { $($f: self.$f.clamp(lo, hi)),+ }
+            }
+
+            /// Sum of all components.
+            #[inline]
+            pub fn component_sum(self) -> f32 {
+                0.0 $(+ self.$f)+
+            }
+
+            /// Returns `true` if every component is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                true $(&& self.$f.is_finite())+
+            }
+
+            /// Distance between two points.
+            #[inline]
+            pub fn distance(self, rhs: Self) -> f32 {
+                (self - rhs).length()
+            }
+
+            /// Components as an array, in declaration order.
+            #[inline]
+            pub fn to_array(self) -> [f32; $n] {
+                [$(self.$f),+]
+            }
+        }
+
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($f: self.$f + rhs.$f),+ }
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                $(self.$f += rhs.$f;)+
+            }
+        }
+
+        impl Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($f: self.$f - rhs.$f),+ }
+            }
+        }
+
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                $(self.$f -= rhs.$f;)+
+            }
+        }
+
+        impl Mul<f32> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f32) -> Self {
+                Self { $($f: self.$f * rhs),+ }
+            }
+        }
+
+        impl Mul<$ty> for f32 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                rhs * self
+            }
+        }
+
+        impl MulAssign<f32> for $ty {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f32) {
+                $(self.$f *= rhs;)+
+            }
+        }
+
+        impl Div<f32> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f32) -> Self {
+                Self { $($f: self.$f / rhs),+ }
+            }
+        }
+
+        impl DivAssign<f32> for $ty {
+            #[inline]
+            fn div_assign(&mut self, rhs: f32) {
+                $(self.$f /= rhs;)+
+            }
+        }
+
+        impl Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($f: -self.$f),+ }
+            }
+        }
+
+        impl From<[f32; $n]> for $ty {
+            #[inline]
+            fn from(a: [f32; $n]) -> Self {
+                let mut it = a.into_iter();
+                Self { $($f: it.next().expect("array length matches")),+ }
+            }
+        }
+
+        impl From<$ty> for [f32; $n] {
+            #[inline]
+            fn from(v: $ty) -> Self {
+                v.to_array()
+            }
+        }
+
+        impl Index<usize> for $ty {
+            type Output = f32;
+            #[inline]
+            fn index(&self, i: usize) -> &f32 {
+                let mut k = 0usize;
+                $(
+                    if i == k {
+                        return &self.$f;
+                    }
+                    k += 1;
+                )+
+                let _ = k;
+                panic!("vector index {i} out of range 0..{}", $n)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                let mut first = true;
+                $(
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{}", self.$f)?;
+                )+
+                let _ = first;
+                write!(f, ")")
+            }
+        }
+    };
+}
+
+impl_vec_common!(Vec2 { x, y }, 2);
+impl_vec_common!(Vec3 { x, y, z }, 3);
+impl_vec_common!(Vec4 { x, y, z, w }, 4);
+
+impl Vec2 {
+    /// Unit X axis.
+    pub const X: Self = Self::new(1.0, 0.0);
+    /// Unit Y axis.
+    pub const Y: Self = Self::new(0.0, 1.0);
+
+    /// 2D "cross product" (z-component of the 3D cross of the embeddings).
+    ///
+    /// The sign tells which side of `self` the vector `rhs` lies on; it is
+    /// the workhorse of the rasterizer's edge functions.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Rotates the vector counterclockwise by 90 degrees.
+    #[inline]
+    pub fn perp(self) -> Self {
+        Self::new(-self.y, self.x)
+    }
+
+    /// Extends to a [`Vec3`] with the given z.
+    #[inline]
+    pub fn extend(self, z: f32) -> Vec3 {
+        Vec3::new(self.x, self.y, z)
+    }
+}
+
+impl Vec3 {
+    /// Unit X axis.
+    pub const X: Self = Self::new(1.0, 0.0, 0.0);
+    /// Unit Y axis.
+    pub const Y: Self = Self::new(0.0, 1.0, 0.0);
+    /// Unit Z axis.
+    pub const Z: Self = Self::new(0.0, 0.0, 1.0);
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Extends to a [`Vec4`] with the given w.
+    #[inline]
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+
+    /// Drops the z component.
+    #[inline]
+    pub fn truncate(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Reflects the vector about a unit normal `n`.
+    #[inline]
+    pub fn reflect(self, n: Self) -> Self {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Returns any unit vector orthogonal to `self` (which must be nonzero).
+    pub fn any_orthonormal(self) -> Self {
+        let v = if self.x.abs() < 0.9 { Self::X } else { Self::Y };
+        self.cross(v).normalized()
+    }
+}
+
+impl Vec4 {
+    /// Projects homogeneous coordinates back to 3D by dividing by w.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; if `w == 0` the result contains infinities, which
+    /// callers guard via [`Vec3::is_finite`].
+    #[inline]
+    pub fn project(self) -> Vec3 {
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+
+    /// Drops the w component.
+    #[inline]
+    pub fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-5 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn vec3_dot_and_cross_are_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(close(c.dot(a), 0.0));
+        assert!(close(c.dot(b), 0.0));
+    }
+
+    #[test]
+    fn vec3_axis_cross_products_follow_right_hand_rule() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(2.5, 3.5, 4.5));
+    }
+
+    #[test]
+    fn homogeneous_projection() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec2_cross_sign_detects_orientation() {
+        // Y is counterclockwise from X.
+        assert!(Vec2::X.cross(Vec2::Y) > 0.0);
+        assert!(Vec2::Y.cross(Vec2::X) < 0.0);
+    }
+
+    #[test]
+    fn index_matches_fields() {
+        let v = Vec4::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[3], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let v = Vec2::new(1.0, 2.0);
+        let _ = v[2];
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Vec2::new(1.0, 2.0).to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let a: [f32; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn any_orthonormal_is_orthogonal_and_unit() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.3, -2.0, 5.0)] {
+            let o = v.any_orthonormal();
+            assert!(close(o.dot(v), 0.0), "{v:?} vs {o:?}");
+            assert!(close(o.length(), 1.0));
+        }
+    }
+
+    #[test]
+    fn reflect_preserves_length() {
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        let r = v.reflect(Vec3::Y);
+        assert!(close(v.length(), r.length()));
+        assert!(close(r.y, 2.0));
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = Vec3> {
+        (-100f32..100.0, -100f32..100.0, -100f32..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_is_commutative(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!(close(a.dot(b), b.dot(a)));
+        }
+
+        #[test]
+        fn prop_cross_is_anticommutative(a in arb_vec3(), b in arb_vec3()) {
+            let lhs = a.cross(b);
+            let rhs = -(b.cross(a));
+            prop_assert!(lhs.distance(rhs) < 1e-2);
+        }
+
+        #[test]
+        fn prop_normalized_has_unit_length_or_zero(a in arb_vec3()) {
+            let n = a.normalized();
+            let len = n.length();
+            prop_assert!(len == 0.0 || close(len, 1.0));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!((a + b).length() <= a.length() + b.length() + 1e-3);
+        }
+
+        #[test]
+        fn prop_min_max_bracket(a in arb_vec3(), b in arb_vec3()) {
+            let lo = a.min_elem(b);
+            let hi = a.max_elem(b);
+            prop_assert!(lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z);
+        }
+    }
+}

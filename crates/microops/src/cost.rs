@@ -1,0 +1,195 @@
+//! Device-independent cost vectors.
+//!
+//! A [`CostVector`] counts the *algorithmic* work of a micro-operator
+//! invocation: arithmetic by unit type (the PE's INT16 MACs, BF16 MACs, and
+//! special function units — Sec. V-C), on-chip operand traffic, off-chip
+//! traffic, and logical work items. Both the Uni-Render accelerator
+//! simulator and the baseline device models consume the same cost vectors,
+//! which guarantees every speedup ratio in the reproduced figures compares
+//! identical workloads.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Operation and byte counts for a unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CostVector {
+    /// Integer multiply-accumulates (index arithmetic, comparisons).
+    pub int_macs: u64,
+    /// Floating-point (BF16-class) multiply-accumulates.
+    pub fp_macs: u64,
+    /// Special-function-unit operations (exp, sin/cos, rsqrt, sigmoid).
+    pub sfu_ops: u64,
+    /// Bytes read from on-chip scratchpads/buffers.
+    pub sram_read_bytes: u64,
+    /// Bytes written to on-chip scratchpads/buffers.
+    pub sram_write_bytes: u64,
+    /// Bytes read from external DRAM (unique-traffic lower bound).
+    pub dram_read_bytes: u64,
+    /// Bytes written to external DRAM.
+    pub dram_write_bytes: u64,
+    /// Logical work items (primitives, query points, sort keys, GEMM rows).
+    pub items: u64,
+}
+
+impl CostVector {
+    /// The zero cost vector (identity for [`Add`]).
+    pub const ZERO: Self = Self {
+        int_macs: 0,
+        fp_macs: 0,
+        sfu_ops: 0,
+        sram_read_bytes: 0,
+        sram_write_bytes: 0,
+        dram_read_bytes: 0,
+        dram_write_bytes: 0,
+        items: 0,
+    };
+
+    /// Total MAC operations of both types.
+    #[inline]
+    pub fn total_macs(&self) -> u64 {
+        self.int_macs + self.fp_macs
+    }
+
+    /// Total arithmetic operations including SFU ops.
+    #[inline]
+    pub fn total_ops(&self) -> u64 {
+        self.total_macs() + self.sfu_ops
+    }
+
+    /// Total DRAM traffic in bytes.
+    #[inline]
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total on-chip traffic in bytes.
+    #[inline]
+    pub fn sram_bytes(&self) -> u64 {
+        self.sram_read_bytes + self.sram_write_bytes
+    }
+
+    /// Arithmetic intensity: operations per DRAM byte (`f64::INFINITY` when
+    /// there is no DRAM traffic).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.dram_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.total_ops() as f64 / bytes as f64
+        }
+    }
+
+    /// Scales every count by an integer factor (e.g. frames).
+    pub fn scaled(&self, factor: u64) -> Self {
+        Self {
+            int_macs: self.int_macs * factor,
+            fp_macs: self.fp_macs * factor,
+            sfu_ops: self.sfu_ops * factor,
+            sram_read_bytes: self.sram_read_bytes * factor,
+            sram_write_bytes: self.sram_write_bytes * factor,
+            dram_read_bytes: self.dram_read_bytes * factor,
+            dram_write_bytes: self.dram_write_bytes * factor,
+            items: self.items * factor,
+        }
+    }
+}
+
+impl Add for CostVector {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            int_macs: self.int_macs + rhs.int_macs,
+            fp_macs: self.fp_macs + rhs.fp_macs,
+            sfu_ops: self.sfu_ops + rhs.sfu_ops,
+            sram_read_bytes: self.sram_read_bytes + rhs.sram_read_bytes,
+            sram_write_bytes: self.sram_write_bytes + rhs.sram_write_bytes,
+            dram_read_bytes: self.dram_read_bytes + rhs.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + rhs.dram_write_bytes,
+            items: self.items + rhs.items,
+        }
+    }
+}
+
+impl AddAssign for CostVector {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for CostVector {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CostVector {
+        CostVector {
+            int_macs: 10,
+            fp_macs: 20,
+            sfu_ops: 3,
+            sram_read_bytes: 100,
+            sram_write_bytes: 50,
+            dram_read_bytes: 40,
+            dram_write_bytes: 10,
+            items: 5,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let c = sample();
+        assert_eq!(c.total_macs(), 30);
+        assert_eq!(c.total_ops(), 33);
+        assert_eq!(c.dram_bytes(), 50);
+        assert_eq!(c.sram_bytes(), 150);
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let c = sample();
+        assert_eq!(c + CostVector::ZERO, c);
+    }
+
+    #[test]
+    fn arithmetic_intensity_infinite_without_dram() {
+        let mut c = sample();
+        c.dram_read_bytes = 0;
+        c.dram_write_bytes = 0;
+        assert!(c.arithmetic_intensity().is_infinite());
+        assert!((sample().arithmetic_intensity() - 33.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_matches_fold() {
+        let total: CostVector = (0..4).map(|_| sample()).sum();
+        assert_eq!(total, sample().scaled(4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_is_commutative(
+            a in 0u64..1_000_000, b in 0u64..1_000_000,
+            c in 0u64..1_000_000, d in 0u64..1_000_000,
+        ) {
+            let x = CostVector { int_macs: a, fp_macs: b, ..CostVector::ZERO };
+            let y = CostVector { int_macs: c, dram_read_bytes: d, ..CostVector::ZERO };
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn prop_scaled_distributes_over_add(
+            a in 0u64..100_000, b in 0u64..100_000, k in 0u64..1000,
+        ) {
+            let x = CostVector { fp_macs: a, items: 1, ..CostVector::ZERO };
+            let y = CostVector { fp_macs: b, items: 2, ..CostVector::ZERO };
+            prop_assert_eq!((x + y).scaled(k), x.scaled(k) + y.scaled(k));
+        }
+    }
+}

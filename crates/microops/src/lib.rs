@@ -1,0 +1,44 @@
+//! The Uni-Render micro-operator IR.
+//!
+//! Sec. IV of the paper observes that the numerous steps of all typical
+//! neural rendering pipelines cluster into **five unique micro-operators**,
+//! each mapping to the same two task types — one *indexing* task and one
+//! *reduction* task (Tab. II). This crate is that abstraction as a data
+//! model:
+//!
+//! - [`MicroOp`] — the five micro-operators;
+//! - [`IndexingTask`] / [`ReductionTask`] — the task decomposition of
+//!   Tab. II, exposed via [`MicroOp::tasks`];
+//! - [`Invocation`] — one executed micro-operator instance with its workload
+//!   shape (what a renderer emits when decomposing a frame);
+//! - [`Trace`] — the ordered sequence of invocations for one frame;
+//! - [`CostVector`] — device-independent operation/byte counts derived from
+//!   a workload, consumed by both the Uni-Render accelerator simulator and
+//!   the baseline device models.
+//!
+//! # Example
+//!
+//! ```
+//! use uni_microops::{Invocation, MicroOp, Workload};
+//!
+//! let inv = Invocation::new(
+//!     "mlp head",
+//!     Workload::Gemm { batch: 1024, in_dim: 32, out_dim: 16, weight_bytes: 1024 },
+//! );
+//! assert_eq!(inv.op(), MicroOp::Gemm);
+//! assert_eq!(inv.cost().fp_macs, 1024 * 32 * 16);
+//! ```
+
+pub mod cost;
+pub mod invoke;
+pub mod op;
+pub mod pipeline;
+pub mod stats;
+pub mod trace;
+
+pub use cost::CostVector;
+pub use invoke::{Invocation, PrimitiveKind, Workload};
+pub use op::{Dims, IndexFunction, IndexingTask, MemAccessPattern, MicroOp, ReductionTask};
+pub use pipeline::Pipeline;
+pub use stats::TraceStats;
+pub use trace::Trace;

@@ -1,0 +1,251 @@
+//! The five common micro-operators and their indexing/reduction task
+//! decomposition — a direct transcription of Tab. II.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the five unique micro-operators shared by all typical rendering
+/// pipelines (Sec. IV, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MicroOp {
+    /// Rasterization and splatting steps.
+    GeometricProcessing,
+    /// Texture indexing and hash indexing steps.
+    CombinedGridIndexing,
+    /// Low-rank decomposed (tri-plane) indexing steps.
+    DecomposedGridIndexing,
+    /// Patch-wise depth sorting (3D-Gaussian pipelines).
+    Sorting,
+    /// General matrix multiply (MLP layers, SH color evaluation).
+    Gemm,
+}
+
+/// Tensor dimensionality of an indexing task (`{Dimension}` in Tab. II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dims {
+    /// 1D tensors.
+    D1,
+    /// 2D tensors.
+    D2,
+    /// 3D tensors.
+    D3,
+}
+
+/// The index-retrieval function of an indexing task (`{Function}` in
+/// Tab. II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexFunction {
+    /// A counter that increments on every call — regular streaming access.
+    AutomaticCounter,
+    /// The spatial-hash function of Instant-NGP-style hash grids.
+    RandomHash,
+    /// Linear (row-major) index arithmetic into dense grids.
+    LinearIndexing,
+}
+
+/// Memory access pattern of a reduction task (`{Mem. Access Pattern}` in
+/// Tab. II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemAccessPattern {
+    /// Reduction over contiguous addresses.
+    Continuous,
+    /// Reduction over scattered (gathered) addresses.
+    Discrete,
+}
+
+/// The indexing task of a micro-operator: *"indexing `{Item}` from a
+/// `{Dimension}` tensor, with the index retrieved by `{Function}`"*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexingTask {
+    /// What is being indexed (Tab. II `{Item}`).
+    pub item: &'static str,
+    /// Admissible tensor dimensionalities.
+    pub dims: &'static [Dims],
+    /// Admissible index functions.
+    pub functions: &'static [IndexFunction],
+}
+
+/// The reduction task of a micro-operator: *"performing reduction within a
+/// set of `{Mem. Access Pattern}` memory addresses"*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReductionTask {
+    /// Admissible memory access patterns.
+    pub patterns: &'static [MemAccessPattern],
+}
+
+impl MicroOp {
+    /// All five micro-operators, in Tab. II row order.
+    pub const ALL: [MicroOp; 5] = [
+        MicroOp::GeometricProcessing,
+        MicroOp::CombinedGridIndexing,
+        MicroOp::DecomposedGridIndexing,
+        MicroOp::Sorting,
+        MicroOp::Gemm,
+    ];
+
+    /// The pipeline steps this micro-operator absorbs (Tab. II,
+    /// "Steps in Typical Pipelines").
+    pub fn absorbed_steps(self) -> &'static str {
+        match self {
+            MicroOp::GeometricProcessing => "Rasterization and Splatting",
+            MicroOp::CombinedGridIndexing => "Texture and Hash Indexing",
+            MicroOp::DecomposedGridIndexing => "Low-Rank Decomp. Indexing",
+            MicroOp::Sorting => "Sorting",
+            MicroOp::Gemm => "Others (MLP, SH evaluation)",
+        }
+    }
+
+    /// The Tab. II task decomposition: `(indexing, reduction)`.
+    pub fn tasks(self) -> (IndexingTask, ReductionTask) {
+        use IndexFunction::*;
+        use MemAccessPattern::*;
+        match self {
+            MicroOp::GeometricProcessing => (
+                IndexingTask {
+                    item: "Mesh/Gaussian",
+                    dims: &[Dims::D1],
+                    functions: &[AutomaticCounter],
+                },
+                ReductionTask {
+                    patterns: &[Continuous],
+                },
+            ),
+            MicroOp::CombinedGridIndexing => (
+                IndexingTask {
+                    item: "Features",
+                    dims: &[Dims::D1, Dims::D2, Dims::D3],
+                    functions: &[RandomHash, LinearIndexing],
+                },
+                ReductionTask {
+                    patterns: &[Discrete],
+                },
+            ),
+            MicroOp::DecomposedGridIndexing => (
+                IndexingTask {
+                    item: "Features",
+                    dims: &[Dims::D2, Dims::D3],
+                    functions: &[LinearIndexing],
+                },
+                ReductionTask {
+                    patterns: &[Discrete],
+                },
+            ),
+            MicroOp::Sorting => (
+                IndexingTask {
+                    item: "Sorting Keys",
+                    dims: &[Dims::D1],
+                    functions: &[AutomaticCounter],
+                },
+                ReductionTask {
+                    patterns: &[Continuous],
+                },
+            ),
+            MicroOp::Gemm => (
+                IndexingTask {
+                    item: "Scalars",
+                    dims: &[Dims::D1, Dims::D2],
+                    functions: &[AutomaticCounter],
+                },
+                ReductionTask {
+                    patterns: &[Continuous, Discrete],
+                },
+            ),
+        }
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MicroOp::GeometricProcessing => "Geometric Processing",
+            MicroOp::CombinedGridIndexing => "Combined Grid Indexing",
+            MicroOp::DecomposedGridIndexing => "Decomposed Grid Indexing",
+            MicroOp::Sorting => "Sorting",
+            MicroOp::Gemm => "GEMM",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_five_micro_operators() {
+        assert_eq!(MicroOp::ALL.len(), 5);
+    }
+
+    /// The full Tab. II transcription, row by row.
+    #[test]
+    fn tab2_geometric_processing_row() {
+        let (idx, red) = MicroOp::GeometricProcessing.tasks();
+        assert_eq!(idx.item, "Mesh/Gaussian");
+        assert_eq!(idx.dims, &[Dims::D1]);
+        assert_eq!(idx.functions, &[IndexFunction::AutomaticCounter]);
+        assert_eq!(red.patterns, &[MemAccessPattern::Continuous]);
+    }
+
+    #[test]
+    fn tab2_combined_grid_indexing_row() {
+        let (idx, red) = MicroOp::CombinedGridIndexing.tasks();
+        assert_eq!(idx.item, "Features");
+        assert_eq!(idx.dims, &[Dims::D1, Dims::D2, Dims::D3]);
+        assert_eq!(
+            idx.functions,
+            &[IndexFunction::RandomHash, IndexFunction::LinearIndexing]
+        );
+        assert_eq!(red.patterns, &[MemAccessPattern::Discrete]);
+    }
+
+    #[test]
+    fn tab2_decomposed_grid_indexing_row() {
+        let (idx, red) = MicroOp::DecomposedGridIndexing.tasks();
+        assert_eq!(idx.item, "Features");
+        assert_eq!(idx.dims, &[Dims::D2, Dims::D3]);
+        assert_eq!(idx.functions, &[IndexFunction::LinearIndexing]);
+        assert_eq!(red.patterns, &[MemAccessPattern::Discrete]);
+    }
+
+    #[test]
+    fn tab2_sorting_row() {
+        let (idx, red) = MicroOp::Sorting.tasks();
+        assert_eq!(idx.item, "Sorting Keys");
+        assert_eq!(idx.dims, &[Dims::D1]);
+        assert_eq!(idx.functions, &[IndexFunction::AutomaticCounter]);
+        assert_eq!(red.patterns, &[MemAccessPattern::Continuous]);
+    }
+
+    #[test]
+    fn tab2_gemm_row() {
+        let (idx, red) = MicroOp::Gemm.tasks();
+        assert_eq!(idx.item, "Scalars");
+        assert_eq!(idx.dims, &[Dims::D1, Dims::D2]);
+        assert_eq!(idx.functions, &[IndexFunction::AutomaticCounter]);
+        assert_eq!(
+            red.patterns,
+            &[MemAccessPattern::Continuous, MemAccessPattern::Discrete]
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let names: Vec<String> = MicroOp::ALL.iter().map(|op| op.to_string()).collect();
+        for n in &names {
+            assert!(!n.is_empty());
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn only_combined_grid_indexing_uses_random_hash() {
+        for op in MicroOp::ALL {
+            let (idx, _) = op.tasks();
+            let has_hash = idx.functions.contains(&IndexFunction::RandomHash);
+            assert_eq!(has_hash, op == MicroOp::CombinedGridIndexing, "{op}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The typical neural rendering pipelines of Sec. II, plus the MixRT hybrid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A neural rendering pipeline family.
+///
+/// These are the five typical pipelines of Tab. I plus the hybrid
+/// (mesh + hash-grid) pipeline of Sec. VII-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Pipeline {
+    /// Mesh-based rendering (rasterization), e.g. MobileNeRF.
+    Mesh,
+    /// MLP-based rendering (volume rendering), e.g. NeRF / KiloNeRF.
+    Mlp,
+    /// Low-rank-decomposed-grid-based rendering, e.g. TensoRF / MeRF.
+    LowRankGrid,
+    /// Hash-grid-based rendering, e.g. Instant-NGP.
+    HashGrid,
+    /// 3D-Gaussian-based rendering (splat rasterization), e.g. 3DGS.
+    Gaussian3d,
+    /// Hybrid mesh + hash-grid rendering, e.g. MixRT.
+    HybridMixRt,
+}
+
+impl Pipeline {
+    /// The five *typical* pipelines of Tab. I, in the paper's column order.
+    pub const TYPICAL: [Pipeline; 5] = [
+        Pipeline::Mesh,
+        Pipeline::Mlp,
+        Pipeline::LowRankGrid,
+        Pipeline::HashGrid,
+        Pipeline::Gaussian3d,
+    ];
+
+    /// All pipelines including the hybrid.
+    pub const ALL: [Pipeline; 6] = [
+        Pipeline::Mesh,
+        Pipeline::Mlp,
+        Pipeline::LowRankGrid,
+        Pipeline::HashGrid,
+        Pipeline::Gaussian3d,
+        Pipeline::HybridMixRt,
+    ];
+
+    /// The representative implementation the paper benchmarks for this
+    /// pipeline (Sec. III-A).
+    pub fn representative_work(self) -> &'static str {
+        match self {
+            Pipeline::Mesh => "MobileNeRF",
+            Pipeline::Mlp => "KiloNeRF",
+            Pipeline::LowRankGrid => "MeRF",
+            Pipeline::HashGrid => "Instant-NGP",
+            Pipeline::Gaussian3d => "3DGS",
+            Pipeline::HybridMixRt => "MixRT",
+        }
+    }
+
+    /// The dominant scene representation (Tab. I, first column).
+    pub fn dominant_representation(self) -> &'static str {
+        match self {
+            Pipeline::Mesh => "Mesh",
+            Pipeline::Mlp => "MLP",
+            Pipeline::LowRankGrid => "Low-Rank Decomposed Grid",
+            Pipeline::HashGrid => "Hash Grid",
+            Pipeline::Gaussian3d => "3D Gaussian",
+            Pipeline::HybridMixRt => "Mesh + Hash Grid",
+        }
+    }
+
+    /// The rendering technique (Tab. I, second column).
+    pub fn rendering_technique(self) -> &'static str {
+        match self {
+            Pipeline::Mesh => "Rasterization",
+            Pipeline::Mlp | Pipeline::LowRankGrid | Pipeline::HashGrid => "Volume Rendering",
+            Pipeline::Gaussian3d => "Splat-Based Rasterization",
+            Pipeline::HybridMixRt => "Rasterization + Volume Rendering",
+        }
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pipeline::Mesh => "Mesh",
+            Pipeline::Mlp => "MLP",
+            Pipeline::LowRankGrid => "Low-Rank-Decomposed-Grid",
+            Pipeline::HashGrid => "Hash-Grid",
+            Pipeline::Gaussian3d => "3D-Gaussian",
+            Pipeline::HybridMixRt => "Hybrid (MixRT)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_has_five_members_in_paper_order() {
+        assert_eq!(Pipeline::TYPICAL.len(), 5);
+        assert_eq!(Pipeline::TYPICAL[0], Pipeline::Mesh);
+        assert_eq!(Pipeline::TYPICAL[4], Pipeline::Gaussian3d);
+    }
+
+    #[test]
+    fn all_extends_typical_with_hybrid() {
+        assert_eq!(Pipeline::ALL.len(), 6);
+        assert_eq!(Pipeline::ALL[5], Pipeline::HybridMixRt);
+        for (a, b) in Pipeline::TYPICAL.iter().zip(Pipeline::ALL.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn display_and_metadata_are_nonempty() {
+        for p in Pipeline::ALL {
+            assert!(!p.to_string().is_empty());
+            assert!(!p.representative_work().is_empty());
+            assert!(!p.dominant_representation().is_empty());
+            assert!(!p.rendering_technique().is_empty());
+        }
+    }
+
+    #[test]
+    fn volume_rendering_pipelines_share_technique() {
+        assert_eq!(
+            Pipeline::Mlp.rendering_technique(),
+            Pipeline::HashGrid.rendering_technique()
+        );
+        assert_eq!(
+            Pipeline::Mlp.rendering_technique(),
+            Pipeline::LowRankGrid.rendering_technique()
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Aggregated trace statistics: per-micro-op cost totals and shares.
+
+use crate::cost::CostVector;
+use crate::op::MicroOp;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-micro-op cost aggregation over a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    per_op: BTreeMap<MicroOp, CostVector>,
+    invocation_counts: BTreeMap<MicroOp, u64>,
+    total: CostVector,
+}
+
+impl TraceStats {
+    /// Builds statistics from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut stats = Self::default();
+        for inv in trace.iter() {
+            let cost = inv.cost();
+            *stats.per_op.entry(inv.op()).or_default() += cost;
+            *stats.invocation_counts.entry(inv.op()).or_insert(0) += 1;
+            stats.total += cost;
+        }
+        stats
+    }
+
+    /// Total cost across all invocations.
+    pub fn total(&self) -> CostVector {
+        self.total
+    }
+
+    /// Cost attributed to one micro-operator (zero if absent).
+    pub fn cost_of(&self, op: MicroOp) -> CostVector {
+        self.per_op.get(&op).copied().unwrap_or(CostVector::ZERO)
+    }
+
+    /// Number of invocations of one micro-operator.
+    pub fn invocations_of(&self, op: MicroOp) -> u64 {
+        self.invocation_counts.get(&op).copied().unwrap_or(0)
+    }
+
+    /// The fraction of total MACs attributed to one micro-operator, in
+    /// `[0, 1]`; 0 when the trace does no MAC work.
+    pub fn mac_share(&self, op: MicroOp) -> f64 {
+        let total = self.total.total_macs();
+        if total == 0 {
+            0.0
+        } else {
+            self.cost_of(op).total_macs() as f64 / total as f64
+        }
+    }
+
+    /// Iterates over `(micro-op, cost)` pairs in enum order.
+    pub fn iter(&self) -> impl Iterator<Item = (MicroOp, &CostVector)> {
+        self.per_op.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<26} {:>6} {:>14} {:>14} {:>10} {:>12}",
+            "micro-op", "invs", "int MACs", "fp MACs", "sfu", "dram bytes"
+        )?;
+        for (op, cost) in self.iter() {
+            writeln!(
+                f,
+                "{:<26} {:>6} {:>14} {:>14} {:>10} {:>12}",
+                op.to_string(),
+                self.invocations_of(op),
+                cost.int_macs,
+                cost.fp_macs,
+                cost.sfu_ops,
+                cost.dram_bytes(),
+            )?;
+        }
+        write!(
+            f,
+            "{:<26} {:>6} {:>14} {:>14} {:>10} {:>12}",
+            "total",
+            self.invocation_counts.values().sum::<u64>(),
+            self.total.int_macs,
+            self.total.fp_macs,
+            self.total.sfu_ops,
+            self.total.dram_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invoke::{Invocation, Workload};
+    use crate::pipeline::Pipeline;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(Pipeline::Gaussian3d, 32, 32);
+        t.push(Invocation::new(
+            "mlp",
+            Workload::Gemm {
+                batch: 64,
+                in_dim: 4,
+                out_dim: 4,
+                weight_bytes: 32,
+            },
+        ));
+        t.push(Invocation::new(
+            "mlp2",
+            Workload::Gemm {
+                batch: 64,
+                in_dim: 4,
+                out_dim: 4,
+                weight_bytes: 32,
+            },
+        ));
+        t.push(Invocation::new(
+            "sort",
+            Workload::Sort {
+                patches: 4,
+                keys_per_patch: 16.0,
+                entry_bytes: 8,
+            },
+        ));
+        t
+    }
+
+    #[test]
+    fn per_op_totals_and_counts() {
+        let stats = sample_trace().stats();
+        assert_eq!(stats.invocations_of(MicroOp::Gemm), 2);
+        assert_eq!(stats.invocations_of(MicroOp::Sorting), 1);
+        assert_eq!(stats.invocations_of(MicroOp::GeometricProcessing), 0);
+        assert_eq!(stats.cost_of(MicroOp::Gemm).fp_macs, 2 * 64 * 16);
+    }
+
+    #[test]
+    fn total_equals_sum_of_parts() {
+        let stats = sample_trace().stats();
+        let sum: CostVector = stats.iter().map(|(_, c)| *c).sum();
+        assert_eq!(sum, stats.total());
+    }
+
+    #[test]
+    fn mac_shares_sum_to_one() {
+        let stats = sample_trace().stats();
+        let s: f64 = MicroOp::ALL.iter().map(|&op| stats.mac_share(op)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_shares() {
+        let stats = Trace::new(Pipeline::Mesh, 8, 8).stats();
+        assert_eq!(stats.mac_share(MicroOp::Gemm), 0.0);
+        assert_eq!(stats.total(), CostVector::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_every_present_op() {
+        let s = sample_trace().stats().to_string();
+        assert!(s.contains("GEMM"));
+        assert!(s.contains("Sorting"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Frame traces: the ordered micro-operator sequence one rendered frame
+//! executes, as emitted by a pipeline's decomposition (Fig. 8's "cluster →
+//! map" arrows made concrete).
+
+use crate::cost::CostVector;
+use crate::invoke::Invocation;
+use crate::op::MicroOp;
+use crate::pipeline::Pipeline;
+use crate::stats::TraceStats;
+use serde::{Deserialize, Serialize};
+
+/// The micro-operator trace of one rendered frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pipeline: Pipeline,
+    width: u32,
+    height: u32,
+    invocations: Vec<Invocation>,
+}
+
+impl Trace {
+    /// Creates an empty trace for one frame of `width × height` pixels.
+    pub fn new(pipeline: Pipeline, width: u32, height: u32) -> Self {
+        Self {
+            pipeline,
+            width,
+            height,
+            invocations: Vec::new(),
+        }
+    }
+
+    /// The pipeline that emitted this trace.
+    pub fn pipeline(&self) -> Pipeline {
+        self.pipeline
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixels per frame.
+    pub fn pixel_count(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height)
+    }
+
+    /// Appends an invocation.
+    pub fn push(&mut self, invocation: Invocation) {
+        self.invocations.push(invocation);
+    }
+
+    /// The ordered invocations.
+    pub fn invocations(&self) -> &[Invocation] {
+        &self.invocations
+    }
+
+    /// Iterates over invocations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Invocation> {
+        self.invocations.iter()
+    }
+
+    /// Number of invocations.
+    pub fn len(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Whether the trace contains no invocations.
+    pub fn is_empty(&self) -> bool {
+        self.invocations.is_empty()
+    }
+
+    /// Sum of all invocation costs.
+    pub fn total_cost(&self) -> CostVector {
+        self.invocations.iter().map(Invocation::cost).sum()
+    }
+
+    /// Aggregated statistics (per-op totals, micro-op mix, …).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+
+    /// The distinct micro-operators used, in first-appearance order.
+    pub fn micro_ops_used(&self) -> Vec<MicroOp> {
+        let mut seen = Vec::new();
+        for inv in &self.invocations {
+            let op = inv.op();
+            if !seen.contains(&op) {
+                seen.push(op);
+            }
+        }
+        seen
+    }
+
+    /// Number of micro-op *family switches* while walking the trace in
+    /// order — each switch costs a reconfiguration on the Uni-Render
+    /// accelerator (Sec. VII-E).
+    pub fn reconfiguration_count(&self) -> u64 {
+        self.invocations
+            .windows(2)
+            .filter(|w| w[0].op() != w[1].op())
+            .count() as u64
+    }
+}
+
+impl Extend<Invocation> for Trace {
+    fn extend<T: IntoIterator<Item = Invocation>>(&mut self, iter: T) {
+        self.invocations.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Invocation;
+    type IntoIter = std::slice::Iter<'a, Invocation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.invocations.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invoke::Workload;
+
+    fn gemm(batch: u64) -> Invocation {
+        Invocation::new(
+            "mlp",
+            Workload::Gemm {
+                batch,
+                in_dim: 8,
+                out_dim: 8,
+                weight_bytes: 128,
+            },
+        )
+    }
+
+    fn sort() -> Invocation {
+        Invocation::new(
+            "sort",
+            Workload::Sort {
+                patches: 10,
+                keys_per_patch: 32.0,
+                entry_bytes: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn new_trace_is_empty() {
+        let t = Trace::new(Pipeline::Mesh, 1280, 720);
+        assert!(t.is_empty());
+        assert_eq!(t.pixel_count(), 1280 * 720);
+        assert_eq!(t.total_cost(), CostVector::ZERO);
+    }
+
+    #[test]
+    fn total_cost_sums_invocations() {
+        let mut t = Trace::new(Pipeline::Mlp, 64, 64);
+        t.push(gemm(100));
+        t.push(gemm(200));
+        assert_eq!(t.total_cost().fp_macs, (100 + 200) * 8 * 8);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn micro_ops_used_preserves_first_appearance_order() {
+        let mut t = Trace::new(Pipeline::Gaussian3d, 64, 64);
+        t.push(sort());
+        t.push(gemm(10));
+        t.push(sort());
+        assert_eq!(t.micro_ops_used(), vec![MicroOp::Sorting, MicroOp::Gemm]);
+    }
+
+    #[test]
+    fn reconfiguration_counts_op_switches() {
+        let mut t = Trace::new(Pipeline::Gaussian3d, 64, 64);
+        assert_eq!(t.reconfiguration_count(), 0);
+        t.push(gemm(1));
+        t.push(gemm(1));
+        assert_eq!(t.reconfiguration_count(), 0, "same family: no switch");
+        t.push(sort());
+        t.push(gemm(1));
+        assert_eq!(t.reconfiguration_count(), 2);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new(Pipeline::Mlp, 8, 8);
+        t.extend([gemm(1), gemm(2)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iteration_visits_in_order() {
+        let mut t = Trace::new(Pipeline::Mlp, 8, 8);
+        t.push(gemm(1));
+        t.push(sort());
+        let stages: Vec<&str> = t.iter().map(|i| i.stage()).collect();
+        assert_eq!(stages, vec!["mlp", "sort"]);
+        let count = (&t).into_iter().count();
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The hybrid MixRT-style pipeline (Sec. VII-C): mesh rasterization for
+//! geometry + a hash-grid color field for appearance.
+//!
+//! MixRT [51] combines the mesh pipeline's fast geometry resolution with
+//! the hash-grid pipeline's compact view-dependent appearance: the
+//! rasterizer finds the surface point per pixel, then a single hash-grid
+//! fetch + decoder MLP evaluation shades it (no per-ray marching). This is
+//! the pipeline that crosses the most micro-operator families per frame —
+//! the stress test for the accelerator's reconfigurability.
+
+use crate::mesh_pipeline::rasterize;
+use crate::probe::Probe;
+use crate::Renderer;
+use uni_geometry::{Camera, Image, Rgb};
+use uni_microops::{Dims, IndexFunction, Invocation, Pipeline, PrimitiveKind, Trace, Workload};
+use uni_scene::{BakedScene, TriangleMesh, PEAK_DENSITY};
+
+/// The hybrid mesh + hash-grid pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MixRtPipeline {}
+
+impl Renderer for MixRtPipeline {
+    fn pipeline(&self) -> Pipeline {
+        Pipeline::HybridMixRt
+    }
+
+    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let bg = scene.field().background();
+        let mut img = Image::new(camera.width, camera.height, bg);
+        let (hits, _) = rasterize(scene.mesh(), camera);
+        let grid = scene.hashgrid();
+        let decoder = scene.hash_decoder();
+        let mesh = scene.mesh();
+        let mut feats = vec![0f32; grid.config().feature_dim() as usize];
+        for y in 0..camera.height {
+            for x in 0..camera.width {
+                let Some(hit) = hits[(y * camera.width + x) as usize] else {
+                    continue;
+                };
+                // Surface point from the rasterizer's barycentrics.
+                let [a, b, c] = mesh.triangle(hit.triangle as usize);
+                let (w0, w1, w2) = hit.bary;
+                let p = a * w0 + b * w1 + c * w2;
+                grid.fetch(p, &mut feats);
+                let out = decoder.forward(&feats);
+                // The decoded density gates surface confidence; color comes
+                // from the field decode.
+                let density = out[0].max(0.0) * PEAK_DENSITY;
+                let color = Rgb::new(
+                    out[1].clamp(0.0, 1.0),
+                    out[2].clamp(0.0, 1.0),
+                    out[3].clamp(0.0, 1.0),
+                );
+                let confidence = (density / 8.0).clamp(0.0, 1.0);
+                img.set(x, y, bg.lerp(color, confidence));
+            }
+        }
+        img
+    }
+
+    fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {
+        let probe = Probe::plan(camera);
+        let (_, stats) = {
+            let (hits, stats) = rasterize(scene.mesh(), &probe.camera);
+            (hits, stats)
+        };
+        let mut trace = Trace::new(Pipeline::HybridMixRt, camera.width, camera.height);
+
+        let repr = &scene.spec().repr;
+        let full_tris = u64::from(repr.target_triangles);
+        let baked_tris = scene.mesh().triangle_count().max(1) as u64;
+        let tri_ratio = full_tris as f64 / baked_tris as f64;
+        let verts = (stats.vertices_projected as f64 * tri_ratio) as u64;
+        let streamed = (stats.triangles_streamed as f64 * tri_ratio) as u64;
+        let covered = probe.scale(stats.covered_pixels);
+
+        // (1) Space conversion.
+        trace.push(Invocation::new(
+            "space conversion",
+            Workload::Gemm {
+                batch: verts,
+                in_dim: 4,
+                out_dim: 4,
+                weight_bytes: 32,
+            },
+        ));
+
+        // (2) Rasterization.
+        trace.push(Invocation::new(
+            "rasterization",
+            Workload::Geometric {
+                kind: PrimitiveKind::Triangle,
+                primitives: streamed,
+                candidate_pairs: probe.scale(stats.candidate_pairs),
+                hits: probe.scale(stats.zbuffer_updates),
+                prim_bytes: TriangleMesh::BYTES_PER_TRIANGLE,
+                output_pixels: camera.pixel_count(),
+            },
+        ));
+
+        // (3) One hash fetch per covered pixel (MixRT stores a reduced
+        // color field — half the full hash budget, since surface shading
+        // needs appearance only).
+        trace.push(Invocation::new(
+            "surface hash indexing",
+            Workload::GridIndex {
+                points: covered.max(1),
+                levels: repr.hash.levels,
+                corners: 8,
+                feature_dim: repr.hash.features_per_entry,
+                table_bytes: repr.hash.storage_bytes() / 2,
+                function: IndexFunction::RandomHash,
+                dims: Dims::D3,
+                decomposed: false,
+            },
+        ));
+
+        // (4) Decoder MLP per covered pixel.
+        let in_dim = repr.hash.feature_dim();
+        let layer_dims: [(u32, u32); 3] = [(in_dim, 64), (64, 64), (64, 4)];
+        for (i, (ind, outd)) in layer_dims.into_iter().enumerate() {
+            let params = u64::from(ind) * u64::from(outd) + u64::from(outd);
+            trace.push(Invocation::new(
+                format!("surface decoder layer {i}"),
+                Workload::Gemm {
+                    batch: covered.max(1),
+                    in_dim: ind,
+                    out_dim: outd,
+                    weight_bytes: params * 2,
+                },
+            ));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use uni_microops::MicroOp;
+
+    #[test]
+    fn renders_content() {
+        let scene = testutil::scene();
+        let camera = testutil::camera(scene, 64, 48);
+        let img = MixRtPipeline::default().render(scene, &camera);
+        let bg = scene.field().background();
+        let non_bg = img
+            .pixels()
+            .iter()
+            .filter(|p| (p.r - bg.r).abs() + (p.g - bg.g).abs() + (p.b - bg.b).abs() > 0.05)
+            .count();
+        assert!(non_bg > 100, "{non_bg} non-background pixels");
+    }
+
+    #[test]
+    fn hybrid_trace_crosses_three_op_families() {
+        let scene = testutil::scene();
+        let camera = testutil::camera(scene, 640, 480);
+        let trace = MixRtPipeline::default().trace(scene, &camera);
+        let ops = trace.micro_ops_used();
+        assert!(ops.contains(&MicroOp::Gemm));
+        assert!(ops.contains(&MicroOp::GeometricProcessing));
+        assert!(ops.contains(&MicroOp::CombinedGridIndexing));
+        assert!(trace.reconfiguration_count() >= 3);
+    }
+
+    #[test]
+    fn no_per_ray_marching_single_fetch_per_pixel() {
+        let scene = testutil::scene();
+        let camera = testutil::camera(scene, 640, 480);
+        let hybrid = MixRtPipeline::default().trace(scene, &camera);
+        let hash_points = hybrid
+            .iter()
+            .find(|i| i.stage() == "surface hash indexing")
+            .map(|i| match i.workload() {
+                Workload::GridIndex { points, .. } => *points,
+                _ => panic!(),
+            })
+            .expect("hash stage");
+        // At most one fetch per pixel — versus samples-per-ray fetches in
+        // the pure hash-grid pipeline.
+        assert!(hash_points <= camera.pixel_count());
+    }
+
+    #[test]
+    fn hybrid_is_cheaper_than_pure_hash_grid() {
+        use crate::hashgrid_pipeline::HashGridPipeline;
+        let scene = testutil::scene();
+        let camera = testutil::camera(scene, 640, 480);
+        let hybrid = MixRtPipeline::default().trace(scene, &camera).total_cost();
+        let hash = HashGridPipeline::default().trace(scene, &camera).total_cost();
+        assert!(
+            hybrid.fp_macs < hash.fp_macs,
+            "one fetch/pixel beats marching: {} vs {}",
+            hybrid.fp_macs,
+            hash.fp_macs
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Dataset catalogs mirroring the paper's benchmarks.
+//!
+//! The paper evaluates on the **Unbounded-360** dataset [8] (Mip-NeRF 360
+//! captures, rendered at 1280×720 following [51], [88]) and the
+//! **NeRF-Synthetic** dataset [67] (800×800, Tab. IV following [48], [50]).
+//! We cannot ship those captures, so each catalog entry is a procedural
+//! [`SceneSpec`] whose name, flavor, and representation sizing mirror the
+//! published scene; rendering *speed* depends on these workload shapes, not
+//! on the captured pixels (see DESIGN.md's substitution table).
+
+use crate::synthetic::{ReprParams, SceneFlavor, SceneSpec};
+use serde::{Deserialize, Serialize};
+
+/// The benchmark rendering resolution for Unbounded-360 scenes
+/// (1280×720, following MixRT [51] and MeRF [88]).
+pub const UNBOUNDED360_RESOLUTION: (u32, u32) = (1280, 720);
+
+/// The benchmark rendering resolution for NeRF-Synthetic scenes (800×800).
+pub const NERF_SYNTHETIC_RESOLUTION: (u32, u32) = (800, 800);
+
+/// A catalog entry: a named scene spec plus its benchmark resolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetScene {
+    /// The procedural spec standing in for the captured scene.
+    pub spec: SceneSpec,
+    /// Benchmark rendering resolution `(width, height)`.
+    pub resolution: (u32, u32),
+}
+
+impl DatasetScene {
+    /// The scene name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+}
+
+fn unbounded_entry(name: &str, seed: u64, indoor: bool, objects: u32, detail: f32) -> DatasetScene {
+    let flavor = if indoor {
+        SceneFlavor::Indoor
+    } else {
+        SceneFlavor::Outdoor
+    };
+    let mut spec = SceneSpec {
+        name: name.to_string(),
+        seed,
+        flavor,
+        object_count: objects,
+        extent: if indoor { 4.0 } else { 10.0 },
+        detail: 1.0,
+        repr: ReprParams::unbounded_scale(),
+    };
+    spec = spec.with_detail(detail);
+    DatasetScene {
+        spec,
+        resolution: UNBOUNDED360_RESOLUTION,
+    }
+}
+
+/// The Unbounded-360 catalog: the seven publicly accessible Mip-NeRF 360
+/// scenes plus the two held-back ones, in the dataset's usual order.
+///
+/// `detail` scales representation sizes (1.0 = full benchmark scale; tests
+/// should pass something small).
+pub fn unbounded360(detail: f32) -> Vec<DatasetScene> {
+    vec![
+        unbounded_entry("bicycle", 360_001, false, 9, detail),
+        unbounded_entry("flowers", 360_002, false, 12, detail),
+        unbounded_entry("garden", 360_003, false, 8, detail),
+        unbounded_entry("stump", 360_004, false, 6, detail),
+        unbounded_entry("treehill", 360_005, false, 7, detail),
+        unbounded_entry("room", 360_006, true, 8, detail),
+        unbounded_entry("counter", 360_007, true, 10, detail),
+        unbounded_entry("kitchen", 360_008, true, 9, detail),
+        unbounded_entry("bonsai", 360_009, true, 7, detail),
+    ]
+}
+
+/// The four indoor Unbounded-360 scenes used by the hybrid-pipeline
+/// evaluation (Fig. 17: Room, Counter, Kitchen, Bonsai).
+pub fn unbounded360_indoor(detail: f32) -> Vec<DatasetScene> {
+    unbounded360(detail)
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.name(),
+                "room" | "counter" | "kitchen" | "bonsai"
+            )
+        })
+        .collect()
+}
+
+/// The NeRF-Synthetic catalog: the eight Blender object scenes.
+pub fn nerf_synthetic(detail: f32) -> Vec<DatasetScene> {
+    let names: [(&str, u64, u32); 8] = [
+        ("chair", 800_001, 5),
+        ("drums", 800_002, 8),
+        ("ficus", 800_003, 7),
+        ("hotdog", 800_004, 4),
+        ("lego", 800_005, 9),
+        ("materials", 800_006, 10),
+        ("mic", 800_007, 5),
+        ("ship", 800_008, 8),
+    ];
+    names
+        .into_iter()
+        .map(|(name, seed, objects)| {
+            let mut spec = SceneSpec {
+                name: name.to_string(),
+                seed,
+                flavor: SceneFlavor::Object,
+                object_count: objects,
+                extent: 1.5,
+                detail: 1.0,
+                repr: ReprParams::object_scale(),
+            };
+            spec = spec.with_detail(detail);
+            DatasetScene {
+                spec,
+                resolution: NERF_SYNTHETIC_RESOLUTION,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_has_nine_scenes_with_four_indoor() {
+        let all = unbounded360(1.0);
+        assert_eq!(all.len(), 9);
+        let indoor = unbounded360_indoor(1.0);
+        assert_eq!(indoor.len(), 4);
+        let names: Vec<&str> = indoor.iter().map(DatasetScene::name).collect();
+        assert_eq!(names, vec!["room", "counter", "kitchen", "bonsai"]);
+    }
+
+    #[test]
+    fn nerf_synthetic_has_eight_object_scenes() {
+        let scenes = nerf_synthetic(1.0);
+        assert_eq!(scenes.len(), 8);
+        for s in &scenes {
+            assert_eq!(s.spec.flavor, SceneFlavor::Object);
+            assert_eq!(s.resolution, (800, 800));
+        }
+    }
+
+    #[test]
+    fn unbounded_resolution_matches_paper() {
+        assert_eq!(UNBOUNDED360_RESOLUTION, (1280, 720));
+        for s in unbounded360(1.0) {
+            assert_eq!(s.resolution, (1280, 720));
+        }
+    }
+
+    #[test]
+    fn scene_names_are_unique() {
+        let mut names: Vec<String> = unbounded360(1.0)
+            .iter()
+            .chain(nerf_synthetic(1.0).iter())
+            .map(|s| s.name().to_string())
+            .collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn detail_flows_into_specs() {
+        let small = unbounded360(0.1);
+        assert!((small[0].spec.detail - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn indoor_scenes_differ_in_content_from_each_other() {
+        let indoor = unbounded360_indoor(0.5);
+        let f0 = indoor[0].spec.build_field();
+        let f1 = indoor[1].spec.build_field();
+        assert_ne!(f0.primitives().len(), 0);
+        // Seeds differ, so primitive placement differs.
+        let p = uni_geometry::Vec3::new(0.5, 0.5, 0.5);
+        assert_ne!(f0.sdf(p), f1.sdf(p));
+    }
+}

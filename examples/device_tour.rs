@@ -1,0 +1,50 @@
+//! Device tour: one hash-grid frame executed on every device model in the
+//! repository — the Uni-Render accelerator (at three scaling points), the
+//! four commercial devices, the three dedicated accelerators of the paper,
+//! and the two related-work chips. Prints a Fig. 16-style column.
+//!
+//! ```sh
+//! cargo run --release --example device_tour
+//! ```
+
+use uni_render::baselines::{all_baselines, related_accelerators};
+use uni_render::prelude::*;
+
+fn main() {
+    let scene = SceneSpec::demo("tour", 7).with_detail(0.06).bake();
+    let camera = scene.orbit().camera_at(0.9).with_resolution(1280, 720);
+    let renderer = HashGridPipeline::default();
+    let trace = renderer.trace(&scene, &camera);
+    println!(
+        "One hash-grid frame: {} invocations, {:.1} G MACs, {:.1} MB unique DRAM\n",
+        trace.len(),
+        trace.total_cost().total_macs() as f64 / 1e9,
+        trace.total_cost().dram_bytes() as f64 / 1e6,
+    );
+
+    println!("{:<26} {:>10} {:>10} {:>14}", "Device", "FPS", "W", "frames/J");
+    for (pe, sram) in [(1u32, 1u32), (2, 2), (4, 4)] {
+        let cfg = AcceleratorConfig::paper().scaled(pe, sram);
+        let report = Accelerator::new(cfg).simulate(&trace);
+        println!(
+            "{:<26} {:>10.1} {:>10.2} {:>14.2}",
+            format!("Uni-Render {pe}x PE/{sram}x SRAM"),
+            report.fps(),
+            report.power_w(),
+            report.frames_per_joule(),
+        );
+    }
+    for device in all_baselines().iter().chain(related_accelerators().iter()) {
+        match device.execute(&trace) {
+            Some(r) => println!(
+                "{:<26} {:>10.2} {:>10.2} {:>14.4}",
+                device.name(),
+                r.fps(),
+                device.power_w(),
+                r.frames_per_joule(),
+            ),
+            None => println!("{:<26} {:>10}", device.name(), "x (unsupported)"),
+        }
+    }
+    println!("\nDedicated chips print 'x' off their home pipeline — the paper's crossed bars.");
+}

@@ -1,0 +1,63 @@
+//! # Uni-Render
+//!
+//! A from-scratch reproduction of **"Uni-Render: A Unified Accelerator for
+//! Real-Time Rendering Across Diverse Neural Renderers"** (HPCA 2025).
+//!
+//! The workspace implements, in pure Rust:
+//!
+//! - the five typical neural rendering pipelines the paper unifies (mesh,
+//!   MLP, low-rank-decomposed-grid, hash-grid, 3D-Gaussian) plus the MixRT
+//!   hybrid, as reference software renderers ([`renderers`]);
+//! - the micro-operator abstraction of Sec. IV — five common micro-operators,
+//!   each an indexing task plus a reduction task ([`microops`]);
+//! - the Uni-Render accelerator itself as a cycle-level simulator with the
+//!   reconfigurable PE array, Mode 1/Mode 2 data networks, per-micro-operator
+//!   dataflows, and a 28 nm energy/area model ([`accel`]);
+//! - calibrated models of every baseline device and accelerator the paper
+//!   benchmarks against ([`baselines`]);
+//! - scene representations, procedural scene baking, and dataset catalogs
+//!   ([`scene`], [`geometry`]).
+//!
+//! This facade crate re-exports the member crates and offers a [`prelude`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uni_render::prelude::*;
+//!
+//! // Bake a small procedural scene into all five representations.
+//! let spec = SceneSpec::demo("quickstart", 42).with_detail(0.25);
+//! let scene = spec.bake();
+//!
+//! // Render one frame with the hash-grid pipeline and trace its micro-ops.
+//! let camera = scene.orbit().camera_at(0.8).with_resolution(64, 48);
+//! let renderer = HashGridPipeline::default();
+//! let image = renderer.render(&scene, &camera);
+//! assert_eq!(image.width(), 64);
+//!
+//! // Simulate the frame on the Uni-Render accelerator.
+//! let trace = renderer.trace(&scene, &camera);
+//! let accel = Accelerator::new(AcceleratorConfig::paper());
+//! let report = accel.simulate(&trace);
+//! assert!(report.fps() > 0.0);
+//! ```
+
+pub use uni_baselines as baselines;
+pub use uni_core as accel;
+pub use uni_geometry as geometry;
+pub use uni_microops as microops;
+pub use uni_renderers as renderers;
+pub use uni_scene as scene;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use uni_baselines::{all_baselines, commercial_devices, dedicated_accelerators, Device};
+    pub use uni_core::{Accelerator, AcceleratorConfig, SimReport};
+    pub use uni_geometry::{Aabb, Camera, Image, Mat4, Ray, Rgb, Vec2, Vec3, Vec4};
+    pub use uni_microops::{MicroOp, Pipeline, Trace};
+    pub use uni_renderers::{
+        GaussianPipeline, HashGridPipeline, LowRankPipeline, MeshPipeline, MixRtPipeline,
+        MlpPipeline, Renderer,
+    };
+    pub use uni_scene::{BakedScene, SceneSpec};
+}
