@@ -38,16 +38,66 @@ pub const REAL_TIME_FPS: f64 = 30.0;
 pub fn commercial_anchors() -> Vec<Anchor> {
     use Pipeline::*;
     vec![
-        Anchor { device: "Orin NX", pipeline: Mesh, fps: 20.0, source: "Tab. I: ≤20 FPS on [76]" },
-        Anchor { device: "Orin NX", pipeline: Mlp, fps: 0.2, source: "Tab. I: ≤0.2 FPS on [76]" },
-        Anchor { device: "Orin NX", pipeline: LowRankGrid, fps: 10.0, source: "Tab. I: ≤10 FPS on [76]" },
-        Anchor { device: "Orin NX", pipeline: HashGrid, fps: 1.0, source: "Tab. I: ≤1 FPS on [76]" },
-        Anchor { device: "Orin NX", pipeline: Gaussian3d, fps: 5.0, source: "Tab. I: ≤5 FPS on [76]" },
-        Anchor { device: "Xavier NX", pipeline: Mesh, fps: 10.7, source: "Sec. I: 8Gen2 achieves 2.4× over Xavier for mesh" },
-        Anchor { device: "8Gen2", pipeline: Mesh, fps: 25.7, source: "Sec. I: 2.4× speedup over Xavier NX for mesh" },
-        Anchor { device: "Xavier NX", pipeline: LowRankGrid, fps: 7.0, source: "Sec. I: 8Gen2 is 1.75× slower than Xavier for low-rank" },
-        Anchor { device: "8Gen2", pipeline: LowRankGrid, fps: 4.0, source: "Sec. I: 1.75× slower than Xavier NX" },
-        Anchor { device: "AMD 780M", pipeline: Mesh, fps: 36.0, source: "Fig. 7: one of only three real-time settings" },
+        Anchor {
+            device: "Orin NX",
+            pipeline: Mesh,
+            fps: 20.0,
+            source: "Tab. I: ≤20 FPS on [76]",
+        },
+        Anchor {
+            device: "Orin NX",
+            pipeline: Mlp,
+            fps: 0.2,
+            source: "Tab. I: ≤0.2 FPS on [76]",
+        },
+        Anchor {
+            device: "Orin NX",
+            pipeline: LowRankGrid,
+            fps: 10.0,
+            source: "Tab. I: ≤10 FPS on [76]",
+        },
+        Anchor {
+            device: "Orin NX",
+            pipeline: HashGrid,
+            fps: 1.0,
+            source: "Tab. I: ≤1 FPS on [76]",
+        },
+        Anchor {
+            device: "Orin NX",
+            pipeline: Gaussian3d,
+            fps: 5.0,
+            source: "Tab. I: ≤5 FPS on [76]",
+        },
+        Anchor {
+            device: "Xavier NX",
+            pipeline: Mesh,
+            fps: 10.7,
+            source: "Sec. I: 8Gen2 achieves 2.4× over Xavier for mesh",
+        },
+        Anchor {
+            device: "8Gen2",
+            pipeline: Mesh,
+            fps: 25.7,
+            source: "Sec. I: 2.4× speedup over Xavier NX for mesh",
+        },
+        Anchor {
+            device: "Xavier NX",
+            pipeline: LowRankGrid,
+            fps: 7.0,
+            source: "Sec. I: 8Gen2 is 1.75× slower than Xavier for low-rank",
+        },
+        Anchor {
+            device: "8Gen2",
+            pipeline: LowRankGrid,
+            fps: 4.0,
+            source: "Sec. I: 1.75× slower than Xavier NX",
+        },
+        Anchor {
+            device: "AMD 780M",
+            pipeline: Mesh,
+            fps: 36.0,
+            source: "Fig. 7: one of only three real-time settings",
+        },
     ]
 }
 
@@ -56,11 +106,36 @@ pub fn commercial_anchors() -> Vec<Anchor> {
 pub fn uni_render_anchors() -> Vec<Anchor> {
     use Pipeline::*;
     vec![
-        Anchor { device: "Uni-Render", pipeline: Mesh, fps: 18.0, source: "Sec. VII-B: 0.9× Orin NX on the mesh pipeline" },
-        Anchor { device: "Uni-Render", pipeline: Mlp, fps: 11.0, source: "Sec. VII-B: up to 119× over commercial devices (vs Xavier-class MLP ≈0.1 FPS)" },
-        Anchor { device: "Uni-Render", pipeline: LowRankGrid, fps: 39.0, source: "Sec. VII-B: 3× over RT-NeRF on low-rank" },
-        Anchor { device: "Uni-Render", pipeline: HashGrid, fps: 50.0, source: "Sec. VII-B: 6× over Instant-3D on hash grid" },
-        Anchor { device: "Uni-Render", pipeline: Gaussian3d, fps: 30.0, source: "Sec. VIII-A: 12× over Xavier NX on 3DGS (GSCore reaches 15×)" },
+        Anchor {
+            device: "Uni-Render",
+            pipeline: Mesh,
+            fps: 18.0,
+            source: "Sec. VII-B: 0.9× Orin NX on the mesh pipeline",
+        },
+        Anchor {
+            device: "Uni-Render",
+            pipeline: Mlp,
+            fps: 11.0,
+            source: "Sec. VII-B: up to 119× over commercial devices (vs Xavier-class MLP ≈0.1 FPS)",
+        },
+        Anchor {
+            device: "Uni-Render",
+            pipeline: LowRankGrid,
+            fps: 39.0,
+            source: "Sec. VII-B: 3× over RT-NeRF on low-rank",
+        },
+        Anchor {
+            device: "Uni-Render",
+            pipeline: HashGrid,
+            fps: 50.0,
+            source: "Sec. VII-B: 6× over Instant-3D on hash grid",
+        },
+        Anchor {
+            device: "Uni-Render",
+            pipeline: Gaussian3d,
+            fps: 30.0,
+            source: "Sec. VIII-A: 12× over Xavier NX on 3DGS (GSCore reaches 15×)",
+        },
     ]
 }
 
@@ -126,7 +201,11 @@ pub fn tab4_anchors() -> Vec<(Pipeline, f64, &'static str)> {
     use Pipeline::*;
     vec![
         (Mesh, 117.0, "Tab. IV: mesh-based 117 FPS"),
-        (Mlp, 23.0, "Tab. IV: MLP-based 23 FPS (>200 with Pixel-Reuse)"),
+        (
+            Mlp,
+            23.0,
+            "Tab. IV: MLP-based 23 FPS (>200 with Pixel-Reuse)",
+        ),
         (LowRankGrid, 80.0, "Tab. IV: low-rank 80 FPS"),
         (HashGrid, 187.0, "Tab. IV: hash-grid 187 FPS"),
         (Gaussian3d, 65.0, "Tab. IV: 3D-Gaussian 65 FPS"),
@@ -146,7 +225,10 @@ mod tests {
     #[test]
     fn anchors_reference_known_devices() {
         let known = ["8Gen2", "Xavier NX", "Orin NX", "AMD 780M", "Uni-Render"];
-        for a in commercial_anchors().iter().chain(uni_render_anchors().iter()) {
+        for a in commercial_anchors()
+            .iter()
+            .chain(uni_render_anchors().iter())
+        {
             assert!(known.contains(&a.device), "{}", a.device);
             assert!(a.fps > 0.0);
             assert!(!a.source.is_empty());
@@ -164,7 +246,10 @@ mod tests {
                 .expect("anchor present")
         };
         let mesh_ratio = fps("8Gen2", Pipeline::Mesh) / fps("Xavier NX", Pipeline::Mesh);
-        assert!((mesh_ratio - 2.4).abs() < 0.05, "2.4× on mesh: {mesh_ratio}");
+        assert!(
+            (mesh_ratio - 2.4).abs() < 0.05,
+            "2.4× on mesh: {mesh_ratio}"
+        );
         let lr_ratio =
             fps("Xavier NX", Pipeline::LowRankGrid) / fps("8Gen2", Pipeline::LowRankGrid);
         assert!((lr_ratio - 1.75).abs() < 0.05, "1.75× slower: {lr_ratio}");

@@ -109,12 +109,9 @@ impl RooflineDevice {
                     // Hash tables partially resident in the GPU cache
                     // gather proportionally faster (small MixRT fields
                     // approach coherent-gather speed).
-                    let residency =
-                        (p.cache_bytes * 8.0 / (*table_bytes).max(1) as f64).min(1.0);
-                    let compute = p.hash_gather.0
-                        + (p.linear_grid.0 - p.hash_gather.0) * residency;
-                    let memory = p.hash_gather.1
-                        + (p.linear_grid.1 - p.hash_gather.1) * residency;
+                    let residency = (p.cache_bytes * 8.0 / (*table_bytes).max(1) as f64).min(1.0);
+                    let compute = p.hash_gather.0 + (p.linear_grid.0 - p.hash_gather.0) * residency;
+                    let memory = p.hash_gather.1 + (p.linear_grid.1 - p.hash_gather.1) * residency;
                     (compute, memory)
                 }
                 _ if *dims == Dims::D2 => p.texture2d,
@@ -137,8 +134,7 @@ impl RooflineDevice {
                     (shape / p.tiny_gemm_threshold).min(1.0)
                 };
                 let overflow = (*weight_bytes as f64 / p.cache_bytes - 1.0).max(0.0);
-                let compute =
-                    p.gemm.0 * tiny / (1.0 + p.scatter_sensitivity * overflow);
+                let compute = p.gemm.0 * tiny / (1.0 + p.scatter_sensitivity * overflow);
                 (compute.max(1e-5), p.gemm.1)
             }
         }

@@ -56,8 +56,7 @@ impl Device for DedicatedAccelerator {
             return None;
         }
         let base = self.core.execute(trace)?;
-        let seconds = (base.seconds / self.workload_divisor)
-            .max(1e-5); // Chips still pay a minimal frame time.
+        let seconds = (base.seconds / self.workload_divisor).max(1e-5); // Chips still pay a minimal frame time.
         Some(DeviceReport {
             seconds,
             energy_j: seconds * self.power_w(),
@@ -259,7 +258,11 @@ mod tests {
 
     #[test]
     fn each_accelerator_has_low_power() {
-        for d in [instant3d().power_w(), metavrain().power_w(), gscore().power_w()] {
+        for d in [
+            instant3d().power_w(),
+            metavrain().power_w(),
+            gscore().power_w(),
+        ] {
             assert!(d < 15.0, "ASIC power stays edge-scale: {d} W");
         }
         // MetaVRain is the 133 mW-class chip measured at ~1/5 of

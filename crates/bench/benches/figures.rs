@@ -9,7 +9,7 @@ use std::sync::OnceLock;
 use uni_baselines::all_baselines;
 use uni_core::{Accelerator, AcceleratorConfig};
 use uni_microops::Pipeline;
-use uni_renderers::{all_renderers, Renderer};
+use uni_renderers::all_renderers;
 use uni_scene::{BakedScene, SceneSpec};
 
 fn scene() -> &'static BakedScene {
@@ -75,5 +75,10 @@ fn bench_render(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trace_generation, bench_device_models, bench_render);
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_device_models,
+    bench_render
+);
 criterion_main!(benches);

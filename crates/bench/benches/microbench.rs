@@ -16,8 +16,8 @@ fn bench_cyclesim(c: &mut Criterion) {
             BenchmarkId::new("systolic_gemm_8x8", batch),
             &batch,
             |b, &batch| {
-                let weights = vec![vec![0.5f32; 8]; 8];
-                let inputs = vec![vec![1.0f32; 8]; batch];
+                let weights = uni_geometry::FlatMat::from_fn(8, 8, |_, _| 0.5);
+                let inputs = uni_geometry::FlatMat::from_fn(batch, 8, |_, _| 1.0);
                 b.iter(|| cyclesim::systolic_gemm(black_box(&weights), black_box(&inputs)));
             },
         );
@@ -105,5 +105,10 @@ fn bench_representations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cyclesim, bench_simulator, bench_representations);
+criterion_group!(
+    benches,
+    bench_cyclesim,
+    bench_simulator,
+    bench_representations
+);
 criterion_main!(benches);

@@ -49,8 +49,10 @@ fn main() {
             s
         );
     }
-    let mut no_gating = EnergyModel::default();
-    no_gating.gating_efficiency = 0.0;
+    let no_gating = EnergyModel {
+        gating_efficiency: 0.0,
+        ..EnergyModel::default()
+    };
     let gated = simulate_paper(&mlp_trace);
     let ungated = Accelerator::new(AcceleratorConfig::paper())
         .with_energy_model(no_gating)

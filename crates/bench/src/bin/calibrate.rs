@@ -15,8 +15,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(HARNESS_DETAIL);
     for (label, catalog) in [
-        ("Unbounded-360 / garden @1280x720", vec![unbounded360(detail).remove(2)]),
-        ("NeRF-Synthetic / lego @800x800", vec![nerf_synthetic(detail).remove(4)]),
+        (
+            "Unbounded-360 / garden @1280x720",
+            vec![unbounded360(detail).remove(2)],
+        ),
+        (
+            "NeRF-Synthetic / lego @800x800",
+            vec![nerf_synthetic(detail).remove(4)],
+        ),
     ] {
         println!("=== {label} (bake detail {detail}) ===");
         let prepared = prepare(catalog);

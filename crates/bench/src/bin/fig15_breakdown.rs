@@ -11,10 +11,7 @@ fn main() {
     let cfg = AcceleratorConfig::paper();
     let die = area(&cfg);
     println!("Fig. 15 — area and power breakdown (paper: area 54/31/15 %, power 75/10/15 %)\n");
-    println!(
-        "Total area: {:.2} mm² (paper: 14.96 mm²)",
-        die.total_mm2()
-    );
+    println!("Total area: {:.2} mm² (paper: 14.96 mm²)", die.total_mm2());
     let (a_logic, a_array, a_glob) = die.shares();
     println!(
         "Area  — compute+control {a_logic:.1}%  |  SRAM in array {a_array:.1}%  |  SRAM outside {a_glob:.1}%"

@@ -34,8 +34,12 @@ fn main() {
             .collect();
         let ours: Vec<_> = traces.iter().map(simulate_paper).collect();
         let ours_fps = geo_mean(&ours.iter().map(|r| r.fps()).collect::<Vec<_>>());
-        let ours_fpj =
-            geo_mean(&ours.iter().map(|r| r.frames_per_joule()).collect::<Vec<_>>());
+        let ours_fpj = geo_mean(
+            &ours
+                .iter()
+                .map(|r| r.frames_per_joule())
+                .collect::<Vec<_>>(),
+        );
 
         let mut speed_row = Vec::new();
         let mut energy_row = Vec::new();
@@ -45,10 +49,12 @@ fn main() {
                 speed_row.push(None);
                 energy_row.push(None);
             } else {
-                let base_fps =
-                    geo_mean(&reports.iter().map(|r| r.fps()).collect::<Vec<_>>());
+                let base_fps = geo_mean(&reports.iter().map(|r| r.fps()).collect::<Vec<_>>());
                 let base_fpj = geo_mean(
-                    &reports.iter().map(|r| r.frames_per_joule()).collect::<Vec<_>>(),
+                    &reports
+                        .iter()
+                        .map(|r| r.frames_per_joule())
+                        .collect::<Vec<_>>(),
                 );
                 speed_row.push(Some(ours_fps / base_fps));
                 energy_row.push(Some(ours_fpj / base_fpj));
@@ -60,7 +66,10 @@ fn main() {
 
     for (title, rows) in [
         ("(a) Speedup of Uni-Render over baselines", &rows_speed),
-        ("(b) Energy-efficiency improvement over baselines", &rows_energy),
+        (
+            "(b) Energy-efficiency improvement over baselines",
+            &rows_energy,
+        ),
     ] {
         println!("Fig. 16 {title} (Unbounded-360 @1280x720)\n");
         print!("{:<28}", "Pipeline");
@@ -95,14 +104,22 @@ fn main() {
         .iter()
         .flat_map(|r| r[..4].iter().flatten().copied())
         .collect();
-    let min = commercial_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min = commercial_speedups
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let max = commercial_speedups.iter().cloned().fold(0.0f64, f64::max);
     println!("Commercial-device speedup range: {min:.2}x .. {max:.0}x (paper: 0.7x .. 119x)");
     let commercial_energy: Vec<f64> = rows_energy
         .iter()
         .flat_map(|r| r[..4].iter().flatten().copied())
         .collect();
-    let emin = commercial_energy.iter().cloned().fold(f64::INFINITY, f64::min);
+    let emin = commercial_energy
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let emax = commercial_energy.iter().cloned().fold(0.0f64, f64::max);
-    println!("Commercial-device energy-efficiency range: {emin:.1}x .. {emax:.0}x (paper: 1.5x .. 354x)");
+    println!(
+        "Commercial-device energy-efficiency range: {emin:.1}x .. {emax:.0}x (paper: 1.5x .. 354x)"
+    );
 }

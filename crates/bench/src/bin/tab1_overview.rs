@@ -57,8 +57,12 @@ fn main() {
     println!("Tab. I — A comparative overview of typical rendering pipelines");
     println!("(speed measured on the Orin NX model, Unbounded-360 @ 1280x720)\n");
     println!(
-        "{:<26} {:<18} {:>22} {:>22} {:<36} {}",
-        "Representation", "Technique", "Speed (paper | ours)", "Storage (paper|ours)", "CG Compatibility", "Representative"
+        "{:<26} {:<18} {:>22} {:>22} {:<36} Representative",
+        "Representation",
+        "Technique",
+        "Speed (paper | ours)",
+        "Storage (paper|ours)",
+        "CG Compatibility",
     );
     for p in Pipeline::TYPICAL {
         let renderer = renderer_for(p);

@@ -9,8 +9,8 @@ use uni_scene::datasets::unbounded360;
 fn main() {
     println!("Tab. II — common micro-operators and their indexing/reduction tasks\n");
     println!(
-        "{:<26} {:<30} {:<16} {:<12} {:<34} {}",
-        "Micro-Operator", "Steps absorbed", "Item", "Dims", "Index function", "Reduction pattern"
+        "{:<26} {:<30} {:<16} {:<12} {:<34} Reduction pattern",
+        "Micro-Operator", "Steps absorbed", "Item", "Dims", "Index function",
     );
     for op in MicroOp::ALL {
         let (idx, red) = op.tasks();

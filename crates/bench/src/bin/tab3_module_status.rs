@@ -8,7 +8,7 @@ use uni_microops::MicroOp;
 fn main() {
     println!("Tab. III — module status per micro-operator\n");
     println!(
-        "{:<26} {:<12} {:<12} {:<10} {:<24} {:<24} {:<16} {}",
+        "{:<26} {:<12} {:<12} {:<10} {:<24} {:<24} {:<16} PS Scratch Pad",
         "Micro-Operator",
         "Input Net",
         "Reduce Net",
@@ -16,7 +16,6 @@ fn main() {
         "PE Controller",
         "FF Scratch Pad",
         "ALU",
-        "PS Scratch Pad"
     );
     for op in MicroOp::ALL {
         let s = ModuleStatus::for_op(op);

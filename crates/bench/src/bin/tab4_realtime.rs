@@ -33,7 +33,11 @@ fn main() {
             pipeline.representative_work(),
             paper_fps,
             measured,
-            if measured > REAL_TIME_FPS { "yes" } else { "no" },
+            if measured > REAL_TIME_FPS {
+                "yes"
+            } else {
+                "no"
+            },
         );
         if pipeline == Pipeline::Mlp {
             // The paper's extra row: KiloNeRF with MetaVRain-style
@@ -41,7 +45,12 @@ fn main() {
             let reuse = MlpPipeline::default().with_pixel_reuse();
             let fps: Vec<f64> = prepared
                 .iter()
-                .map(|s| simulate_paper(&reuse.trace(&s.scene, &s.entry.spec.orbit(800, 800).camera_at(0.9))).fps())
+                .map(|s| {
+                    simulate_paper(
+                        &reuse.trace(&s.scene, &s.entry.spec.orbit(800, 800).camera_at(0.9)),
+                    )
+                    .fps()
+                })
                 .collect();
             let measured = geo_mean(&fps);
             println!(
@@ -50,7 +59,11 @@ fn main() {
                 "KiloNeRF",
                 ">200",
                 measured,
-                if measured > REAL_TIME_FPS { "yes" } else { "no" },
+                if measured > REAL_TIME_FPS {
+                    "yes"
+                } else {
+                    "no"
+                },
             );
         }
     }

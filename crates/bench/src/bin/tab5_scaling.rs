@@ -34,10 +34,7 @@ fn main() {
             let cfg = AcceleratorConfig::paper().scaled(pe_scale, sram_scale);
             let report = Accelerator::new(cfg).simulate(&trace);
             let speedup = base / report.seconds;
-            row += &format!(
-                "{:>13.2}x (paper {:>3.1}x)",
-                speedup, PAPER[si][pi]
-            );
+            row += &format!("{:>13.2}x (paper {:>3.1}x)", speedup, PAPER[si][pi]);
         }
         println!("{row}");
     }

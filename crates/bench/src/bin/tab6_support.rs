@@ -16,11 +16,31 @@ fn main() {
     // only; Plasticine's parallel patterns additionally cover dense-grid
     // gathers).
     let rows = [
-        ReconfigurableBaseline { name: "Flexagon", class: "NPU", supported: [false, true, false, false, false] },
-        ReconfigurableBaseline { name: "STIFT", class: "NPU", supported: [false, true, false, false, false] },
-        ReconfigurableBaseline { name: "SIGMA", class: "NPU", supported: [false, true, false, false, false] },
-        ReconfigurableBaseline { name: "Eyeriss", class: "NPU", supported: [false, true, false, false, false] },
-        ReconfigurableBaseline { name: "Plasticine", class: "CGRA", supported: [false, true, true, false, false] },
+        ReconfigurableBaseline {
+            name: "Flexagon",
+            class: "NPU",
+            supported: [false, true, false, false, false],
+        },
+        ReconfigurableBaseline {
+            name: "STIFT",
+            class: "NPU",
+            supported: [false, true, false, false, false],
+        },
+        ReconfigurableBaseline {
+            name: "SIGMA",
+            class: "NPU",
+            supported: [false, true, false, false, false],
+        },
+        ReconfigurableBaseline {
+            name: "Eyeriss",
+            class: "NPU",
+            supported: [false, true, false, false, false],
+        },
+        ReconfigurableBaseline {
+            name: "Plasticine",
+            class: "CGRA",
+            supported: [false, true, true, false, false],
+        },
     ];
 
     println!("Tab. VI — supported pipelines per accelerator\n");

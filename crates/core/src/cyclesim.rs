@@ -8,6 +8,11 @@
 //! - a weight-stationary systolic array (Mode 1, Fig. 14);
 //! - a pipelined weighted adder tree (the reduction network of Fig. 11);
 //! - a PE-local merge sort (Fig. 13).
+//!
+//! All matrix state lives in contiguous row-major [`FlatMat`] buffers —
+//! the per-PE register files are `rows × cols` planes, not nested vectors.
+
+use uni_geometry::FlatMat;
 
 /// Result of a cycle-exact run.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,31 +26,27 @@ pub struct CycleResult<T> {
 /// Cycle-exact weight-stationary systolic matrix multiply.
 ///
 /// Computes `out[b][o] = Σ_i input[b][i] * weights[i][o]` on a
-/// `rows × cols` array where PE `(r, c)` holds `weights[r][c]`
+/// `rows × cols` array where PE `(r, c)` holds `weights[(r, c)]`
 /// (`rows = in_dim`, `cols = out_dim`). Activations enter from the left
 /// edge with the classic one-cycle skew per row; partial sums flow down.
+///
+/// `weights` is `in_dim × out_dim`; `inputs` is `batch × in_dim`; the
+/// output is `batch × out_dim`.
 ///
 /// # Panics
 ///
 /// Panics if the matrix shapes do not match the array.
-pub fn systolic_gemm(
-    weights: &[Vec<f32>],
-    inputs: &[Vec<f32>],
-) -> CycleResult<Vec<Vec<f32>>> {
-    let rows = weights.len();
+pub fn systolic_gemm(weights: &FlatMat, inputs: &FlatMat) -> CycleResult<FlatMat> {
+    let rows = weights.rows();
     assert!(rows > 0, "empty weight matrix");
-    let cols = weights[0].len();
-    assert!(weights.iter().all(|r| r.len() == cols), "ragged weights");
-    assert!(
-        inputs.iter().all(|b| b.len() == rows),
-        "input width must equal weight rows"
-    );
-    let batch = inputs.len();
+    let cols = weights.cols();
+    assert_eq!(inputs.cols(), rows, "input width must equal weight rows");
+    let batch = inputs.rows();
 
     // Per-PE registers: activation moving right, partial sum moving down.
-    let mut act = vec![vec![0f32; cols]; rows];
-    let mut psum = vec![vec![0f32; cols]; rows];
-    let mut outputs = vec![vec![0f32; cols]; batch];
+    let mut act = FlatMat::zeros(rows, cols);
+    let mut psum = FlatMat::zeros(rows, cols);
+    let mut outputs = FlatMat::zeros(batch, cols);
     let mut produced = 0usize;
     let mut cycles = 0u64;
 
@@ -66,25 +67,25 @@ pub fn systolic_gemm(
                     // Left edge: batch row (t - r) feeds row r (skewed).
                     let b = t as i64 - r as i64;
                     if b >= 0 && (b as usize) < batch {
-                        inputs[b as usize][r]
+                        inputs[(b as usize, r)]
                     } else {
                         0.0
                     }
                 } else {
-                    act[r][c - 1]
+                    act[(r, c - 1)]
                 };
-                let p_in = if r == 0 { 0.0 } else { psum[r - 1][c] };
-                let p_out = p_in + a_in * weights[r][c];
+                let p_in = if r == 0 { 0.0 } else { psum[(r - 1, c)] };
+                let p_out = p_in + a_in * weights[(r, c)];
                 // Emit from the bottom row.
                 if r == rows - 1 {
                     let b = t as i64 - (rows as i64 - 1) - c as i64;
                     if b >= 0 && (b as usize) < batch {
-                        outputs[b as usize][c] = p_out;
+                        outputs[(b as usize, c)] = p_out;
                         produced += 1;
                     }
                 }
-                psum[r][c] = p_out;
-                act[r][c] = a_in;
+                psum[(r, c)] = p_out;
+                act[(r, c)] = a_in;
             }
         }
         assert!(
@@ -112,17 +113,10 @@ pub fn systolic_gemm_formula(rows: usize, cols: usize, batch: usize) -> u64 {
 pub fn adder_tree(values: &[f32], weights: &[f32]) -> CycleResult<f32> {
     assert_eq!(values.len(), weights.len(), "weight per value");
     assert!(!values.is_empty(), "empty reduction");
-    let mut level: Vec<f32> = values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| v * w)
-        .collect();
+    let mut level: Vec<f32> = values.iter().zip(weights).map(|(v, w)| v * w).collect();
     let mut cycles = 1; // Multiply stage.
     while level.len() > 1 {
-        level = level
-            .chunks(2)
-            .map(|pair| pair.iter().sum())
-            .collect();
+        level = level.chunks(2).map(|pair| pair.iter().sum()).collect();
         cycles += 1;
     }
     CycleResult {
@@ -200,44 +194,47 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn reference_matmul(weights: &[Vec<f32>], inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        inputs
-            .iter()
-            .map(|x| {
-                (0..weights[0].len())
-                    .map(|o| (0..weights.len()).map(|i| x[i] * weights[i][o]).sum())
-                    .collect()
-            })
-            .collect()
+    fn reference_matmul(weights: &FlatMat, inputs: &FlatMat) -> FlatMat {
+        FlatMat::from_fn(inputs.rows(), weights.cols(), |b, o| {
+            (0..weights.rows())
+                .map(|i| inputs[(b, i)] * weights[(i, o)])
+                .sum()
+        })
     }
 
     #[test]
     fn systolic_gemm_is_functionally_correct() {
-        let weights = vec![
-            vec![1.0, 2.0, -1.0],
-            vec![0.5, -0.5, 1.5],
-            vec![2.0, 1.0, 0.0],
-            vec![-1.0, 0.0, 3.0],
-        ];
-        let inputs = vec![
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![-1.0, 0.5, 2.0, 0.0],
-            vec![0.0, 0.0, 1.0, 1.0],
-        ];
+        let weights = FlatMat::from_vec(
+            vec![
+                1.0, 2.0, -1.0, //
+                0.5, -0.5, 1.5, //
+                2.0, 1.0, 0.0, //
+                -1.0, 0.0, 3.0,
+            ],
+            4,
+            3,
+        );
+        let inputs = FlatMat::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                -1.0, 0.5, 2.0, 0.0, //
+                0.0, 0.0, 1.0, 1.0,
+            ],
+            3,
+            4,
+        );
         let result = systolic_gemm(&weights, &inputs);
         let expected = reference_matmul(&weights, &inputs);
-        for (got, want) in result.output.iter().zip(&expected) {
-            for (g, w) in got.iter().zip(want) {
-                assert!((g - w).abs() < 1e-4, "{g} vs {w}");
-            }
+        for (g, w) in result.output.as_slice().iter().zip(expected.as_slice()) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
         }
     }
 
     #[test]
     fn systolic_cycles_match_fill_plus_drain_formula() {
         for (rows, cols, batch) in [(4, 3, 3), (2, 2, 10), (8, 4, 16), (3, 5, 7)] {
-            let weights = vec![vec![1.0f32; cols]; rows];
-            let inputs = vec![vec![1.0f32; rows]; batch];
+            let weights = FlatMat::from_fn(rows, cols, |_, _| 1.0);
+            let inputs = FlatMat::from_fn(batch, rows, |_, _| 1.0);
             let result = systolic_gemm(&weights, &inputs);
             let formula = systolic_gemm_formula(rows, cols, batch);
             assert_eq!(
@@ -292,16 +289,12 @@ mod tests {
                 state ^= state << 17;
                 (state % 17) as f32 / 8.0 - 1.0
             };
-            let weights: Vec<Vec<f32>> =
-                (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
-            let inputs: Vec<Vec<f32>> =
-                (0..batch).map(|_| (0..rows).map(|_| next()).collect()).collect();
+            let weights = FlatMat::from_fn(rows, cols, |_, _| next());
+            let inputs = FlatMat::from_fn(batch, rows, |_, _| next());
             let result = systolic_gemm(&weights, &inputs);
             let expected = reference_matmul(&weights, &inputs);
-            for (got, want) in result.output.iter().zip(&expected) {
-                for (g, w) in got.iter().zip(want) {
-                    prop_assert!((g - w).abs() < 1e-3);
-                }
+            for (g, w) in result.output.as_slice().iter().zip(expected.as_slice()) {
+                prop_assert!((g - w).abs() < 1e-3);
             }
             prop_assert_eq!(result.cycles, systolic_gemm_formula(rows, cols, batch));
         }

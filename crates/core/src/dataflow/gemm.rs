@@ -30,16 +30,15 @@ pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
 
     // Batch occupancy: with per-PE layer replication the array is fully
     // busy once the in-flight batch covers all PEs.
-    let occupancy = (batch as f64 / config.pe_count() as f64).min(1.0).max(0.05);
+    let occupancy = (batch as f64 / config.pe_count() as f64).clamp(0.05, 1.0);
     // Work-shape efficiency: extremely skinny layers (in*out < MACs/PE)
     // cannot fill a PE's MAC row every cycle.
-    let shape_eff = (f64::from(in_dim) * f64::from(out_dim)
-        / f64::from(config.bf16_macs_per_pe))
-    .min(1.0);
+    let shape_eff =
+        (f64::from(in_dim) * f64::from(out_dim) / f64::from(config.bf16_macs_per_pe)).min(1.0);
     let utilization = (occupancy * shape_eff.max(0.25)).clamp(0.05, 1.0);
 
-    let mut compute = (macs as f64 / (peak as f64 * utilization)
-        * config.gemm_buffer_penalty) as u64;
+    let mut compute =
+        (macs as f64 / (peak as f64 * utilization) * config.gemm_buffer_penalty) as u64;
     // Systolic fill/drain per weight tile.
     let fills = u64::from(config.pe_rows + config.pe_cols);
     // Weight tiling: if the weights exceed the array's FF capacity they are
@@ -128,7 +127,10 @@ mod tests {
         let a = cost(&gemm(1 << 16, 32, 32, 2048), &cfg()).compute_cycles;
         let b = cost(&gemm(1 << 18, 32, 32, 2048), &cfg()).compute_cycles;
         let ratio = b as f64 / a as f64;
-        assert!((3.5..=4.5).contains(&ratio), "4x batch -> ~4x cycles: {ratio}");
+        assert!(
+            (3.5..=4.5).contains(&ratio),
+            "4x batch -> ~4x cycles: {ratio}"
+        );
     }
 
     #[test]
@@ -149,6 +151,9 @@ mod tests {
     fn oversized_weights_add_reload_passes() {
         let small = cost(&gemm(1 << 20, 64, 64, 1 << 10), &cfg()).compute_cycles;
         let huge = cost(&gemm(1 << 20, 64, 64, 8 << 20), &cfg()).compute_cycles;
-        assert!(huge > small, "weight reloads cost cycles: {huge} vs {small}");
+        assert!(
+            huge > small,
+            "weight reloads cost cycles: {huge} vs {small}"
+        );
     }
 }

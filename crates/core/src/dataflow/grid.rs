@@ -57,7 +57,11 @@ pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
     // Per-(point, level) arithmetic.
     let int_ops = pl * u64::from(corners) * d;
     let fp_ops = pl * u64::from(corners) * (1 + u64::from(feature_dim))
-        + if decomposed { pl * u64::from(feature_dim) } else { 0 };
+        + if decomposed {
+            pl * u64::from(feature_dim)
+        } else {
+            0
+        };
 
     // Line mapping utilization: levels map to PE lines; fewer levels than
     // lines leaves lines idle unless points batch across them (they do,
@@ -70,7 +74,8 @@ pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
     };
     // Scratchpad port limits: each corner fetch reads `feature_dim` 16-bit
     // words from single-port cells (4 cells per PE read in parallel).
-    let fetch_cycles = pl * u64::from(corners)
+    let fetch_cycles = pl
+        * u64::from(corners)
         * u64::from(feature_dim).div_ceil(u64::from(config.ff_cells_per_pe))
         / config.pe_count();
 
@@ -96,12 +101,11 @@ pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
     let touched = table_bytes.min(pl * u64::from(corners) * DRAM_LINE_BYTES);
     let sram = config.total_sram_bytes().max(1);
     let refetch = match function {
-        IndexFunction::RandomHash => {
-            (touched as f64 / (sram as f64 * HASH_LOCALITY)).max(1.0)
-        }
-        IndexFunction::LinearIndexing | IndexFunction::AutomaticCounter => {
-            (touched as f64 / (sram as f64 * LINEAR_LOCALITY)).sqrt().max(1.0)
-        }
+        IndexFunction::RandomHash => (touched as f64 / (sram as f64 * HASH_LOCALITY)).max(1.0),
+        IndexFunction::LinearIndexing | IndexFunction::AutomaticCounter => (touched as f64
+            / (sram as f64 * LINEAR_LOCALITY))
+            .sqrt()
+            .max(1.0),
     };
     let dram_read = (touched as f64 * refetch) as u64 + points * 12;
 
@@ -177,7 +181,10 @@ mod tests {
         let base_refetch = base.dram_read_bytes - coord_bytes;
         let scaled_refetch = scaled.dram_read_bytes - coord_bytes;
         let ratio = base_refetch as f64 / scaled_refetch as f64;
-        assert!((3.5..=4.5).contains(&ratio), "4x SRAM -> ~4x less traffic: {ratio}");
+        assert!(
+            (3.5..=4.5).contains(&ratio),
+            "4x SRAM -> ~4x less traffic: {ratio}"
+        );
     }
 
     #[test]

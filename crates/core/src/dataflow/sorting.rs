@@ -34,8 +34,8 @@ pub fn cost(inv: &Invocation, config: &AcceleratorConfig) -> DataflowCosts {
     // single-port cells — 2 accesses × entry words per key per pass,
     // distributed over all PEs' cells.
     let words = u64::from(entry_bytes).div_ceil(2);
-    let sram_cycles = keys * passes * 2 * words
-        / (config.pe_count() * u64::from(config.ff_cells_per_pe)).max(1);
+    let sram_cycles =
+        keys * passes * 2 * words / (config.pe_count() * u64::from(config.ff_cells_per_pe)).max(1);
     // Patch spill: patches larger than one FF scratchpad merge via the
     // global buffer at network bandwidth.
     let patch_bytes = (keys_per_patch * f64::from(entry_bytes)) as u64;

@@ -44,4 +44,4 @@ pub use config::AcceleratorConfig;
 pub use energy::{area, AreaBreakdown, EnergyBreakdown, EnergyModel};
 pub use pe::{AluLayout, ControllerMode, FfContents, ModuleStatus, NetState, NetworkMode, PsMode};
 pub use report::SimReport;
-pub use sched::Accelerator;
+pub use sched::{Accelerator, ReplayScratch};

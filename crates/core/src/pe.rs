@@ -270,7 +270,10 @@ mod tests {
         // GEMM gates the reduction network; Sorting gates everything
         // networked; grid indexing keeps networks busy.
         assert_eq!(ModuleStatus::for_op(MicroOp::Gemm).gated_module_count(), 1);
-        assert_eq!(ModuleStatus::for_op(MicroOp::Sorting).gated_module_count(), 3);
+        assert_eq!(
+            ModuleStatus::for_op(MicroOp::Sorting).gated_module_count(),
+            3
+        );
         assert_eq!(
             ModuleStatus::for_op(MicroOp::CombinedGridIndexing).gated_module_count(),
             1

@@ -15,6 +15,19 @@ use uni_microops::{MicroOp, Trace, Workload};
 /// Fixed per-invocation setup cycles (descriptor load, address setup).
 const INVOCATION_SETUP_CYCLES: u64 = 64;
 
+/// Reusable scratch for batch trace replay.
+///
+/// [`Accelerator::simulate`] maps every invocation to its
+/// [`DataflowCosts`] before the fusion pass can run. Replaying many traces
+/// (the figure harnesses sweep hundreds) used to rebuild that mapping
+/// buffer per frame; threading one scratch through
+/// [`Accelerator::simulate_with_scratch`] keeps steady-state replay
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayScratch {
+    mapped: Vec<DataflowCosts>,
+}
+
 /// The Uni-Render accelerator simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Accelerator {
@@ -44,11 +57,18 @@ impl Accelerator {
 
     /// Simulates one frame trace and returns the report.
     pub fn simulate(&self, trace: &Trace) -> SimReport {
+        self.simulate_with_scratch(trace, &mut ReplayScratch::default())
+    }
+
+    /// Simulates one frame trace, reusing `scratch` for the invocation →
+    /// dataflow mapping buffer so batch replay never reallocates it.
+    pub fn simulate_with_scratch(&self, trace: &Trace, scratch: &mut ReplayScratch) -> SimReport {
         let cfg = &self.config;
-        let mut mapped: Vec<DataflowCosts> = trace
-            .iter()
-            .map(|inv| map_invocation(inv, cfg))
-            .collect();
+        scratch.mapped.clear();
+        scratch
+            .mapped
+            .extend(trace.iter().map(|inv| map_invocation(inv, cfg)));
+        let mapped = &mut scratch.mapped;
 
         // Producer→consumer fusion: chained stages stream intermediates on
         // chip, removing the DRAM round trips the per-invocation dataflows
@@ -68,15 +88,14 @@ impl Accelerator {
                         in_dim,
                         ..
                     },
-                ) if b_prev == b_cur && out_dim == in_dim => {
-                    Some(b_cur * u64::from(*in_dim) * 2)
-                }
+                ) if b_prev == b_cur && out_dim == in_dim => Some(b_cur * u64::from(*in_dim) * 2),
                 // Grid fetch → decoder MLP chaining (fetched features feed
                 // the GEMM directly through the reduction network).
-                (
-                    Workload::GridIndex { points, .. },
-                    Workload::Gemm { batch, in_dim, .. },
-                ) if points == batch => Some(batch * u64::from(*in_dim) * 2),
+                (Workload::GridIndex { points, .. }, Workload::Gemm { batch, in_dim, .. })
+                    if points == batch =>
+                {
+                    Some(batch * u64::from(*in_dim) * 2)
+                }
                 _ => None,
             };
             if let Some(inter) = inter {
@@ -99,7 +118,7 @@ impl Accelerator {
         let mut compute_total: u64 = 0;
         let mut dram_cycles_total: u64 = 0;
 
-        for (inv, costs) in invs.iter().zip(&mapped) {
+        for (inv, costs) in invs.iter().zip(mapped.iter()) {
             let op = inv.op();
             if let Some(p) = prev_op {
                 if p != op {
@@ -114,8 +133,7 @@ impl Accelerator {
             // compute, not just the owning stage's (the stage attribution
             // below charges each op its own max(compute, memory) share).
             let dram_cycles = costs.dram_cycles(cfg);
-            let stage_cycles =
-                costs.compute_cycles.max(dram_cycles) + INVOCATION_SETUP_CYCLES;
+            let stage_cycles = costs.compute_cycles.max(dram_cycles) + INVOCATION_SETUP_CYCLES;
             compute_total += costs.compute_cycles + INVOCATION_SETUP_CYCLES;
             dram_cycles_total += dram_cycles;
             *per_op_cycles.entry(op).or_insert(0) += stage_cycles;
@@ -130,14 +148,12 @@ impl Accelerator {
                 + cv.sfu_ops as f64 * self.energy.sfu_j)
                 * self.energy.control_overhead
                 + costs.network_bytes as f64 * self.energy.noc_j_per_byte;
-            energy.sram_array_j +=
-                cv.sram_bytes() as f64 * self.energy.sram_local_j_per_byte;
+            energy.sram_array_j += cv.sram_bytes() as f64 * self.energy.sram_local_j_per_byte;
             // The global buffer stages both DRAM traffic and the operand
             // streams feeding the array.
-            energy.sram_global_j += (costs.dram_read_bytes
-                + costs.dram_write_bytes
-                + costs.network_bytes) as f64
-                * self.energy.sram_global_j_per_byte;
+            energy.sram_global_j +=
+                (costs.dram_read_bytes + costs.dram_write_bytes + costs.network_bytes) as f64
+                    * self.energy.sram_global_j_per_byte;
             energy.dram_j += (costs.dram_read_bytes + costs.dram_write_bytes) as f64
                 * self.energy.dram_j_per_byte;
 
@@ -199,33 +215,47 @@ impl Accelerator {
     }
 
     /// Simulates many traces in parallel worker threads.
+    ///
+    /// Each worker reuses one [`ReplayScratch`] across every trace it
+    /// claims, so the batch replay performs no per-frame mapping
+    /// allocations.
     pub fn simulate_many(&self, traces: &[Trace]) -> Vec<SimReport> {
         if traces.len() <= 1 {
-            return traces.iter().map(|t| self.simulate(t)).collect();
+            let mut scratch = ReplayScratch::default();
+            return traces
+                .iter()
+                .map(|t| self.simulate_with_scratch(t, &mut scratch))
+                .collect();
         }
         let n_workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .min(traces.len());
-        let results = parking_lot::Mutex::new(vec![None; traces.len()]);
+        let results: Vec<std::sync::Mutex<Option<SimReport>>> =
+            traces.iter().map(|_| std::sync::Mutex::new(None)).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..n_workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= traces.len() {
-                        break;
+                scope.spawn(|| {
+                    let mut scratch = ReplayScratch::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= traces.len() {
+                            break;
+                        }
+                        let report = self.simulate_with_scratch(&traces[i], &mut scratch);
+                        *results[i].lock().expect("result slot poisoned") = Some(report);
                     }
-                    let report = self.simulate(&traces[i]);
-                    results.lock()[i] = Some(report);
                 });
             }
-        })
-        .expect("simulation workers do not panic");
+        });
         results
-            .into_inner()
             .into_iter()
-            .map(|r| r.expect("every trace simulated"))
+            .map(|r| {
+                r.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every trace simulated")
+            })
             .collect()
     }
 }
@@ -354,8 +384,7 @@ mod tests {
     fn simulate_many_matches_sequential() {
         let traces: Vec<Trace> = (0..6).map(|_| mixed_trace()).collect();
         let parallel = accel().simulate_many(&traces);
-        let sequential: Vec<SimReport> =
-            traces.iter().map(|t| accel().simulate(t)).collect();
+        let sequential: Vec<SimReport> = traces.iter().map(|t| accel().simulate(t)).collect();
         assert_eq!(parallel, sequential);
     }
 

@@ -82,10 +82,7 @@ impl Aabb {
     /// Smallest box containing both boxes.
     #[inline]
     pub fn union(&self, other: &Self) -> Self {
-        Self::new(
-            self.min.min_elem(other.min),
-            self.max.max_elem(other.max),
-        )
+        Self::new(self.min.min_elem(other.min), self.max.max_elem(other.max))
     }
 
     /// Whether `p` lies inside (inclusive).

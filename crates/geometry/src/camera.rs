@@ -36,14 +36,7 @@ impl Camera {
     /// Creates a camera looking from `eye` toward `target`.
     ///
     /// `fov_y` is the full vertical field of view in radians.
-    pub fn look_at(
-        eye: Vec3,
-        target: Vec3,
-        up: Vec3,
-        fov_y: f32,
-        width: u32,
-        height: u32,
-    ) -> Self {
+    pub fn look_at(eye: Vec3, target: Vec3, up: Vec3, fov_y: f32, width: u32, height: u32) -> Self {
         let near = 0.05;
         let far = 1000.0;
         let aspect = width as f32 / height as f32;
@@ -213,14 +206,7 @@ mod tests {
 
     #[test]
     fn forward_matches_look_direction() {
-        let cam = Camera::look_at(
-            Vec3::new(3.0, 1.0, 3.0),
-            Vec3::ZERO,
-            Vec3::Y,
-            1.0,
-            64,
-            64,
-        );
+        let cam = Camera::look_at(Vec3::new(3.0, 1.0, 3.0), Vec3::ZERO, Vec3::Y, 1.0, 64, 64);
         let expected = (Vec3::ZERO - Vec3::new(3.0, 1.0, 3.0)).normalized();
         assert!((cam.forward() - expected).length() < 1e-5);
     }

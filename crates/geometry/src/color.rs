@@ -204,6 +204,16 @@ impl Image {
         &self.pixels
     }
 
+    /// Mutable borrow of the pixel data, row-major.
+    ///
+    /// Rows are contiguous (`width` pixels each), so horizontal bands of
+    /// the image are disjoint `&mut` chunks — the property the parallel
+    /// renderers rely on.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [Rgb] {
+        &mut self.pixels
+    }
+
     /// Pixel at `(x, y)`.
     ///
     /// # Panics
@@ -211,7 +221,10 @@ impl Image {
     /// Panics when the coordinates are out of bounds.
     #[inline]
     pub fn get(&self, x: u32, y: u32) -> Rgb {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y as usize * self.width as usize + x as usize]
     }
 
@@ -222,17 +235,17 @@ impl Image {
     /// Panics when the coordinates are out of bounds.
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, c: Rgb) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y as usize * self.width as usize + x as usize] = c;
     }
 
     /// Mean over all pixels.
     pub fn mean(&self) -> Rgb {
         let n = self.pixels.len().max(1) as f32;
-        let sum = self
-            .pixels
-            .iter()
-            .fold(Rgb::BLACK, |acc, &p| acc + p);
+        let sum = self.pixels.iter().fold(Rgb::BLACK, |acc, &p| acc + p);
         sum * (1.0 / n)
     }
 

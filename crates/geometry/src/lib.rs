@@ -37,7 +37,7 @@ pub use aabb::Aabb;
 pub use camera::Camera;
 pub use color::{Image, Rgb, Rgba};
 pub use interp::{bilinear_weights, trilinear_weights};
-pub use mat::{Mat3, Mat4};
+pub use mat::{FlatMat, Mat3, Mat4};
 pub use ray::Ray;
 pub use sampling::StratifiedSampler;
 pub use vec::{Vec2, Vec3, Vec4};

@@ -1,8 +1,14 @@
-//! Column-major 3×3 and 4×4 matrices.
+//! Column-major 3×3 and 4×4 matrices, plus the contiguous row-major
+//! [`FlatMat`] buffer.
 //!
 //! `Mat4` carries the space-conversion math of the mesh and 3D-Gaussian
 //! pipelines (Sec. II-A / II-E of the paper): model/view transforms,
 //! perspective projection into clip space, and viewport mapping.
+//! `FlatMat` is the workspace-wide convention for dynamically sized
+//! matrices (MLP weights, activation batches, cycle-exact engine state):
+//! one contiguous row-major allocation instead of nested `Vec<Vec<f32>>`,
+//! so hot loops stream rows without pointer chasing and buffers can be
+//! reused across frames without reallocating.
 
 use crate::vec::{Vec3, Vec4};
 use serde::{Deserialize, Serialize};
@@ -300,12 +306,7 @@ impl Mat4 {
         }
         for col in 0..4 {
             // Partial pivoting.
-            let pivot = (col..4).max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite pivots")
-            })?;
+            let pivot = (col..4).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
             if a[pivot][col].abs() < 1e-12 {
                 return None;
             }
@@ -314,11 +315,12 @@ impl Mat4 {
             for v in a[col].iter_mut() {
                 *v *= inv_p;
             }
-            for r in 0..4 {
+            let pivot_row = a[col];
+            for (r, row) in a.iter_mut().enumerate() {
                 if r != col {
-                    let factor = a[r][col];
-                    for c in 0..8 {
-                        a[r][c] -= factor * a[col][c];
+                    let factor = row[col];
+                    for (v, p) in row.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
                     }
                 }
             }
@@ -339,6 +341,159 @@ impl Mul for Mat4 {
                 self.mul_vec4(rhs.cols[3]),
             ],
         }
+    }
+}
+
+/// A contiguous row-major `rows × cols` matrix of `f32`.
+///
+/// The flat-buffer convention of this workspace: anywhere a seed-era API
+/// would have used `Vec<Vec<f32>>` (MLP weight blocks, activation batches,
+/// per-PE register files), a `FlatMat` holds the same values in one
+/// allocation. Rows are contiguous slices, so inner loops iterate
+/// cache-linearly, and [`FlatMat::clear_rows`] lets long-lived scratch
+/// buffers be refilled every frame without touching the allocator.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlatMat {
+    data: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl FlatMat {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// An empty matrix with `cols` columns and capacity for `rows` rows,
+    /// ready for [`FlatMat::push_row`].
+    pub fn with_row_capacity(rows: usize, cols: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(rows * cols),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Builds from a generator called in row-major order.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The whole buffer, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The whole buffer, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "row width must match cols");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Drops all rows but keeps the allocation (per-frame scratch reuse).
+    pub fn clear_rows(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+
+    /// Reshapes to `rows × cols` filled with zeros, reusing the
+    /// allocation when possible.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Fills every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for FlatMat {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for FlatMat {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
     }
 }
 
@@ -411,8 +566,53 @@ mod tests {
         let inv = m.inverse().expect("invertible");
         let prod = m * inv;
         for i in 0..3 {
-            assert!((prod.cols[i] - Mat3::IDENTITY.cols[i]).abs().max_component() < 1e-5);
+            assert!(
+                (prod.cols[i] - Mat3::IDENTITY.cols[i])
+                    .abs()
+                    .max_component()
+                    < 1e-5
+            );
         }
+    }
+
+    #[test]
+    fn flatmat_rows_are_contiguous_row_major() {
+        let m = FlatMat::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(m[(2, 3)], 11.0);
+        assert_eq!(m.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn flatmat_push_and_clear_keep_capacity() {
+        let mut m = FlatMat::with_row_capacity(8, 3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        let cap = m.as_slice().as_ptr();
+        m.clear_rows();
+        assert_eq!(m.rows(), 0);
+        m.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(m.row(0), &[7.0, 8.0, 9.0]);
+        assert_eq!(m.as_slice().as_ptr(), cap, "allocation reused");
+    }
+
+    #[test]
+    fn flatmat_reset_zeroed_reshapes() {
+        let mut m = FlatMat::zeros(2, 2);
+        m[(1, 1)] = 5.0;
+        m.reset_zeroed(3, 5);
+        assert_eq!((m.rows(), m.cols()), (3, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width must match cols")]
+    fn flatmat_push_row_rejects_wrong_width() {
+        let mut m = FlatMat::with_row_capacity(1, 3);
+        m.push_row(&[1.0]);
     }
 
     #[test]

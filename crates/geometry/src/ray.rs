@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn degenerate_triangle_is_rejected() {
         let r = Ray::new(Vec3::new(0.0, 0.0, 1.0), -Vec3::Z);
-        assert!(r.intersect_triangle(Vec3::ZERO, Vec3::X, Vec3::X * 2.0).is_none());
+        assert!(r
+            .intersect_triangle(Vec3::ZERO, Vec3::X, Vec3::X * 2.0)
+            .is_none());
     }
 
     #[test]

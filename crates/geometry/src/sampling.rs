@@ -22,7 +22,11 @@ impl XorShift64 {
     /// Creates an RNG from a seed (0 is remapped to a fixed constant).
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -91,21 +95,29 @@ impl StratifiedSampler {
     /// Returned distances are strictly increasing. With `jitter == 0` each
     /// sample sits at its stratum midpoint.
     pub fn sample(&self, t_near: f32, t_far: f32, rng: &mut XorShift64) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.sample_into(t_near, t_far, rng, &mut out);
+        out
+    }
+
+    /// Like [`StratifiedSampler::sample`], but refills `out` in place so
+    /// per-ray hot loops reuse one buffer instead of allocating.
+    pub fn sample_into(&self, t_near: f32, t_far: f32, rng: &mut XorShift64, out: &mut Vec<f32>) {
+        out.clear();
         let n = self.samples_per_ray;
         if n == 0 || t_far <= t_near {
-            return Vec::new();
+            return;
         }
         let dt = (t_far - t_near) / n as f32;
-        (0..n)
-            .map(|i| {
-                let offset = if self.jitter > 0.0 {
-                    0.5 + (rng.next_f32() - 0.5) * self.jitter
-                } else {
-                    0.5
-                };
-                t_near + (i as f32 + offset) * dt
-            })
-            .collect()
+        out.reserve(n);
+        for i in 0..n {
+            let offset = if self.jitter > 0.0 {
+                0.5 + (rng.next_f32() - 0.5) * self.jitter
+            } else {
+                0.5
+            };
+            out.push(t_near + (i as f32 + offset) * dt);
+        }
     }
 }
 
@@ -113,7 +125,10 @@ impl StratifiedSampler {
 /// unbounded-scene pipelines (MeRF-style contraction) to spend samples near
 /// the camera.
 pub fn disparity_samples(t_near: f32, t_far: f32, n: usize) -> Vec<f32> {
-    assert!(t_near > 0.0, "disparity sampling needs positive near distance");
+    assert!(
+        t_near > 0.0,
+        "disparity sampling needs positive near distance"
+    );
     if n == 0 || t_far <= t_near {
         return Vec::new();
     }
@@ -192,6 +207,19 @@ mod tests {
             assert!(w[0] < w[1], "strictly increasing");
         }
         assert!(ts[0] >= 1.0 && *ts.last().expect("nonempty") <= 9.0);
+    }
+
+    #[test]
+    fn sample_into_matches_sample_and_reuses_buffer() {
+        let sampler = StratifiedSampler::new(16).with_jitter(1.0);
+        let expected = sampler.sample(1.0, 5.0, &mut XorShift64::new(3));
+        let mut out = Vec::new();
+        sampler.sample_into(1.0, 5.0, &mut XorShift64::new(3), &mut out);
+        assert_eq!(out, expected);
+        let ptr = out.as_ptr();
+        sampler.sample_into(2.0, 6.0, &mut XorShift64::new(4), &mut out);
+        assert_eq!(out.len(), 16);
+        assert_eq!(out.as_ptr(), ptr, "buffer reused");
     }
 
     #[test]

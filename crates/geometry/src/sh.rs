@@ -20,7 +20,13 @@ pub const fn coeff_count(max_degree: u8) -> usize {
 // Band constants, standard real-SH normalization.
 const C0: f32 = 0.282_094_79;
 const C1: f32 = 0.488_602_51;
-const C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_22];
+const C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_22,
+];
 const C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,

@@ -1,0 +1,198 @@
+//! Band parallelism for the render hot paths.
+//!
+//! The functional pipelines process images in horizontal *bands* (whole
+//! scanlines, or rows of 16×16 tiles). Bands touch disjoint slices of the
+//! row-major pixel buffer, so they parallelize without locks: each worker
+//! takes ownership of distinct `&mut` chunks via `chunks_mut` and the
+//! results are bitwise independent of the thread count.
+//!
+//! Built on `std::thread::scope` — the hermetic build environment has no
+//! rayon, and band-granularity work needs nothing fancier. With the
+//! `threads` feature disabled (or one available core, or
+//! `UNI_RENDER_THREADS=1`) everything runs serially on the calling thread;
+//! callers keep a single code path either way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One band's work slot: the chunk a worker claims (exactly once).
+type BandCell<'a, T> = std::sync::Mutex<Option<&'a mut [T]>>;
+
+/// Worker count the band helpers will use.
+///
+/// `UNI_RENDER_THREADS` overrides detection; without the `threads` feature
+/// this is always 1.
+pub fn worker_count() -> usize {
+    #[cfg(not(feature = "threads"))]
+    {
+        1
+    }
+    #[cfg(feature = "threads")]
+    {
+        if let Ok(v) = std::env::var("UNI_RENDER_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Whether the helpers will actually spawn threads.
+pub fn is_parallel() -> bool {
+    worker_count() > 1
+}
+
+/// Splits `data` into consecutive chunks of `band_len` elements (the last
+/// may be shorter) and runs `f(band_index, chunk)` for every band,
+/// returning the per-band results in band order.
+///
+/// Bands are claimed from a shared counter, so heterogeneous band costs
+/// load-balance across workers. With one worker this degenerates to a
+/// plain serial loop on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `band_len == 0` while `data` is nonempty, or if a worker
+/// panics (the panic is propagated).
+pub fn par_bands<T, R, F>(data: &mut [T], band_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    if data.is_empty() {
+        return Vec::new();
+    }
+    assert!(band_len > 0, "band_len must be positive");
+    let n_bands = data.len().div_ceil(band_len);
+    let workers = worker_count().min(n_bands);
+
+    if workers <= 1 {
+        return data
+            .chunks_mut(band_len)
+            .enumerate()
+            .map(|(i, chunk)| f(i, chunk))
+            .collect();
+    }
+
+    // Hand each band's `&mut` chunk to exactly one worker through a slot
+    // vector; a claimed index takes its chunk out of the cell exactly
+    // once, so band execution never holds a lock.
+    let slot_cells: Vec<BandCell<'_, T>> = data
+        .chunks_mut(band_len)
+        .map(|chunk| std::sync::Mutex::new(Some(chunk)))
+        .collect();
+    run_pool(n_bands, workers, |i| {
+        let chunk = slot_cells[i]
+            .lock()
+            .expect("band slot poisoned")
+            .take()
+            .expect("band claimed once");
+        f(i, chunk)
+    })
+}
+
+/// Runs `f(index)` for every index in `0..n`, returning results in order.
+/// The read-only sibling of [`par_bands`] for fan-out over shared state.
+pub fn par_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    run_pool(n, workers, f)
+}
+
+/// The shared worker pool behind [`par_bands`] and [`par_indices`]: runs
+/// `f(i)` for every index in `0..n` on `workers` scoped threads, indices
+/// claimed from an atomic cursor (so heterogeneous costs load-balance),
+/// results returned in index order. Worker panics are propagated.
+fn run_pool<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let cells: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let cells = &cells;
+            let f = &f;
+            handles.push(scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *cells[i].lock().expect("result cell poisoned") = Some(f(i));
+            }));
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+    cells
+        .into_iter()
+        .map(|c| {
+            c.into_inner()
+                .expect("result cell poisoned")
+                .expect("every index ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_every_element_once() {
+        let mut data: Vec<u32> = vec![0; 103];
+        let counts = par_bands(&mut data, 10, |band, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1 + band as u32;
+            }
+            chunk.len()
+        });
+        assert_eq!(counts.len(), 11);
+        assert_eq!(counts.iter().sum::<usize>(), 103);
+        assert_eq!(counts[10], 3, "last band is the remainder");
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 10) as u32, "element {i} written by its band");
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_band_order() {
+        let mut data: Vec<u8> = vec![0; 64];
+        let ids = par_bands(&mut data, 8, |band, _| band);
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_no_bands() {
+        let mut data: Vec<u8> = Vec::new();
+        let r: Vec<usize> = par_bands(&mut data, 16, |_, chunk| chunk.len());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn par_indices_orders_results() {
+        let squares = par_indices(20, |i| i * i);
+        assert_eq!(squares, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

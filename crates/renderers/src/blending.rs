@@ -153,9 +153,7 @@ mod tests {
         let a = whole.finish(Rgb::BLACK);
         let b = halves.finish(Rgb::BLACK);
         assert!((a.r - b.r).abs() < 1e-5, "{} vs {}", a.r, b.r);
-        assert!(
-            (whole.transmittance() - halves.transmittance()).abs() < 1e-6
-        );
+        assert!((whole.transmittance() - halves.transmittance()).abs() < 1e-6);
     }
 
     #[test]

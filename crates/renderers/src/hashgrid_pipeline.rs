@@ -28,11 +28,113 @@ struct HashStats {
     samples_fetched: u64,
 }
 
+impl HashStats {
+    fn merge(&mut self, o: HashStats) {
+        self.rays += o.rays;
+        self.rays_in_bounds += o.rays_in_bounds;
+        self.samples_marched += o.samples_marched;
+        self.samples_fetched += o.samples_fetched;
+    }
+}
+
 impl HashGridPipeline {
+    /// Renders the scanlines starting at row `y0` into `chunk` (whole
+    /// rows, row-major).
+    fn render_rows(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        y0: u32,
+        chunk: &mut [Rgb],
+    ) -> HashStats {
+        let bg = scene.field().background();
+        let grid = scene.hashgrid();
+        let decoder = scene.hash_decoder();
+        let bounds = grid.bounds();
+        let cfg = *grid.config();
+        let samples_per_ray = scene.spec().scaled_repr().samples_per_ray as usize;
+        let sampler = StratifiedSampler::new(samples_per_ray);
+        let mut rng = XorShift64::new(0xFEED);
+        let width = camera.width as usize;
+        let rows = chunk.len() / width.max(1);
+        let mut stats = HashStats::default();
+        crate::scratch::with_ray_scratch(|rs| {
+            let crate::scratch::RayScratch { ts, feats, mlp, .. } = rs;
+            feats.clear();
+            feats.resize(cfg.feature_dim() as usize, 0.0);
+            for dy in 0..rows {
+                let y = y0 + dy as u32;
+                let row = &mut chunk[dy * width..(dy + 1) * width];
+                for x in 0..camera.width {
+                    stats.rays += 1;
+                    let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
+                    let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
+                        continue;
+                    };
+                    stats.rays_in_bounds += 1;
+                    let mut acc = RayAccumulator::new();
+                    sampler.sample_into(t0, t1, &mut rng, ts);
+                    let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
+                    for &t in ts.iter() {
+                        if acc.saturated() {
+                            break;
+                        }
+                        stats.samples_marched += 1;
+                        // Occupancy gate *before* the hash fetch (Instant-NGP
+                        // consults its occupancy grid first): the finest dense
+                        // (collision-free) level is the proxy — where it reads
+                        // ~zero density, neither the fetch nor the decoder run.
+                        if grid.density_probe(ray.at(t)) < 2e-2 {
+                            continue;
+                        }
+                        stats.samples_fetched += 1;
+                        grid.fetch(ray.at(t), feats);
+                        let out = decoder.forward_scratch(feats, mlp);
+                        let density = out[0].max(0.0) * PEAK_DENSITY;
+                        if density < 1e-2 {
+                            continue;
+                        }
+                        let color = Rgb::new(
+                            out[1].clamp(0.0, 1.0),
+                            out[2].clamp(0.0, 1.0),
+                            out[3].clamp(0.0, 1.0),
+                        );
+                        acc.add_density_sample(color, density, dt);
+                    }
+                    row[x as usize] = acc.finish(bg);
+                }
+            }
+        });
+        stats
+    }
+
     fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, HashStats) {
         let bg = scene.field().background();
         let mut img = Image::new(camera.width, camera.height, bg);
+        let width = camera.width as usize;
+        let band_len = crate::scratch::BAND_ROWS as usize * width;
+        let per_band = uni_parallel::par_bands(img.pixels_mut(), band_len, |band, chunk| {
+            self.render_rows(
+                scene,
+                camera,
+                band as u32 * crate::scratch::BAND_ROWS,
+                chunk,
+            )
+        });
         let mut stats = HashStats::default();
+        for s in per_band {
+            stats.merge(s);
+        }
+        (img, stats)
+    }
+
+    /// The seed-era scalar reference path: single-threaded, allocating a
+    /// fresh sample vector per ray and fresh decoder activations per
+    /// sample. Parity baseline and the "before" side of
+    /// `benches/render_hot.rs`.
+    pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let bg = scene.field().background();
+        let mut img = Image::new(camera.width, camera.height, bg);
         let grid = scene.hashgrid();
         let decoder = scene.hash_decoder();
         let bounds = grid.bounds();
@@ -41,16 +143,12 @@ impl HashGridPipeline {
         let sampler = StratifiedSampler::new(samples_per_ray);
         let mut rng = XorShift64::new(0xFEED);
         let mut feats = vec![0f32; cfg.feature_dim() as usize];
-
         for y in 0..camera.height {
             for x in 0..camera.width {
-                stats.rays += 1;
                 let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
-                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far)
-                else {
+                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
                     continue;
                 };
-                stats.rays_in_bounds += 1;
                 let mut acc = RayAccumulator::new();
                 let ts = sampler.sample(t0, t1, &mut rng);
                 let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
@@ -58,15 +156,9 @@ impl HashGridPipeline {
                     if acc.saturated() {
                         break;
                     }
-                    stats.samples_marched += 1;
-                    // Occupancy gate *before* the hash fetch (Instant-NGP
-                    // consults its occupancy grid first): the finest dense
-                    // (collision-free) level is the proxy — where it reads
-                    // ~zero density, neither the fetch nor the decoder run.
                     if grid.density_probe(ray.at(t)) < 2e-2 {
                         continue;
                     }
-                    stats.samples_fetched += 1;
                     grid.fetch(ray.at(t), &mut feats);
                     let out = decoder.forward(&feats);
                     let density = out[0].max(0.0) * PEAK_DENSITY;
@@ -83,7 +175,7 @@ impl HashGridPipeline {
                 img.set(x, y, acc.finish(bg));
             }
         }
-        (img, stats)
+        img
     }
 }
 
@@ -110,8 +202,11 @@ impl Renderer for HashGridPipeline {
 
         // (1) Occupancy probe on the finest dense level (one level, one
         // channel) for every marched sample.
-        let dense_res =
-            u64::from(repr.hash.level_resolution(repr.hash.levels.saturating_sub(4)) + 1);
+        let dense_res = u64::from(
+            repr.hash
+                .level_resolution(repr.hash.levels.saturating_sub(4))
+                + 1,
+        );
         trace.push(Invocation::new(
             "occupancy probe",
             Workload::GridIndex {

@@ -8,7 +8,7 @@
 //! the pipeline that crosses the most micro-operator families per frame —
 //! the stress test for the accelerator's reconfigurability.
 
-use crate::mesh_pipeline::rasterize;
+use crate::mesh_pipeline::{rasterize, rasterize_scalar, PixelHitPublic};
 use crate::probe::Probe;
 use crate::Renderer;
 use uni_geometry::{Camera, Image, Rgb};
@@ -19,6 +19,64 @@ use uni_scene::{BakedScene, TriangleMesh, PEAK_DENSITY};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MixRtPipeline {}
 
+impl MixRtPipeline {
+    /// Surface-shades rows `[y0, y0 + rows)` from the hit buffer: one
+    /// hash fetch + decoder evaluation per covered pixel.
+    fn shade_rows(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        hits: &[Option<PixelHitPublic>],
+        y0: u32,
+        chunk: &mut [Rgb],
+    ) {
+        let bg = scene.field().background();
+        let grid = scene.hashgrid();
+        let decoder = scene.hash_decoder();
+        let mesh = scene.mesh();
+        let width = camera.width as usize;
+        let rows = chunk.len() / width.max(1);
+        crate::scratch::with_ray_scratch(|rs| {
+            let crate::scratch::RayScratch { feats, mlp, .. } = rs;
+            feats.clear();
+            feats.resize(grid.config().feature_dim() as usize, 0.0);
+            for dy in 0..rows {
+                let y = y0 + dy as u32;
+                let row = &mut chunk[dy * width..(dy + 1) * width];
+                for x in 0..camera.width {
+                    let Some(hit) = hits[(y * camera.width + x) as usize] else {
+                        continue;
+                    };
+                    // Surface point from the rasterizer's barycentrics.
+                    let [a, b, c] = mesh.triangle(hit.triangle as usize);
+                    let (w0, w1, w2) = hit.bary;
+                    let p = a * w0 + b * w1 + c * w2;
+                    grid.fetch(p, feats);
+                    let out = decoder.forward_scratch(feats, mlp);
+                    // The decoded density gates surface confidence; color
+                    // comes from the field decode.
+                    let density = out[0].max(0.0) * PEAK_DENSITY;
+                    let color = Rgb::new(
+                        out[1].clamp(0.0, 1.0),
+                        out[2].clamp(0.0, 1.0),
+                        out[3].clamp(0.0, 1.0),
+                    );
+                    let confidence = (density / 8.0).clamp(0.0, 1.0);
+                    row[x as usize] = bg.lerp(color, confidence);
+                }
+            }
+        });
+    }
+
+    /// Single-threaded whole-frame reference path (parity/bench baseline).
+    pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let (hits, _) = rasterize_scalar(scene.mesh(), camera);
+        let mut img = Image::new(camera.width, camera.height, scene.field().background());
+        self.shade_rows(scene, camera, &hits, 0, img.pixels_mut());
+        img
+    }
+}
+
 impl Renderer for MixRtPipeline {
     fn pipeline(&self) -> Pipeline {
         Pipeline::HybridMixRt
@@ -28,33 +86,15 @@ impl Renderer for MixRtPipeline {
         let bg = scene.field().background();
         let mut img = Image::new(camera.width, camera.height, bg);
         let (hits, _) = rasterize(scene.mesh(), camera);
-        let grid = scene.hashgrid();
-        let decoder = scene.hash_decoder();
-        let mesh = scene.mesh();
-        let mut feats = vec![0f32; grid.config().feature_dim() as usize];
-        for y in 0..camera.height {
-            for x in 0..camera.width {
-                let Some(hit) = hits[(y * camera.width + x) as usize] else {
-                    continue;
-                };
-                // Surface point from the rasterizer's barycentrics.
-                let [a, b, c] = mesh.triangle(hit.triangle as usize);
-                let (w0, w1, w2) = hit.bary;
-                let p = a * w0 + b * w1 + c * w2;
-                grid.fetch(p, &mut feats);
-                let out = decoder.forward(&feats);
-                // The decoded density gates surface confidence; color comes
-                // from the field decode.
-                let density = out[0].max(0.0) * PEAK_DENSITY;
-                let color = Rgb::new(
-                    out[1].clamp(0.0, 1.0),
-                    out[2].clamp(0.0, 1.0),
-                    out[3].clamp(0.0, 1.0),
-                );
-                let confidence = (density / 8.0).clamp(0.0, 1.0);
-                img.set(x, y, bg.lerp(color, confidence));
-            }
-        }
+        let width = camera.width as usize;
+        let band_rows = crate::scratch::BAND_ROWS;
+        uni_parallel::par_bands(
+            img.pixels_mut(),
+            band_rows as usize * width,
+            |band, chunk| {
+                self.shade_rows(scene, camera, &hits, band as u32 * band_rows, chunk);
+            },
+        );
         img
     }
 
@@ -190,7 +230,9 @@ mod tests {
         let scene = testutil::scene();
         let camera = testutil::camera(scene, 640, 480);
         let hybrid = MixRtPipeline::default().trace(scene, &camera).total_cost();
-        let hash = HashGridPipeline::default().trace(scene, &camera).total_cost();
+        let hash = HashGridPipeline::default()
+            .trace(scene, &camera)
+            .total_cost();
         assert!(
             hybrid.fp_macs < hash.fp_macs,
             "one fetch/pixel beats marching: {} vs {}",

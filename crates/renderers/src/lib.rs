@@ -26,6 +26,7 @@ pub mod mesh_pipeline;
 pub mod mlp_pipeline;
 pub mod probe;
 pub mod reference;
+pub(crate) mod scratch;
 
 pub use gaussian_pipeline::GaussianPipeline;
 pub use hashgrid_pipeline::HashGridPipeline;
@@ -114,15 +115,16 @@ pub(crate) mod testutil {
     /// A shared tiny baked scene for renderer tests.
     pub fn scene() -> &'static BakedScene {
         static SCENE: OnceLock<BakedScene> = OnceLock::new();
-        SCENE.get_or_init(|| SceneSpec::demo("renderer-test", 21).with_detail(0.03).bake())
+        SCENE.get_or_init(|| {
+            SceneSpec::demo("renderer-test", 21)
+                .with_detail(0.03)
+                .bake()
+        })
     }
 
     /// A default test camera on the scene's orbit.
     pub fn camera(scene: &BakedScene, width: u32, height: u32) -> uni_geometry::Camera {
-        scene
-            .spec()
-            .orbit(width, height)
-            .camera_at(0.7)
+        scene.spec().orbit(width, height).camera_at(0.7)
     }
 }
 

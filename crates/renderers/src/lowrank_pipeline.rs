@@ -26,11 +26,131 @@ struct LowRankStats {
     pixels_deferred: u64,
 }
 
+impl LowRankStats {
+    fn merge(&mut self, o: LowRankStats) {
+        self.rays += o.rays;
+        self.rays_in_bounds += o.rays_in_bounds;
+        self.samples_tested += o.samples_tested;
+        self.samples_contributing += o.samples_contributing;
+        self.pixels_deferred += o.pixels_deferred;
+    }
+}
+
 impl LowRankPipeline {
+    /// Renders the scanlines starting at row `y0` into `chunk` (whole
+    /// rows, row-major).
+    fn render_rows(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        y0: u32,
+        chunk: &mut [Rgb],
+    ) -> LowRankStats {
+        let bg = scene.field().background();
+        let tp = scene.triplane();
+        let bounds = tp.bounds();
+        let channels = tp.config().channels as usize;
+        let samples_per_ray = scene.spec().scaled_repr().samples_per_ray as usize;
+        let sampler = StratifiedSampler::new(samples_per_ray);
+        let mut rng = XorShift64::new(0xDECAF);
+        let width = camera.width as usize;
+        let rows = chunk.len() / width.max(1);
+        let mut stats = LowRankStats::default();
+        crate::scratch::with_ray_scratch(|rs| {
+            let crate::scratch::RayScratch { ts, feats, mlp, .. } = rs;
+            feats.clear();
+            feats.resize(channels, 0.0);
+            for dy in 0..rows {
+                let y = y0 + dy as u32;
+                let row = &mut chunk[dy * width..(dy + 1) * width];
+                for x in 0..camera.width {
+                    stats.rays += 1;
+                    let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
+                    let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
+                        continue;
+                    };
+                    stats.rays_in_bounds += 1;
+                    let mut acc = RayAccumulator::new();
+                    // Deferred view-dependence features accumulate alongside
+                    // color, weighted by the same compositing weights.
+                    let mut spec_feats = [0f32; 4];
+                    sampler.sample_into(t0, t1, &mut rng, ts);
+                    let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
+                    for &t in ts.iter() {
+                        if acc.saturated() {
+                            break;
+                        }
+                        stats.samples_tested += 1;
+                        tp.fetch(ray.at(t), feats);
+                        let density = feats[0].max(0.0) * PEAK_DENSITY;
+                        if density < 1e-2 {
+                            continue;
+                        }
+                        stats.samples_contributing += 1;
+                        let diffuse = Rgb::new(
+                            feats[1].clamp(0.0, 1.0),
+                            feats[2].clamp(0.0, 1.0),
+                            feats[3].clamp(0.0, 1.0),
+                        );
+                        let t_before = acc.transmittance();
+                        acc.add_density_sample(diffuse, density, dt);
+                        let weight = t_before - acc.transmittance();
+                        for (sf, &f) in spec_feats.iter_mut().zip(&feats[4..8]) {
+                            *sf += weight * f;
+                        }
+                    }
+                    let mut color = acc.finish_premultiplied().0;
+                    let alpha = 1.0 - acc.transmittance();
+                    if alpha > 1e-3 {
+                        stats.pixels_deferred += 1;
+                        let spec = scene.deferred_mlp().forward_scratch(
+                            &[
+                                spec_feats[0],
+                                spec_feats[1],
+                                spec_feats[2],
+                                spec_feats[3],
+                                ray.direction.x,
+                                ray.direction.y,
+                                ray.direction.z,
+                            ],
+                            mlp,
+                        );
+                        color = Rgb::new(color.r + spec[0], color.g + spec[1], color.b + spec[2]);
+                    }
+                    row[x as usize] = (color + bg * acc.transmittance()).saturate();
+                }
+            }
+        });
+        stats
+    }
+
     fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, LowRankStats) {
         let bg = scene.field().background();
         let mut img = Image::new(camera.width, camera.height, bg);
+        let width = camera.width as usize;
+        let band_len = crate::scratch::BAND_ROWS as usize * width;
+        let per_band = uni_parallel::par_bands(img.pixels_mut(), band_len, |band, chunk| {
+            self.render_rows(
+                scene,
+                camera,
+                band as u32 * crate::scratch::BAND_ROWS,
+                chunk,
+            )
+        });
         let mut stats = LowRankStats::default();
+        for s in per_band {
+            stats.merge(s);
+        }
+        (img, stats)
+    }
+
+    /// The seed-era scalar reference path: single-threaded, allocating a
+    /// fresh sample vector per ray and fresh deferred-MLP activations per
+    /// covered pixel. Parity baseline and the "before" side of
+    /// `benches/render_hot.rs`.
+    pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let bg = scene.field().background();
+        let mut img = Image::new(camera.width, camera.height, bg);
         let tp = scene.triplane();
         let bounds = tp.bounds();
         let channels = tp.config().channels as usize;
@@ -38,19 +158,13 @@ impl LowRankPipeline {
         let sampler = StratifiedSampler::new(samples_per_ray);
         let mut rng = XorShift64::new(0xDECAF);
         let mut feats = vec![0f32; channels];
-
         for y in 0..camera.height {
             for x in 0..camera.width {
-                stats.rays += 1;
                 let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
-                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far)
-                else {
+                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
                     continue;
                 };
-                stats.rays_in_bounds += 1;
                 let mut acc = RayAccumulator::new();
-                // Deferred view-dependence features accumulate alongside
-                // color, weighted by the same compositing weights.
                 let mut spec_feats = [0f32; 4];
                 let ts = sampler.sample(t0, t1, &mut rng);
                 let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
@@ -58,13 +172,11 @@ impl LowRankPipeline {
                     if acc.saturated() {
                         break;
                     }
-                    stats.samples_tested += 1;
                     tp.fetch(ray.at(t), &mut feats);
                     let density = feats[0].max(0.0) * PEAK_DENSITY;
                     if density < 1e-2 {
                         continue;
                     }
-                    stats.samples_contributing += 1;
                     let diffuse = Rgb::new(
                         feats[1].clamp(0.0, 1.0),
                         feats[2].clamp(0.0, 1.0),
@@ -80,7 +192,6 @@ impl LowRankPipeline {
                 let mut color = acc.finish_premultiplied().0;
                 let alpha = 1.0 - acc.transmittance();
                 if alpha > 1e-3 {
-                    stats.pixels_deferred += 1;
                     let spec = scene.deferred_mlp().forward(&[
                         spec_feats[0],
                         spec_feats[1],
@@ -95,7 +206,7 @@ impl LowRankPipeline {
                 img.set(x, y, (color + bg * acc.transmittance()).saturate());
             }
         }
-        (img, stats)
+        img
     }
 }
 
@@ -118,8 +229,7 @@ impl Renderer for LowRankPipeline {
         let sample_ratio =
             f64::from(repr.samples_per_ray) / f64::from(scaled.samples_per_ray.max(1));
         let points = (probe.scale(stats.samples_tested) as f64 * sample_ratio) as u64;
-        let contributing =
-            (probe.scale(stats.samples_contributing) as f64 * sample_ratio) as u64;
+        let contributing = (probe.scale(stats.samples_contributing) as f64 * sample_ratio) as u64;
         let channels = repr.triplane.channels;
         let plane_bytes =
             3 * u64::from(repr.triplane.plane_resolution).pow(2) * u64::from(channels);
@@ -158,7 +268,13 @@ impl Renderer for LowRankPipeline {
 
         // (3) Deferred view-dependence MLP, once per covered pixel.
         let deferred = probe.scale(stats.pixels_deferred).max(1);
-        emit_mlp_layers(&mut trace, "deferred mlp", scene.deferred_mlp(), deferred, 0);
+        emit_mlp_layers(
+            &mut trace,
+            "deferred mlp",
+            scene.deferred_mlp(),
+            deferred,
+            0,
+        );
 
         // (4) Blending with one exp per contributing sample.
         trace.push(

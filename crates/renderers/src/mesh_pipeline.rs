@@ -25,14 +25,6 @@ impl Default for MeshPipeline {
     }
 }
 
-/// One Z-buffer entry after rasterization.
-#[derive(Debug, Clone, Copy)]
-struct PixelHit {
-    triangle: u32,
-    bary: (f32, f32, f32),
-    depth: f32,
-}
-
 /// Exact work counts from one rasterization pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct RasterStats {
@@ -43,25 +35,35 @@ pub(crate) struct RasterStats {
     pub covered_pixels: u64,
 }
 
-/// Rasterizes the mesh into a per-pixel hit buffer with exact work counts.
-pub(crate) fn rasterize(
+impl RasterStats {
+    fn merge(&mut self, o: RasterStats) {
+        self.vertices_projected += o.vertices_projected;
+        self.triangles_streamed += o.triangles_streamed;
+        self.candidate_pairs += o.candidate_pairs;
+        self.zbuffer_updates += o.zbuffer_updates;
+        self.covered_pixels += o.covered_pixels;
+    }
+}
+
+/// Rasterizes the triangles overlapping rows `[y0, y0 + rows)` into a
+/// Z-buffer band (`rows × width` slots).
+///
+/// Every triangle is tested against the band's row range; per-pixel
+/// results and counts are identical to a whole-frame pass because each
+/// pixel sees triangles in the same (index) order regardless of banding.
+/// `triangles_streamed` is attributed to the band owning the triangle's
+/// clamped top row so the banded counts sum to the scalar pass exactly.
+fn rasterize_rows(
     mesh: &TriangleMesh,
-    camera: &Camera,
-) -> (Vec<Option<PixelHitPublic>>, RasterStats) {
-    let (w, h) = (camera.width as usize, camera.height as usize);
-    let mut zbuf: Vec<Option<PixelHit>> = vec![None; w * h];
-    let mut stats = RasterStats {
-        vertices_projected: mesh.vertex_count() as u64,
-        ..RasterStats::default()
-    };
-
-    // Space conversion: project every vertex once.
-    let projected: Vec<Option<(Vec2, f32)>> = mesh
-        .positions
-        .iter()
-        .map(|&p| camera.project_to_screen(p).map(|(s, _, d)| (s, d)))
-        .collect();
-
+    projected: &[Option<(Vec2, f32)>],
+    w: usize,
+    h: usize,
+    y0: usize,
+    band: &mut [Option<PixelHitPublic>],
+) -> RasterStats {
+    let rows = band.len() / w.max(1);
+    let band_end = y0 + rows; // exclusive
+    let mut stats = RasterStats::default();
     for t in 0..mesh.triangle_count() {
         let i = t * 3;
         let (Some(a), Some(b), Some(c)) = (
@@ -79,7 +81,12 @@ pub(crate) fn rasterize(
         if min_x > max_x || min_y > max_y {
             continue;
         }
-        stats.triangles_streamed += 1;
+        if (y0..band_end).contains(&min_y) {
+            stats.triangles_streamed += 1;
+        }
+        if min_y >= band_end || max_y < y0 {
+            continue; // No overlap with this band.
+        }
         let ab = b.0 - a.0;
         let ac = c.0 - a.0;
         let area = ab.cross(ac);
@@ -87,7 +94,7 @@ pub(crate) fn rasterize(
             continue;
         }
         let inv_area = 1.0 / area;
-        for py in min_y..=max_y {
+        for py in min_y.max(y0)..=max_y.min(band_end - 1) {
             for px in min_x..=max_x {
                 stats.candidate_pairs += 1;
                 let p = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
@@ -101,10 +108,10 @@ pub(crate) fn rasterize(
                     continue;
                 }
                 let depth = w0 * a.1 + w1 * b.1 + w2 * c.1;
-                let slot = &mut zbuf[py * w + px];
+                let slot = &mut band[(py - y0) * w + px];
                 // Min. Hold: keep the nearest primitive.
-                if slot.map_or(true, |hit| depth < hit.depth) {
-                    *slot = Some(PixelHit {
+                if slot.is_none_or(|hit| depth < hit.depth) {
+                    *slot = Some(PixelHitPublic {
                         triangle: t as u32,
                         bary: (w0, w1, w2),
                         depth,
@@ -114,18 +121,56 @@ pub(crate) fn rasterize(
             }
         }
     }
-    stats.covered_pixels = zbuf.iter().filter(|s| s.is_some()).count() as u64;
-    let public = zbuf
-        .into_iter()
-        .map(|o| {
-            o.map(|hit| PixelHitPublic {
-                triangle: hit.triangle,
-                bary: hit.bary,
-                depth: hit.depth,
-            })
-        })
+    stats.covered_pixels = band.iter().filter(|s| s.is_some()).count() as u64;
+    stats
+}
+
+/// Rasterizes the mesh into a per-pixel hit buffer with exact work
+/// counts, processing bands of rows in parallel.
+pub(crate) fn rasterize(
+    mesh: &TriangleMesh,
+    camera: &Camera,
+) -> (Vec<Option<PixelHitPublic>>, RasterStats) {
+    let (w, h) = (camera.width as usize, camera.height as usize);
+    let mut zbuf: Vec<Option<PixelHitPublic>> = vec![None; w * h];
+
+    // Space conversion: project every vertex once, shared by all bands.
+    let projected: Vec<Option<(Vec2, f32)>> = mesh
+        .positions
+        .iter()
+        .map(|&p| camera.project_to_screen(p).map(|(s, _, d)| (s, d)))
         .collect();
-    (public, stats)
+
+    let band_rows = crate::scratch::BAND_ROWS as usize;
+    let per_band = uni_parallel::par_bands(&mut zbuf, band_rows * w, |band, chunk| {
+        rasterize_rows(mesh, &projected, w, h, band * band_rows, chunk)
+    });
+    let mut stats = RasterStats {
+        vertices_projected: mesh.vertex_count() as u64,
+        ..RasterStats::default()
+    };
+    for s in per_band {
+        stats.merge(s);
+    }
+    (zbuf, stats)
+}
+
+/// Single-threaded whole-frame rasterization (parity/bench baseline for
+/// the banded pass above).
+pub(crate) fn rasterize_scalar(
+    mesh: &TriangleMesh,
+    camera: &Camera,
+) -> (Vec<Option<PixelHitPublic>>, RasterStats) {
+    let (w, h) = (camera.width as usize, camera.height as usize);
+    let mut zbuf: Vec<Option<PixelHitPublic>> = vec![None; w * h];
+    let projected: Vec<Option<(Vec2, f32)>> = mesh
+        .positions
+        .iter()
+        .map(|&p| camera.project_to_screen(p).map(|(s, _, d)| (s, d)))
+        .collect();
+    let mut stats = rasterize_rows(mesh, &projected, w, h, 0, &mut zbuf);
+    stats.vertices_projected = mesh.vertex_count() as u64;
+    (zbuf, stats)
 }
 
 /// A rasterization hit exposed to sibling pipelines (the hybrid pipeline
@@ -134,56 +179,77 @@ pub(crate) fn rasterize(
 pub(crate) struct PixelHitPublic {
     pub triangle: u32,
     pub bary: (f32, f32, f32),
-    #[allow(dead_code)]
     pub depth: f32,
 }
 
 impl MeshPipeline {
-    fn shade(
+    /// Deferred-shades rows `[y0, y0 + rows)` from the hit buffer.
+    fn shade_rows(
         &self,
         scene: &BakedScene,
         camera: &Camera,
         hits: &[Option<PixelHitPublic>],
-    ) -> Image {
-        let bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, bg);
+        y0: u32,
+        chunk: &mut [Rgb],
+    ) {
         let tex = scene.texture();
         let mesh = scene.mesh();
-        let mut feats = vec![0f32; tex.channels() as usize];
-        for y in 0..camera.height {
-            for x in 0..camera.width {
-                let Some(hit) = hits[(y * camera.width + x) as usize] else {
-                    continue;
-                };
-                let [ua, ub, uc] = mesh.triangle_uvs(hit.triangle as usize);
-                let (w0, w1, w2) = hit.bary;
-                let uv = ua * w0 + ub * w1 + uc * w2;
-                tex.sample_bilinear(uv, &mut feats);
-                let diffuse = Rgb::new(feats[0], feats[1], feats[2]);
-                let s = feats[3];
-                let n = Vec3::new(feats[4], feats[5], feats[6]);
-                let view = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5).direction;
-                let spec = scene.deferred_mlp().forward(&[
-                    s * n.x,
-                    s * n.y,
-                    s * n.z,
-                    s,
-                    view.x,
-                    view.y,
-                    view.z,
-                ]);
-                img.set(
-                    x,
-                    y,
-                    Rgb::new(
+        let width = camera.width as usize;
+        let rows = chunk.len() / width.max(1);
+        crate::scratch::with_ray_scratch(|rs| {
+            let crate::scratch::RayScratch { feats, mlp, .. } = rs;
+            feats.clear();
+            feats.resize(tex.channels() as usize, 0.0);
+            for dy in 0..rows {
+                let y = y0 + dy as u32;
+                let row = &mut chunk[dy * width..(dy + 1) * width];
+                for x in 0..camera.width {
+                    let Some(hit) = hits[(y * camera.width + x) as usize] else {
+                        continue;
+                    };
+                    let [ua, ub, uc] = mesh.triangle_uvs(hit.triangle as usize);
+                    let (w0, w1, w2) = hit.bary;
+                    let uv = ua * w0 + ub * w1 + uc * w2;
+                    tex.sample_bilinear(uv, feats);
+                    let diffuse = Rgb::new(feats[0], feats[1], feats[2]);
+                    let s = feats[3];
+                    let n = Vec3::new(feats[4], feats[5], feats[6]);
+                    let view = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5).direction;
+                    let spec = scene.deferred_mlp().forward_scratch(
+                        &[s * n.x, s * n.y, s * n.z, s, view.x, view.y, view.z],
+                        mlp,
+                    );
+                    row[x as usize] = Rgb::new(
                         diffuse.r + spec[0],
                         diffuse.g + spec[1],
                         diffuse.b + spec[2],
                     )
-                    .saturate(),
-                );
+                    .saturate();
+                }
             }
-        }
+        });
+    }
+
+    fn shade(&self, scene: &BakedScene, camera: &Camera, hits: &[Option<PixelHitPublic>]) -> Image {
+        let bg = scene.field().background();
+        let mut img = Image::new(camera.width, camera.height, bg);
+        let width = camera.width as usize;
+        let band_rows = crate::scratch::BAND_ROWS;
+        uni_parallel::par_bands(
+            img.pixels_mut(),
+            band_rows as usize * width,
+            |band, chunk| {
+                self.shade_rows(scene, camera, hits, band as u32 * band_rows, chunk);
+            },
+        );
+        img
+    }
+
+    /// Single-threaded whole-frame reference path (parity/bench baseline).
+    pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let (hits, _) = rasterize_scalar(scene.mesh(), camera);
+        let mut img = Image::new(camera.width, camera.height, scene.field().background());
+        self.shade_rows(scene, camera, &hits, 0, img.pixels_mut());
         img
     }
 }
@@ -243,9 +309,8 @@ impl Renderer for MeshPipeline {
         // MobileNeRF-style bakes fetch *two* deferred-feature textures per
         // pixel from a multi-slab atlas (3 slabs counted in the table).
         let covered = probe.scale(stats.covered_pixels);
-        let texture_bytes = u64::from(repr.texture_resolution).pow(2)
-            * u64::from(repr.texture_channels)
-            * 3;
+        let texture_bytes =
+            u64::from(repr.texture_resolution).pow(2) * u64::from(repr.texture_channels) * 3;
         trace.push(Invocation::new(
             "texture indexing",
             Workload::GridIndex {

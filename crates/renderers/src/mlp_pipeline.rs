@@ -12,7 +12,7 @@ use crate::blending::RayAccumulator;
 use crate::probe::Probe;
 use crate::Renderer;
 use uni_geometry::sampling::XorShift64;
-use uni_geometry::{Camera, Image, StratifiedSampler};
+use uni_geometry::{Camera, Image, Rgb, StratifiedSampler};
 use uni_microops::{Invocation, Pipeline, Trace, Workload};
 use uni_scene::BakedScene;
 
@@ -21,16 +21,10 @@ use uni_scene::BakedScene;
 pub const PIXEL_REUSE_FACTOR: u64 = 20;
 
 /// The MLP-based (volume rendering) pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MlpPipeline {
     /// Enables MetaVRain-style Pixel-Reuse in the emitted workload.
     pub pixel_reuse: bool,
-}
-
-impl Default for MlpPipeline {
-    fn default() -> Self {
-        Self { pixel_reuse: false }
-    }
 }
 
 impl MlpPipeline {
@@ -49,25 +43,105 @@ struct VolumeStats {
     samples_occupied: u64,
 }
 
+impl VolumeStats {
+    fn merge(&mut self, o: VolumeStats) {
+        self.rays += o.rays;
+        self.rays_in_bounds += o.rays_in_bounds;
+        self.samples_tested += o.samples_tested;
+        self.samples_occupied += o.samples_occupied;
+    }
+}
+
 impl MlpPipeline {
-    fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, VolumeStats) {
+    /// Renders the scanlines starting at row `y0` into `chunk` (whole
+    /// rows, row-major). The band loop for the parallel path and, over
+    /// the full image, the scalar reference.
+    fn render_rows(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        y0: u32,
+        chunk: &mut [Rgb],
+    ) -> VolumeStats {
         let field_bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, field_bg);
-        let mut stats = VolumeStats::default();
         let bounds = scene.kilonerf().bounds();
         let samples_per_ray = scene.spec().scaled_repr().mlp_samples_per_ray as usize;
         let sampler = StratifiedSampler::new(samples_per_ray);
         let mut rng = XorShift64::new(0xC0FFEE);
+        let width = camera.width as usize;
+        let rows = chunk.len() / width.max(1);
+        let mut stats = VolumeStats::default();
+        crate::scratch::with_ray_scratch(|rs| {
+            let crate::scratch::RayScratch { ts, kilo, .. } = rs;
+            for dy in 0..rows {
+                let y = y0 + dy as u32;
+                let row = &mut chunk[dy * width..(dy + 1) * width];
+                for x in 0..camera.width {
+                    stats.rays += 1;
+                    let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
+                    let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
+                        continue;
+                    };
+                    stats.rays_in_bounds += 1;
+                    let mut acc = RayAccumulator::new();
+                    sampler.sample_into(t0, t1, &mut rng, ts);
+                    let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
+                    for &t in ts.iter() {
+                        if acc.saturated() {
+                            break;
+                        }
+                        stats.samples_tested += 1;
+                        // Occupancy skip: empty cells never reach an MLP.
+                        if let Some(s) = scene.kilonerf().query_scratch(ray.at(t), kilo) {
+                            stats.samples_occupied += 1;
+                            if s.density > 1e-3 {
+                                acc.add_density_sample(s.color, s.density, dt);
+                            }
+                        }
+                    }
+                    row[x as usize] = acc.finish(field_bg);
+                }
+            }
+        });
+        stats
+    }
 
+    fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, VolumeStats) {
+        let field_bg = scene.field().background();
+        let mut img = Image::new(camera.width, camera.height, field_bg);
+        let width = camera.width as usize;
+        let band_len = crate::scratch::BAND_ROWS as usize * width;
+        let per_band = uni_parallel::par_bands(img.pixels_mut(), band_len, |band, chunk| {
+            self.render_rows(
+                scene,
+                camera,
+                band as u32 * crate::scratch::BAND_ROWS,
+                chunk,
+            )
+        });
+        let mut stats = VolumeStats::default();
+        for s in per_band {
+            stats.merge(s);
+        }
+        (img, stats)
+    }
+
+    /// The seed-era scalar reference path: single-threaded, allocating a
+    /// fresh sample vector per ray and fresh MLP activations per query.
+    /// Parity baseline and the "before" side of `benches/render_hot.rs`.
+    pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let field_bg = scene.field().background();
+        let mut img = Image::new(camera.width, camera.height, field_bg);
+        let bounds = scene.kilonerf().bounds();
+        let samples_per_ray = scene.spec().scaled_repr().mlp_samples_per_ray as usize;
+        let sampler = StratifiedSampler::new(samples_per_ray);
+        let mut rng = XorShift64::new(0xC0FFEE);
         for y in 0..camera.height {
             for x in 0..camera.width {
-                stats.rays += 1;
                 let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
-                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far)
-                else {
+                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
                     continue;
                 };
-                stats.rays_in_bounds += 1;
                 let mut acc = RayAccumulator::new();
                 let ts = sampler.sample(t0, t1, &mut rng);
                 let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
@@ -75,10 +149,7 @@ impl MlpPipeline {
                     if acc.saturated() {
                         break;
                     }
-                    stats.samples_tested += 1;
-                    // Occupancy skip: empty cells never reach an MLP.
                     if let Some(s) = scene.kilonerf().query(ray.at(t)) {
-                        stats.samples_occupied += 1;
                         if s.density > 1e-3 {
                             acc.add_density_sample(s.color, s.density, dt);
                         }
@@ -87,7 +158,7 @@ impl MlpPipeline {
                 img.set(x, y, acc.finish(field_bg));
             }
         }
-        (img, stats)
+        img
     }
 }
 
@@ -107,15 +178,18 @@ impl Renderer for MlpPipeline {
 
         let repr = &scene.spec().repr; // Full-scale constants.
         let scaled = scene.spec().scaled_repr();
-        let reuse = if self.pixel_reuse { PIXEL_REUSE_FACTOR } else { 1 };
+        let reuse = if self.pixel_reuse {
+            PIXEL_REUSE_FACTOR
+        } else {
+            1
+        };
 
         // Occupancy fraction measured on the probe transfers to full scale
         // (same field content); sample counts rescale from the probe's
         // (possibly detail-reduced) samples-per-ray to the full value.
-        let sample_ratio = f64::from(repr.mlp_samples_per_ray)
-            / f64::from(scaled.mlp_samples_per_ray.max(1));
-        let occupied =
-            (probe.scale(stats.samples_occupied) as f64 * sample_ratio) as u64 / reuse;
+        let sample_ratio =
+            f64::from(repr.mlp_samples_per_ray) / f64::from(scaled.mlp_samples_per_ray.max(1));
+        let occupied = (probe.scale(stats.samples_occupied) as f64 * sample_ratio) as u64 / reuse;
 
         // The tiny-MLP complement at full scale: every occupied cell owns a
         // network whose weights stream through the FF scratchpads.

@@ -1,0 +1,38 @@
+//! Per-thread scratch arenas for the scanline pipelines.
+//!
+//! Every volume/raster pipeline needs the same small set of per-ray
+//! buffers: stratified sample distances, a fetched-feature vector, MLP
+//! forward activations, and (for KiloNeRF) an encoding buffer. Band
+//! workers borrow them from a thread-local arena, so the steady-state
+//! per-pixel loops never touch the allocator and parallel bands get
+//! disjoint buffers for free.
+
+use std::cell::RefCell;
+use uni_scene::{KiloNerfScratch, MlpScratch};
+
+/// Number of image rows a parallel band covers in the scanline pipelines.
+/// 16 matches the PE pixel-region tiling of the Geometric Processing
+/// dataflow (Fig. 10) and the 3DGS patch height.
+pub(crate) const BAND_ROWS: u32 = 16;
+
+/// Reusable per-ray buffers.
+#[derive(Debug, Default)]
+pub(crate) struct RayScratch {
+    /// Stratified sample distances along the current ray.
+    pub ts: Vec<f32>,
+    /// Fetched feature vector (hash grid, tri-plane, texture).
+    pub feats: Vec<f32>,
+    /// Decoder / deferred MLP activations.
+    pub mlp: MlpScratch,
+    /// KiloNeRF query buffers.
+    pub kilo: KiloNerfScratch,
+}
+
+thread_local! {
+    static RAY: RefCell<RayScratch> = RefCell::new(RayScratch::default());
+}
+
+/// Runs `f` with this thread's ray scratch.
+pub(crate) fn with_ray_scratch<R>(f: impl FnOnce(&mut RayScratch) -> R) -> R {
+    RAY.with(|cell| f(&mut cell.borrow_mut()))
+}

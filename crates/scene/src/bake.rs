@@ -58,13 +58,7 @@ impl SceneSpec {
         let texture = bake_texture(&mesh, &field, repr.texture_resolution);
         let gaussians = bake_gaussians(&mesh, &field, repr.gaussian_count, 3, &mut rng);
         let hashgrid = bake_hashgrid(&mesh, &field, repr.hash, bounds, &mut rng);
-        let hash_decoder = train_hash_decoder(
-            &hashgrid,
-            &field,
-            &mesh,
-            repr.train_steps,
-            &mut rng,
-        );
+        let hash_decoder = train_hash_decoder(&hashgrid, &field, &mesh, repr.train_steps, &mut rng);
         let triplane = bake_triplane(&mesh, &field, repr.triplane, bounds, &mut rng);
         let deferred_mlp = train_deferred_mlp(repr.train_steps, &mut rng);
         let kilonerf = KiloNerfGrid::bake(
@@ -174,9 +168,7 @@ fn tessellate(field: &AnalyticField, bounds: Aabb, target_triangles: u32) -> Tri
     let area = |s: &Shape| -> f32 {
         match *s {
             Shape::Sphere { radius, .. } => 4.0 * std::f32::consts::PI * radius * radius,
-            Shape::Box { half, .. } => {
-                8.0 * (half.x * half.y + half.y * half.z + half.x * half.z)
-            }
+            Shape::Box { half, .. } => 8.0 * (half.x * half.y + half.y * half.z + half.x * half.z),
             Shape::Ground { .. } => (2.0 * ground_extent).powi(2),
             Shape::Cylinder {
                 radius,
@@ -192,8 +184,7 @@ fn tessellate(field: &AnalyticField, bounds: Aabb, target_triangles: u32) -> Tri
     let tiles = (prims.len() as f32).sqrt().ceil() as u32;
     let mut mesh = TriangleMesh::new();
     for (i, prim) in prims.iter().enumerate() {
-        let budget =
-            ((target_triangles as f32) * area(&prim.shape) / total_area).max(8.0) as u32;
+        let budget = ((target_triangles as f32) * area(&prim.shape) / total_area).max(8.0) as u32;
         let mut part = match prim.shape {
             Shape::Sphere { center, radius } => {
                 let rings = ((budget as f32 / 4.0).sqrt().round() as u32).max(3);
@@ -307,11 +298,7 @@ fn dilate(tex: &mut Texture2d) {
 
 /// Samples a point uniformly over the mesh surface: returns
 /// `(point, normal)`. `areas` must hold the cumulative triangle areas.
-fn sample_surface(
-    mesh: &TriangleMesh,
-    areas: &[f32],
-    rng: &mut XorShift64,
-) -> (Vec3, Vec3) {
+fn sample_surface(mesh: &TriangleMesh, areas: &[f32], rng: &mut XorShift64) -> (Vec3, Vec3) {
     let total = *areas.last().expect("nonempty mesh");
     let target = rng.next_f32() * total;
     let t = areas.partition_point(|&a| a < target).min(areas.len() - 1);
@@ -425,11 +412,7 @@ fn bake_hashgrid(
     for s in 0..samples {
         // 85% surface-biased (jittered off the surface), 15% uniform volume.
         let p = if s % 7 == 0 {
-            bounds.denormalize_point(Vec3::new(
-                rng.next_f32(),
-                rng.next_f32(),
-                rng.next_f32(),
-            ))
+            bounds.denormalize_point(Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
         } else {
             let (p, n) = sample_surface(mesh, &areas, rng);
             p + n * rng.range_f32(-shell, shell)
@@ -490,25 +473,23 @@ fn train_hash_decoder(
     let shell = bounds.diagonal() * 0.015;
     let mut trainer = AdamTrainer::new(&mlp, 3e-3);
     let mut feats = vec![0f32; in_dim];
+    let batch = 48;
+    let mut inputs = uni_geometry::FlatMat::with_row_capacity(batch, in_dim);
+    let mut targets = uni_geometry::FlatMat::with_row_capacity(batch, 4);
     for _ in 0..steps {
-        let batch = 48;
-        let mut inputs = Vec::with_capacity(batch);
-        let mut targets = Vec::with_capacity(batch);
+        inputs.clear_rows();
+        targets.clear_rows();
         for b in 0..batch {
             let p = if b % 5 == 0 {
-                bounds.denormalize_point(Vec3::new(
-                    rng.next_f32(),
-                    rng.next_f32(),
-                    rng.next_f32(),
-                ))
+                bounds.denormalize_point(Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32()))
             } else {
                 let (p, n) = sample_surface(mesh, &areas, rng);
                 p + n * rng.range_f32(-shell, shell)
             };
             grid.fetch(p, &mut feats);
             let a = field.attributes(p);
-            inputs.push(feats.clone());
-            targets.push(vec![
+            inputs.push_row(&feats);
+            targets.push_row(&[
                 field.density(p) / PEAK_DENSITY,
                 a.diffuse.r,
                 a.diffuse.g,
@@ -595,18 +576,15 @@ fn bake_triplane(
 /// Trains the deferred shading MLP against the analytic Blinn specular
 /// model: input `[s·nx, s·ny, s·nz, s, view_xyz]` → specular RGB.
 fn train_deferred_mlp(steps: u32, rng: &mut XorShift64) -> Mlp {
-    let mut mlp = Mlp::new(
-        &[7, 16, 16, 3],
-        Activation::Relu,
-        Activation::Linear,
-        rng,
-    );
+    let mut mlp = Mlp::new(&[7, 16, 16, 3], Activation::Relu, Activation::Linear, rng);
     let light = LIGHT_DIR.normalized();
     let mut trainer = AdamTrainer::new(&mlp, 4e-3);
+    let batch = 64;
+    let mut inputs = uni_geometry::FlatMat::with_row_capacity(batch, 7);
+    let mut targets = uni_geometry::FlatMat::with_row_capacity(batch, 3);
     for _ in 0..steps.max(32) {
-        let batch = 64;
-        let mut inputs = Vec::with_capacity(batch);
-        let mut targets = Vec::with_capacity(batch);
+        inputs.clear_rows();
+        targets.clear_rows();
         for _ in 0..batch {
             let n = Vec3::new(
                 rng.range_f32(-1.0, 1.0),
@@ -623,8 +601,8 @@ fn train_deferred_mlp(steps: u32, rng: &mut XorShift64) -> Mlp {
             let s = rng.next_f32();
             let half = (light - view).normalized();
             let spec = n.dot(half).max(0.0).powi(16) * s;
-            inputs.push(vec![s * n.x, s * n.y, s * n.z, s, view.x, view.y, view.z]);
-            targets.push(vec![spec, spec, spec]);
+            inputs.push_row(&[s * n.x, s * n.y, s * n.z, s, view.x, view.y, view.z]);
+            targets.push_row(&[spec, spec, spec]);
         }
         trainer.train_step(&mut mlp, &inputs, &targets);
     }
@@ -657,7 +635,10 @@ mod tests {
         let s = scene();
         let mb = s.mesh().bounds();
         let sb = s.bounds().padded(1e-3);
-        assert!(sb.contains(mb.min) && sb.contains(mb.max), "{mb:?} vs {sb:?}");
+        assert!(
+            sb.contains(mb.min) && sb.contains(mb.max),
+            "{mb:?} vs {sb:?}"
+        );
     }
 
     #[test]
@@ -767,14 +748,17 @@ mod tests {
 
     #[test]
     fn quat_from_z_handles_all_directions() {
-        for dir in [Vec3::Z, -Vec3::Z, Vec3::X, Vec3::Y, Vec3::new(0.5, -0.5, 0.7).normalized()] {
+        for dir in [
+            Vec3::Z,
+            -Vec3::Z,
+            Vec3::X,
+            Vec3::Y,
+            Vec3::new(0.5, -0.5, 0.7).normalized(),
+        ] {
             let q = quat_from_z_to(dir);
             let m = uni_geometry::Mat3::from_quaternion(q);
             let rotated = m.mul_vec3(Vec3::Z);
-            assert!(
-                (rotated - dir).length() < 1e-4,
-                "{dir:?} -> {rotated:?}"
-            );
+            assert!((rotated - dir).length() < 1e-4, "{dir:?} -> {rotated:?}");
         }
     }
 }

@@ -80,12 +80,7 @@ pub fn unbounded360(detail: f32) -> Vec<DatasetScene> {
 pub fn unbounded360_indoor(detail: f32) -> Vec<DatasetScene> {
     unbounded360(detail)
         .into_iter()
-        .filter(|s| {
-            matches!(
-                s.name(),
-                "room" | "counter" | "kitchen" | "bonsai"
-            )
-        })
+        .filter(|s| matches!(s.name(), "room" | "counter" | "kitchen" | "bonsai"))
         .collect()
 }
 

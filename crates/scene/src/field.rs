@@ -65,8 +65,7 @@ impl Shape {
                 let d = p - center;
                 let radial = Vec3::new(d.x, 0.0, d.z).length() - radius;
                 let axial = d.y.abs() - half_height;
-                let outside =
-                    Vec3::new(radial.max(0.0), axial.max(0.0), 0.0).length();
+                let outside = Vec3::new(radial.max(0.0), axial.max(0.0), 0.0).length();
                 let inside = radial.max(axial).min(0.0);
                 outside + inside
             }

@@ -36,13 +36,20 @@ impl Gaussian {
 
     /// Evaluates view-dependent color toward `view_dir` (unit, pointing
     /// from camera to Gaussian) — the SH-as-GEMM step of Fig. 6.
+    ///
+    /// The basis is evaluated once and dotted against all three channel
+    /// coefficient blocks (the per-frame SH pass touches every visible
+    /// splat, so the 3× basis reuse matters).
     pub fn color(&self, view_dir: Vec3, coeffs_per_channel: usize) -> Rgb {
-        let n = coeffs_per_channel;
-        debug_assert_eq!(self.sh_coeffs.len(), 3 * n);
+        let n = coeffs_per_channel.min(16);
+        debug_assert_eq!(self.sh_coeffs.len(), 3 * coeffs_per_channel);
+        let mut basis = [0f32; 16];
+        sh::eval_basis(view_dir, &mut basis[..n]);
+        let dot = |c: &[f32]| -> f32 { c[..n].iter().zip(&basis[..n]).map(|(c, b)| c * b).sum() };
         // SH DC convention of 3DGS: color = 0.5 + C0 * dc (+ higher bands).
-        let r = sh::eval_expansion(view_dir, &self.sh_coeffs[..n]);
-        let g = sh::eval_expansion(view_dir, &self.sh_coeffs[n..2 * n]);
-        let b = sh::eval_expansion(view_dir, &self.sh_coeffs[2 * n..3 * n]);
+        let r = dot(&self.sh_coeffs[..coeffs_per_channel]);
+        let g = dot(&self.sh_coeffs[coeffs_per_channel..2 * coeffs_per_channel]);
+        let b = dot(&self.sh_coeffs[2 * coeffs_per_channel..]);
         Rgb::new(r + 0.5, g + 0.5, b + 0.5).saturate()
     }
 }
@@ -150,19 +157,48 @@ impl GaussianCloud {
         }
         // Local affine: world covariance -> camera -> screen. The Jacobian
         // of the perspective projection at the mean scales by f/z.
-        let view_rot = camera.view.upper_left();
-        let cov_cam = {
-            let c = g.covariance();
-            let vc = view_rot * c;
-            vc * view_rot.transpose()
-        };
+        //
+        // The conjugations are fused: Σ = R·diag(s²)·Rᵀ is expanded into
+        // its six unique entries, and only the top-left 2×2 of V·Σ·Vᵀ is
+        // formed — projection runs once per Gaussian per frame, so this
+        // replaces five full 3×3 matrix products on the hot path.
+        let rm = Mat3::from_quaternion(g.rotation);
+        let s2 = g.scale.mul_elem(g.scale);
+        let (r0, r1, r2) = (rm.cols[0], rm.cols[1], rm.cols[2]);
+        let sxx = s2.x * r0.x * r0.x + s2.y * r1.x * r1.x + s2.z * r2.x * r2.x;
+        let syy = s2.x * r0.y * r0.y + s2.y * r1.y * r1.y + s2.z * r2.y * r2.y;
+        let szz = s2.x * r0.z * r0.z + s2.y * r1.z * r1.z + s2.z * r2.z * r2.z;
+        let sxy = s2.x * r0.x * r0.y + s2.y * r1.x * r1.y + s2.z * r2.x * r2.y;
+        let sxz = s2.x * r0.x * r0.z + s2.y * r1.x * r1.z + s2.z * r2.x * r2.z;
+        let syz = s2.x * r0.y * r0.z + s2.y * r1.y * r1.z + s2.z * r2.y * r2.z;
+        // Rows 0 and 1 of the view rotation (world -> camera axes).
+        let v0 = Vec3::new(
+            camera.view.cols[0].x,
+            camera.view.cols[1].x,
+            camera.view.cols[2].x,
+        );
+        let v1 = Vec3::new(
+            camera.view.cols[0].y,
+            camera.view.cols[1].y,
+            camera.view.cols[2].y,
+        );
+        let sv0 = Vec3::new(
+            sxx * v0.x + sxy * v0.y + sxz * v0.z,
+            sxy * v0.x + syy * v0.y + syz * v0.z,
+            sxz * v0.x + syz * v0.y + szz * v0.z,
+        );
+        let sv1 = Vec3::new(
+            sxx * v1.x + sxy * v1.y + sxz * v1.z,
+            sxy * v1.x + syy * v1.y + syz * v1.z,
+            sxz * v1.x + syz * v1.y + szz * v1.z,
+        );
         let focal_px = camera.height as f32 / (2.0 * (camera.fov_y * 0.5).tan());
         let jz = focal_px / depth;
         // 2D covariance: top-left 2x2 of cov_cam scaled by (f/z)², plus the
         // 0.3px antialias floor used by 3DGS.
-        let a = cov_cam.cols[0].x * jz * jz + 0.3;
-        let b = cov_cam.cols[1].x * jz * jz;
-        let c = cov_cam.cols[1].y * jz * jz + 0.3;
+        let a = v0.dot(sv0) * jz * jz + 0.3;
+        let b = v1.dot(sv0) * jz * jz;
+        let c = v1.dot(sv1) * jz * jz + 0.3;
         let det = a * c - b * b;
         if det <= 1e-9 {
             return None;

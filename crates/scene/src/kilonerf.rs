@@ -8,7 +8,7 @@
 //! implementation relies on).
 
 use crate::field::AnalyticField;
-use crate::nn::{Activation, AdamTrainer, Mlp, PositionalEncoding};
+use crate::nn::{Activation, AdamTrainer, Mlp, MlpScratch, PositionalEncoding};
 use serde::{Deserialize, Serialize};
 use uni_geometry::sampling::XorShift64;
 use uni_geometry::{Aabb, Rgb, Vec3};
@@ -67,19 +67,15 @@ impl KiloNerfGrid {
         for z in 0..resolution {
             for y in 0..resolution {
                 for x in 0..resolution {
-                    let base = bounds.min
-                        + Vec3::new(x as f32, y as f32, z as f32).mul_elem(cell_extent);
+                    let base =
+                        bounds.min + Vec3::new(x as f32, y as f32, z as f32).mul_elem(cell_extent);
                     let mut dense = false;
                     'probe: for pz in 0..3 {
                         for py in 0..3 {
                             for px in 0..3 {
                                 let p = base
-                                    + Vec3::new(
-                                        px as f32 * 0.5,
-                                        py as f32 * 0.5,
-                                        pz as f32 * 0.5,
-                                    )
-                                    .mul_elem(cell_extent);
+                                    + Vec3::new(px as f32 * 0.5, py as f32 * 0.5, pz as f32 * 0.5)
+                                        .mul_elem(cell_extent);
                                 if field.density(p) > 0.5 {
                                     dense = true;
                                     break 'probe;
@@ -102,7 +98,7 @@ impl KiloNerfGrid {
             let by = y * blocks_per_axis / resolution;
             let bz = z * blocks_per_axis / resolution;
             let block = (bz * blocks_per_axis + by) * blocks_per_axis + bx;
-            let idx = (block % mlp_count) as u32;
+            let idx = block % mlp_count;
             assignment[((z as usize * n) + y as usize) * n + x as usize] = idx;
         }
 
@@ -128,10 +124,12 @@ impl KiloNerfGrid {
                 .collect();
             if !my_cells.is_empty() {
                 let mut trainer = AdamTrainer::new(&mlp, 4e-3);
+                let batch = 48;
+                let mut inputs = uni_geometry::FlatMat::with_row_capacity(batch, in_dim);
+                let mut targets = uni_geometry::FlatMat::with_row_capacity(batch, 4);
                 for _ in 0..train_steps {
-                    let batch = 48;
-                    let mut inputs = Vec::with_capacity(batch);
-                    let mut targets = Vec::with_capacity(batch);
+                    inputs.clear_rows();
+                    targets.clear_rows();
                     for _ in 0..batch {
                         let &(x, y, z) = &my_cells[rng.next_usize(my_cells.len())];
                         let local = Vec3::new(rng.next_f32(), rng.next_f32(), rng.next_f32());
@@ -139,13 +137,8 @@ impl KiloNerfGrid {
                             + (Vec3::new(x as f32, y as f32, z as f32) + local)
                                 .mul_elem(cell_extent);
                         let s = field.sample(world, Vec3::Z);
-                        inputs.push(encoding.encode(local * 2.0 - Vec3::ONE));
-                        targets.push(vec![
-                            s.density / peak,
-                            s.color.r,
-                            s.color.g,
-                            s.color.b,
-                        ]);
+                        inputs.push_row(&encoding.encode(local * 2.0 - Vec3::ONE));
+                        targets.push_row(&[s.density / peak, s.color.r, s.color.g, s.color.b]);
                     }
                     trainer.train_step(&mut mlp, &inputs, &targets);
                 }
@@ -213,24 +206,30 @@ impl KiloNerfGrid {
         let n = self.resolution;
         let cell = |v: f32| ((v * n as f32) as u32).min(n - 1);
         let (x, y, z) = (cell(u.x), cell(u.y), cell(u.z));
-        let a = self.assignment
-            [((z as usize * n as usize) + y as usize) * n as usize + x as usize];
+        let a = self.assignment[((z as usize * n as usize) + y as usize) * n as usize + x as usize];
         (a != EMPTY).then_some(a)
     }
 
     /// Queries density and color at a world point (`None` in empty cells —
     /// the occupancy skip).
     pub fn query(&self, world: Vec3) -> Option<KiloNerfSample> {
+        self.query_scratch(world, &mut KiloNerfScratch::default())
+    }
+
+    /// Like [`KiloNerfGrid::query`], but encoding and MLP activations go
+    /// through caller-owned scratch so per-sample queries never allocate.
+    pub fn query_scratch(
+        &self,
+        world: Vec3,
+        scratch: &mut KiloNerfScratch,
+    ) -> Option<KiloNerfSample> {
         let mlp_idx = self.mlp_index_at(world)?;
         let u = self.bounds.normalize_point(world);
         let n = self.resolution as f32;
-        let local = Vec3::new(
-            (u.x * n).fract(),
-            (u.y * n).fract(),
-            (u.z * n).fract(),
-        ) * 2.0
-            - Vec3::ONE;
-        let out = self.mlps[mlp_idx as usize].forward(&self.encoding.encode(local));
+        let local =
+            Vec3::new((u.x * n).fract(), (u.y * n).fract(), (u.z * n).fract()) * 2.0 - Vec3::ONE;
+        self.encoding.encode_into(local, &mut scratch.encoded);
+        let out = self.mlps[mlp_idx as usize].forward_scratch(&scratch.encoded, &mut scratch.mlp);
         Some(KiloNerfSample {
             density: out[0].max(0.0) * self.peak_density,
             color: Rgb::new(
@@ -240,6 +239,13 @@ impl KiloNerfGrid {
             ),
         })
     }
+}
+
+/// Reusable buffers for [`KiloNerfGrid::query_scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct KiloNerfScratch {
+    encoded: Vec<f32>,
+    mlp: MlpScratch,
 }
 
 #[cfg(test)]
@@ -270,7 +276,10 @@ mod tests {
     #[test]
     fn empty_space_short_circuits() {
         let g = small_grid();
-        assert!(g.query(Vec3::new(1.4, 1.4, 1.4)).is_none(), "corner is empty");
+        assert!(
+            g.query(Vec3::new(1.4, 1.4, 1.4)).is_none(),
+            "corner is empty"
+        );
         assert!(g.query(Vec3::splat(10.0)).is_none(), "outside bounds");
     }
 

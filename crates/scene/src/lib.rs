@@ -36,8 +36,8 @@ pub use datasets::{nerf_synthetic, unbounded360, unbounded360_indoor, DatasetSce
 pub use field::{AnalyticField, FieldPrimitive, FieldSample, Shape, SurfaceAttrs, PEAK_DENSITY};
 pub use gaussians::{Gaussian, GaussianCloud, ProjectedSplat};
 pub use hashgrid::{HashGrid, HashGridConfig};
-pub use kilonerf::{KiloNerfGrid, KiloNerfSample};
+pub use kilonerf::{KiloNerfGrid, KiloNerfSample, KiloNerfScratch};
 pub use mesh::{Texture2d, TriangleMesh};
-pub use nn::{Activation, AdamTrainer, Mlp, PositionalEncoding};
+pub use nn::{Activation, AdamTrainer, Mlp, MlpScratch, PositionalEncoding};
 pub use synthetic::{ReprParams, SceneFlavor, SceneSpec};
 pub use triplane::{PlaneAxis, Triplane, TriplaneConfig};

@@ -27,7 +27,10 @@ impl Texture2d {
     ///
     /// Panics if any dimension is zero.
     pub fn new(width: u32, height: u32, channels: u32) -> Self {
-        assert!(width > 0 && height > 0 && channels > 0, "texture dims must be positive");
+        assert!(
+            width > 0 && height > 0 && channels > 0,
+            "texture dims must be positive"
+        );
         Self {
             width,
             height,
@@ -76,10 +79,7 @@ impl Texture2d {
 
     /// Reads all channels of texel `(x, y)`.
     pub fn texel(&self, x: u32, y: u32) -> &[f32] {
-        let i = self.texel_index(
-            x.min(self.width - 1),
-            y.min(self.height - 1),
-        );
+        let i = self.texel_index(x.min(self.width - 1), y.min(self.height - 1));
         &self.data[i..i + self.channels as usize]
     }
 
@@ -102,11 +102,7 @@ impl Texture2d {
             self.texel(x0 + 1, y0 + 1),
         ];
         for (c, o) in out.iter_mut().enumerate() {
-            *o = corners
-                .iter()
-                .zip(&w)
-                .map(|(t, wi)| t[c] * wi)
-                .sum();
+            *o = corners.iter().zip(&w).map(|(t, wi)| t[c] * wi).sum();
         }
     }
 }
@@ -199,7 +195,10 @@ impl TriangleMesh {
 
     /// Builds a UV sphere.
     pub fn uv_sphere(center: Vec3, radius: f32, rings: u32, segments: u32) -> Self {
-        assert!(rings >= 2 && segments >= 3, "sphere needs >=2 rings, >=3 segments");
+        assert!(
+            rings >= 2 && segments >= 3,
+            "sphere needs >=2 rings, >=3 segments"
+        );
         let mut mesh = Self::new();
         for r in 0..=rings {
             let v = r as f32 / rings as f32;
@@ -235,8 +234,14 @@ impl TriangleMesh {
         assert!(subdiv >= 1);
         let mut mesh = Self::new();
         // (normal axis, sign) for the six faces.
-        let faces: [(usize, f32); 6] =
-            [(0, 1.0), (0, -1.0), (1, 1.0), (1, -1.0), (2, 1.0), (2, -1.0)];
+        let faces: [(usize, f32); 6] = [
+            (0, 1.0),
+            (0, -1.0),
+            (1, 1.0),
+            (1, -1.0),
+            (2, 1.0),
+            (2, -1.0),
+        ];
         for (axis, sign) in faces {
             let (ua, va) = match axis {
                 0 => (1, 2),
@@ -252,8 +257,7 @@ impl TriangleMesh {
                     p[axis] = sign * half[axis];
                     p[ua] = (fu * 2.0 - 1.0) * half[ua];
                     p[va] = (fv * 2.0 - 1.0) * half[va];
-                    mesh.positions
-                        .push(center + Vec3::new(p[0], p[1], p[2]));
+                    mesh.positions.push(center + Vec3::new(p[0], p[1], p[2]));
                     mesh.uvs.push(Vec2::new(fu, fv));
                 }
             }
@@ -406,9 +410,10 @@ mod tests {
         let m = TriangleMesh::uv_sphere(Vec3::ZERO, 1.0, 12, 16);
         let mut outward = 0usize;
         let mut total = 0usize;
-        let mean_area: f32 =
-            (0..m.triangle_count()).map(|t| m.triangle_area(t)).sum::<f32>()
-                / m.triangle_count() as f32;
+        let mean_area: f32 = (0..m.triangle_count())
+            .map(|t| m.triangle_area(t))
+            .sum::<f32>()
+            / m.triangle_count() as f32;
         for t in 0..m.triangle_count() {
             if m.triangle_area(t) < mean_area * 0.05 {
                 continue; // Degenerate pole slivers have unstable normals.

@@ -21,11 +21,8 @@ pub fn representation_bytes(spec: &SceneSpec, pipeline: Pipeline) -> u64 {
             // sizes (~130 MB objects, ~550 MB unbounded).
             let verts = u64::from(r.target_triangles) * 6 / 10;
             let geometry = verts * (12 + 4) + u64::from(r.target_triangles) * 12;
-            let texture = u64::from(r.texture_resolution).pow(2)
-                * u64::from(r.texture_channels)
-                * 3
-                * 4
-                / 3;
+            let texture =
+                u64::from(r.texture_resolution).pow(2) * u64::from(r.texture_channels) * 3 * 4 / 3;
             geometry + texture
         }
         Pipeline::Mlp => {
@@ -37,10 +34,7 @@ pub fn representation_bytes(spec: &SceneSpec, pipeline: Pipeline) -> u64 {
             let params = pe_dim * h + h + 2 * (h * h + h) + h * 4 + 4;
             cells * 4 + cells * 3 / 10 * params * 2
         }
-        Pipeline::LowRankGrid => {
-            r.triplane.storage_bytes()
-                + deferred_mlp_bytes()
-        }
+        Pipeline::LowRankGrid => r.triplane.storage_bytes() + deferred_mlp_bytes(),
         Pipeline::HashGrid => {
             // Feature tables + the coarse occupancy bitfield Instant-NGP
             // keeps for ray marching (128³ bits per cascade, ~3 cascades).
@@ -116,7 +110,11 @@ mod tests {
     fn tab1_storage_magnitudes() {
         let spec = unbounded_spec();
         let mb = |p| representation_megabytes(&spec, p);
-        assert!(mb(Pipeline::Mlp) <= 40.0, "MLP {} <= 40 MB", mb(Pipeline::Mlp));
+        assert!(
+            mb(Pipeline::Mlp) <= 40.0,
+            "MLP {} <= 40 MB",
+            mb(Pipeline::Mlp)
+        );
         assert!(
             mb(Pipeline::HashGrid) <= 110.0,
             "hash {} <= 110 MB",

@@ -170,7 +170,10 @@ impl SceneSpec {
             texture_channels: r.texture_channels,
             gaussian_count: lin(r.gaussian_count, 128),
             hash: HashGridConfig {
-                levels: r.hash.levels.min(4.max((f64::from(r.hash.levels) * d.max(0.25)) as u32)),
+                levels: r
+                    .hash
+                    .levels
+                    .min(4.max((f64::from(r.hash.levels) * d.max(0.25)) as u32)),
                 features_per_entry: r.hash.features_per_entry,
                 log2_table_size: r
                     .hash

@@ -93,9 +93,21 @@ impl Triplane {
     /// Creates a zero-initialized decomposed grid over `bounds`.
     pub fn new(config: TriplaneConfig, bounds: Aabb) -> Self {
         let planes = [
-            Texture2d::new(config.plane_resolution, config.plane_resolution, config.channels),
-            Texture2d::new(config.plane_resolution, config.plane_resolution, config.channels),
-            Texture2d::new(config.plane_resolution, config.plane_resolution, config.channels),
+            Texture2d::new(
+                config.plane_resolution,
+                config.plane_resolution,
+                config.channels,
+            ),
+            Texture2d::new(
+                config.plane_resolution,
+                config.plane_resolution,
+                config.channels,
+            ),
+            Texture2d::new(
+                config.plane_resolution,
+                config.plane_resolution,
+                config.channels,
+            ),
         ];
         let r = config.grid_resolution as usize;
         Self {
@@ -226,7 +238,11 @@ mod tests {
         }
         let mut out = vec![0.0; 8];
         t.fetch(Vec3::new(0.3, -0.4, 0.5), &mut out);
-        assert!((out[0] - 3.0).abs() < 1e-4, "1 + 2 aggregated, got {}", out[0]);
+        assert!(
+            (out[0] - 3.0).abs() < 1e-4,
+            "1 + 2 aggregated, got {}",
+            out[0]
+        );
         assert_eq!(out[1], 0.0);
     }
 

@@ -32,7 +32,10 @@ fn main() {
         Box::new(GaussianPipeline::default()) as Box<dyn Renderer>,
         Box::new(MeshPipeline::default()) as Box<dyn Renderer>,
     ] {
-        println!("\n=== {} pipeline over a 6-view orbit ===", renderer.pipeline());
+        println!(
+            "\n=== {} pipeline over a 6-view orbit ===",
+            renderer.pipeline()
+        );
         let mut ours_fps = Vec::new();
         let mut phone_fps = Vec::new();
         for (i, camera) in orbit.cameras(6).into_iter().enumerate() {

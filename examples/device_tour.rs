@@ -22,7 +22,10 @@ fn main() {
         trace.total_cost().dram_bytes() as f64 / 1e6,
     );
 
-    println!("{:<26} {:>10} {:>10} {:>14}", "Device", "FPS", "W", "frames/J");
+    println!(
+        "{:<26} {:>10} {:>10} {:>14}",
+        "Device", "FPS", "W", "frames/J"
+    );
     for (pe, sram) in [(1u32, 1u32), (2, 2), (4, 4)] {
         let cfg = AcceleratorConfig::paper().scaled(pe, sram);
         let report = Accelerator::new(cfg).simulate(&trace);

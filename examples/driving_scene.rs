@@ -32,9 +32,7 @@ fn main() {
     ] {
         let pipeline = renderer.pipeline();
         let storage = representation_megabytes(&spec, pipeline);
-        println!(
-            "\n=== {pipeline} pipeline ({storage:.0} MB on-vehicle model) ==="
-        );
+        println!("\n=== {pipeline} pipeline ({storage:.0} MB on-vehicle model) ===");
         for (w, h) in [(640u32, 360u32), (1280, 720), (1920, 1080)] {
             let camera = scene.spec().orbit(w, h).camera_at(0.35);
             let trace = renderer.trace(&scene, &camera);
@@ -44,9 +42,15 @@ fn main() {
                 report.fps(),
                 report.power_w(),
                 report.dram_bytes as f64 / 1e6,
-                if report.is_real_time() { "real-time" } else { "below 30 FPS" },
+                if report.is_real_time() {
+                    "real-time"
+                } else {
+                    "below 30 FPS"
+                },
             );
         }
     }
-    println!("\nThe sweep shows where each pipeline's real-time envelope ends on a 5 W edge budget.");
+    println!(
+        "\nThe sweep shows where each pipeline's real-time envelope ends on a 5 W edge budget."
+    );
 }

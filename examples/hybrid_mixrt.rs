@@ -48,7 +48,9 @@ fn main() {
 
     println!("\nSpeedup over the commercial devices (Fig. 17's comparison):");
     for device in commercial_devices() {
-        let r = device.execute(&trace).expect("commercial devices run everything");
+        let r = device
+            .execute(&trace)
+            .expect("commercial devices run everything");
         println!(
             "  vs {:<10} {:>6.1} FPS -> {:>5.2}x",
             device.name(),

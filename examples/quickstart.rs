@@ -35,11 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write(out_dir.join("reference.ppm"), reference.to_ppm())?;
 
     let accel = Accelerator::new(AcceleratorConfig::paper());
-    println!("\n{:<28} {:>9} {:>12} {:>10} {:>9}", "Pipeline", "PSNR", "sim FPS", "power W", "real-time");
+    println!(
+        "\n{:<28} {:>9} {:>12} {:>10} {:>9}",
+        "Pipeline", "PSNR", "sim FPS", "power W", "real-time"
+    );
     for renderer in all_renderers() {
         let image = renderer.render(&scene, &camera);
         let psnr = image.psnr(&reference);
-        let name = renderer.pipeline().to_string().to_lowercase().replace(' ', "_");
+        let name = renderer
+            .pipeline()
+            .to_string()
+            .to_lowercase()
+            .replace(' ', "_");
         fs::write(out_dir.join(format!("{name}.ppm")), image.to_ppm())?;
 
         // Decompose the frame into micro-operators and simulate it at the

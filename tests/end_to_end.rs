@@ -3,7 +3,7 @@
 //! end through the public API.
 
 use std::sync::OnceLock;
-use uni_render::baselines::{all_baselines, commercial_devices, Device};
+use uni_render::baselines::{all_baselines, commercial_devices};
 use uni_render::microops::MicroOp;
 use uni_render::prelude::*;
 use uni_render::renderers::{all_renderers, render_reference, typical_renderers};
@@ -22,7 +22,11 @@ fn every_pipeline_renders_and_simulates() {
         let image = renderer.render(s, &camera);
         assert_eq!(image.width(), 64, "{}", renderer.pipeline());
         let trace = renderer.trace(s, &camera);
-        assert!(!trace.is_empty(), "{} trace is nonempty", renderer.pipeline());
+        assert!(
+            !trace.is_empty(),
+            "{} trace is nonempty",
+            renderer.pipeline()
+        );
         let report = accel.simulate(&trace);
         assert!(report.fps() > 0.0 && report.fps().is_finite());
         assert!(report.power_w() > 0.0);
@@ -107,8 +111,7 @@ fn trace_totals_match_manual_invocation_sums() {
     let s = scene();
     let camera = s.orbit().camera_at(0.8).with_resolution(320, 240);
     let trace = MeshPipeline::default().trace(s, &camera);
-    let manual: uni_render::microops::CostVector =
-        trace.iter().map(|i| i.cost()).sum();
+    let manual: uni_render::microops::CostVector = trace.iter().map(|i| i.cost()).sum();
     assert_eq!(manual, trace.total_cost());
     let stats = trace.stats();
     assert_eq!(stats.total(), manual);

@@ -39,7 +39,10 @@ fn ours(trace: &Trace) -> SimReport {
 fn beats_rt_nerf_on_low_rank_by_about_3x() {
     let trace = trace_of(&LowRankPipeline::default());
     let ratio = ours(&trace).fps() / rt_nerf().execute(&trace).expect("home").fps();
-    assert!((1.8..=4.5).contains(&ratio), "~3x over RT-NeRF, got {ratio:.2}x");
+    assert!(
+        (1.8..=4.5).contains(&ratio),
+        "~3x over RT-NeRF, got {ratio:.2}x"
+    );
 }
 
 /// Sec. VII-B: "a speedup of 6× ... over Instant-3D on the hash-grid
@@ -48,7 +51,10 @@ fn beats_rt_nerf_on_low_rank_by_about_3x() {
 fn beats_instant3d_on_hash_grid_by_about_6x() {
     let trace = trace_of(&HashGridPipeline::default());
     let ratio = ours(&trace).fps() / instant3d().execute(&trace).expect("home").fps();
-    assert!((3.5..=9.0).contains(&ratio), "~6x over Instant-3D, got {ratio:.2}x");
+    assert!(
+        (3.5..=9.0).contains(&ratio),
+        "~6x over Instant-3D, got {ratio:.2}x"
+    );
 }
 
 /// Sec. VII-B: "our proposed accelerator only achieves ... 10% FPS [of
@@ -75,7 +81,10 @@ fn loses_to_metavrain_on_pure_mlp() {
 fn about_12x_over_xavier_on_gaussians() {
     let trace = trace_of(&GaussianPipeline::default());
     let ratio = ours(&trace).fps() / xavier_nx().execute(&trace).expect("runs").fps();
-    assert!((7.0..=20.0).contains(&ratio), "~12x over Xavier, got {ratio:.2}x");
+    assert!(
+        (7.0..=20.0).contains(&ratio),
+        "~12x over Xavier, got {ratio:.2}x"
+    );
 }
 
 /// Sec. VII-B: mesh is the one pipeline where strong commercial devices
@@ -124,7 +133,10 @@ fn balanced_pe_sram_scaling_is_optimal() {
     let sram_only = base / time(1, 4);
     let balanced = base / time(4, 4);
     assert!(sram_only < 1.1, "SRAM alone buys ~nothing: {sram_only:.2}x");
-    assert!(pe_only < balanced, "PE-only saturates: {pe_only:.2}x < {balanced:.2}x");
+    assert!(
+        pe_only < balanced,
+        "PE-only saturates: {pe_only:.2}x < {balanced:.2}x"
+    );
     assert!(balanced > 2.0, "balanced 4x/4x scales well: {balanced:.2}x");
 }
 

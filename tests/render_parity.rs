@@ -1,0 +1,143 @@
+//! Parity tests for the render hot-path overhaul: the SoA +
+//! counting-sort + band-parallel production paths must reproduce the
+//! seed-era scalar reference within 1e-5 per channel for all six
+//! pipelines, and the global counting sort must order (tile, depth) pairs
+//! exactly like the comparison sort it replaced.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use uni_render::prelude::*;
+use uni_render::renderers::gaussian_pipeline::{depth_key, sort_pairs_by_tile_and_depth};
+
+fn scene() -> &'static BakedScene {
+    static SCENE: OnceLock<BakedScene> = OnceLock::new();
+    SCENE.get_or_init(|| SceneSpec::demo("parity", 77).with_detail(0.03).bake())
+}
+
+fn camera() -> Camera {
+    scene().orbit().camera_at(0.8).with_resolution(96, 72)
+}
+
+#[track_caller]
+fn assert_images_close(optimized: &Image, scalar: &Image, pipeline: &str) {
+    assert_eq!(
+        (optimized.width(), optimized.height()),
+        (scalar.width(), scalar.height()),
+        "{pipeline}: dimensions"
+    );
+    for (i, (a, b)) in optimized.pixels().iter().zip(scalar.pixels()).enumerate() {
+        assert!(
+            (a.r - b.r).abs() < 1e-5 && (a.g - b.g).abs() < 1e-5 && (a.b - b.b).abs() < 1e-5,
+            "{pipeline}: pixel {i} diverged: optimized {a} vs scalar {b}"
+        );
+    }
+}
+
+#[test]
+fn gaussian_soa_counting_sort_path_matches_scalar() {
+    let p = GaussianPipeline::default();
+    assert_images_close(
+        &p.render(scene(), &camera()),
+        &p.render_scalar(scene(), &camera()),
+        "gaussian",
+    );
+}
+
+#[test]
+fn hashgrid_band_path_matches_scalar() {
+    let p = HashGridPipeline::default();
+    assert_images_close(
+        &p.render(scene(), &camera()),
+        &p.render_scalar(scene(), &camera()),
+        "hashgrid",
+    );
+}
+
+#[test]
+fn mlp_band_path_matches_scalar() {
+    let p = MlpPipeline::default();
+    assert_images_close(
+        &p.render(scene(), &camera()),
+        &p.render_scalar(scene(), &camera()),
+        "mlp",
+    );
+}
+
+#[test]
+fn lowrank_band_path_matches_scalar() {
+    let p = LowRankPipeline::default();
+    assert_images_close(
+        &p.render(scene(), &camera()),
+        &p.render_scalar(scene(), &camera()),
+        "lowrank",
+    );
+}
+
+#[test]
+fn mesh_band_raster_matches_scalar() {
+    let p = MeshPipeline::default();
+    assert_images_close(
+        &p.render(scene(), &camera()),
+        &p.render_scalar(scene(), &camera()),
+        "mesh",
+    );
+}
+
+#[test]
+fn hybrid_band_path_matches_scalar() {
+    let p = MixRtPipeline::default();
+    assert_images_close(
+        &p.render(scene(), &camera()),
+        &p.render_scalar(scene(), &camera()),
+        "hybrid",
+    );
+}
+
+proptest! {
+    /// The global counting sort orders (tile, depth-key) pairs exactly
+    /// like the seed's per-patch stable comparison sort: grouped by tile,
+    /// by `f32::total_cmp` on depth within a tile, ties in original
+    /// (splat) order.
+    #[test]
+    fn prop_counting_sort_matches_comparison_sort(
+        pairs in proptest::collection::vec((0u32..64, 0u32..512), 0..400),
+    ) {
+        let n_tiles = 64u32;
+        // Quantized depths provoke plenty of exact ties; negative and
+        // subnormal-ish values exercise the total_cmp key mapping.
+        let depths: Vec<f32> = pairs.iter().map(|&(_, d)| d as f32 * 0.25 - 40.0).collect();
+        let mut keys: Vec<u64> = pairs
+            .iter()
+            .zip(&depths)
+            .map(|(&(tile, _), &d)| (u64::from(tile) << 32) | u64::from(depth_key(d)))
+            .collect();
+        let mut ids: Vec<u32> = (0..pairs.len() as u32).collect();
+
+        // Reference: the ordering the seed's per-patch sort produced.
+        let mut reference: Vec<u32> = ids.clone();
+        reference.sort_by(|&x, &y| {
+            let (tx, dx) = (pairs[x as usize].0, depths[x as usize]);
+            let (ty, dy) = (pairs[y as usize].0, depths[y as usize]);
+            tx.cmp(&ty).then(dx.total_cmp(&dy))
+        });
+
+        let (mut keys_tmp, mut ids_tmp, mut hist) = (Vec::new(), Vec::new(), Vec::new());
+        sort_pairs_by_tile_and_depth(
+            &mut keys,
+            &mut ids,
+            &mut keys_tmp,
+            &mut ids_tmp,
+            &mut hist,
+            n_tiles,
+        );
+        prop_assert_eq!(ids, reference);
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys sorted");
+    }
+
+    /// The depth key is a strictly order-preserving embedding of
+    /// `f32::total_cmp`.
+    #[test]
+    fn prop_depth_key_orders_like_total_cmp(a in -1000f32..1000.0, b in -1000f32..1000.0) {
+        prop_assert_eq!(depth_key(a).cmp(&depth_key(b)), a.total_cmp(&b));
+    }
+}

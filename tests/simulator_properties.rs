@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use uni_render::accel::{Accelerator, AcceleratorConfig};
 use uni_render::baselines::{commercial_devices, orin_nx, Device};
-use uni_render::microops::{
-    Dims, IndexFunction, Invocation, MicroOp, Pipeline, Trace, Workload,
-};
+use uni_render::microops::{Dims, IndexFunction, Invocation, MicroOp, Pipeline, Trace, Workload};
 
 fn gemm(batch: u64, in_dim: u32, out_dim: u32) -> Invocation {
     Invocation::new(

@@ -1,0 +1,188 @@
+//! Offline mini re-implementation of the slice of `criterion` this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access. This harness keeps the
+//! same bench-source syntax (`Criterion`, groups, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) and measures with plain
+//! `std::time::Instant`: a warm-up call, an iteration count sized to a
+//! fixed target wall-time, then mean time per iteration printed one line
+//! per benchmark. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement wall-time per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(800);
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean seconds per iteration.
+    pub secs_per_iter: f64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, None, name, f);
+        self
+    }
+
+    /// All measurements recorded so far (used by harness mains that emit
+    /// machine-readable results).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-targeted here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = id.to_string();
+        run_one(self.criterion, Some(&self.name), &name, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input reference under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.0;
+        run_one(self.criterion, Some(&self.name), &name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to bench closures; `iter` performs the measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`: one warm-up call, then a time-targeted batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        black_box(f());
+        let once = warm_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (TARGET_MEASURE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    group: Option<&str>,
+    name: &str,
+    mut f: F,
+) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let id = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let iters = bencher.iters.max(1);
+    let secs = bencher.elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "bench {id:<50} {:>12.3} µs/iter ({iters} iters)",
+        secs * 1e6
+    );
+    criterion.measurements.push(Measurement {
+        id,
+        iters,
+        secs_per_iter: secs,
+    });
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_records() {
+        let mut criterion = Criterion::default();
+        criterion
+            .benchmark_group("g")
+            .bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let m = &criterion.measurements()[0];
+        assert_eq!(m.id, "g/add");
+        assert!(m.secs_per_iter >= 0.0);
+        assert!(m.iters >= 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Exposes `Serialize` / `Deserialize` in both the trait and derive-macro
+//! namespaces, exactly like `serde` with the `derive` feature, so
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. No serialization machinery is provided — nothing in this
+//! workspace serializes through serde (JSON output is hand-rolled).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! No-op derive macros mirroring `serde_derive`'s surface.
+//!
+//! The workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in the repo actually serializes through serde (the
+//! harness binaries hand-roll their JSON). These derives accept the same
+//! syntax as the real crate and expand to nothing, so the annotations stay
+//! in place for a future swap to the real dependency.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
