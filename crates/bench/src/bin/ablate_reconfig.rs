@@ -7,8 +7,8 @@
 
 use uni_baselines::{metavrain, Device};
 use uni_bench::{prepare, renderer_for, simulate_paper, trace_scene, HARNESS_DETAIL};
-use uni_core::{Accelerator, AcceleratorConfig, EnergyModel, ModuleStatus};
-use uni_microops::{MicroOp, Pipeline};
+use uni_core::{Accelerator, AcceleratorConfig, EnergyModel, ModuleStatus, SimReport};
+use uni_microops::{MicroOp, Pipeline, Trace};
 use uni_scene::datasets::unbounded360;
 
 fn main() {
@@ -64,26 +64,38 @@ fn main() {
         (1.0 - gated.energy.leakage_j / ungated.energy.leakage_j) * 100.0
     );
 
-    // (3) Reconfiguration-cost sensitivity per pipeline.
+    // (3) Reconfiguration-cost sensitivity per pipeline. Every
+    // pipeline's trace is collected once, and each cost setting replays
+    // the whole batch through `Accelerator::simulate_many`, whose
+    // workers each reuse one `ReplayScratch` across the traces they
+    // claim (no per-frame mapping allocations).
     println!("\nSec. VII-E (3) — reconfiguration cost sensitivity\n");
     println!(
         "{:<28} {:>8} {:>14} {:>14} {:>14}",
         "Pipeline", "switches", "FPS @0 cyc", "FPS @2k cyc", "FPS @100k cyc"
     );
-    for pipeline in Pipeline::ALL {
-        let trace = trace_scene(renderer_for(pipeline).as_ref(), &prepared[0]);
-        let fps_at = |cycles: u64| {
-            let mut cfg = AcceleratorConfig::paper();
-            cfg.reconfig_cycles = cycles;
-            Accelerator::new(cfg).simulate(&trace).fps()
-        };
+    let traces: Vec<Trace> = Pipeline::ALL
+        .into_iter()
+        .map(|pipeline| trace_scene(renderer_for(pipeline).as_ref(), &prepared[0]))
+        .collect();
+    let fps_at = |cycles: u64| -> Vec<f64> {
+        let mut cfg = AcceleratorConfig::paper();
+        cfg.reconfig_cycles = cycles;
+        Accelerator::new(cfg)
+            .simulate_many(&traces)
+            .iter()
+            .map(SimReport::fps)
+            .collect()
+    };
+    let (fps_0, fps_2k, fps_100k) = (fps_at(0), fps_at(2_000), fps_at(100_000));
+    for (i, pipeline) in Pipeline::ALL.into_iter().enumerate() {
         println!(
             "{:<28} {:>8} {:>14.2} {:>14.2} {:>14.2}",
             pipeline.to_string(),
-            trace.reconfiguration_count(),
-            fps_at(0),
-            fps_at(2_000),
-            fps_at(100_000),
+            traces[i].reconfiguration_count(),
+            fps_0[i],
+            fps_2k[i],
+            fps_100k[i],
         );
     }
     println!("\nShape check: frame-level reconfiguration is cheap (<1% at the 2k-cycle");

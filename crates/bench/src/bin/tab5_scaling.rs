@@ -6,7 +6,7 @@
 //! alone does nothing (compute-bound).
 
 use uni_bench::{prepare, renderer_for, trace_scene, HARNESS_DETAIL};
-use uni_core::{Accelerator, AcceleratorConfig};
+use uni_core::{Accelerator, AcceleratorConfig, ReplayScratch};
 use uni_microops::Pipeline;
 use uni_scene::datasets::unbounded360;
 
@@ -18,8 +18,11 @@ fn main() {
     let renderer = renderer_for(Pipeline::HashGrid);
     let trace = trace_scene(renderer.as_ref(), &prepared[0]);
 
+    // One ReplayScratch serves the whole config sweep: every replay of
+    // the trace reuses the same invocation -> dataflow mapping buffer.
+    let mut scratch = ReplayScratch::default();
     let base = Accelerator::new(AcceleratorConfig::paper())
-        .simulate(&trace)
+        .simulate_with_scratch(&trace, &mut scratch)
         .seconds;
 
     println!("Tab. V — speed improvement from scaling PE array x SRAM sizes");
@@ -32,7 +35,7 @@ fn main() {
         let mut row = format!("{:<16}", format!("{sram_scale}x SRAM"));
         for (pi, pe_scale) in [1u32, 2, 4].into_iter().enumerate() {
             let cfg = AcceleratorConfig::paper().scaled(pe_scale, sram_scale);
-            let report = Accelerator::new(cfg).simulate(&trace);
+            let report = Accelerator::new(cfg).simulate_with_scratch(&trace, &mut scratch);
             let speedup = base / report.seconds;
             row += &format!("{:>13.2}x (paper {:>3.1}x)", speedup, PAPER[si][pi]);
         }

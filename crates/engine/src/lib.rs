@@ -1,0 +1,29 @@
+//! # uni-engine — frame-stream rendering on top of the pipelines
+//!
+//! Uni-Render's headline claim is *cross-frame* efficiency: the
+//! reconfigurable accelerator amortizes PE-array mode switches across
+//! consecutive frames of a camera path. This crate supplies the frame-
+//! stream surface that claim needs:
+//!
+//! - [`CameraPath`] — finite, frame-indexed camera trajectories (orbit
+//!   sweeps, pose lerps, explicit waypoints);
+//! - [`FramePool`] — reusable render targets with an allocation counter,
+//!   so steady-state streaming allocates nothing after the first frame;
+//! - [`RenderSession`] — owns a baked scene, a renderer, a framebuffer
+//!   pool, and a path; yields a [`FrameReport`] per frame (image +
+//!   micro-op trace + simulated [`uni_core::SimReport`]), reusing one
+//!   [`uni_core::ReplayScratch`] across the stream and counting the
+//!   reconfigurations amortized at frame boundaries
+//!   ([`StreamSummary`]).
+//!
+//! Rendering goes through `Renderer::render_into`, the caller-owned-
+//! target entry point of `uni_renderers` — sessions are the canonical
+//! consumer of that API.
+
+pub mod path;
+pub mod pool;
+pub mod session;
+
+pub use path::CameraPath;
+pub use pool::FramePool;
+pub use session::{FrameReport, RenderSession, StreamSummary};

@@ -1,0 +1,85 @@
+//! A pool of reusable framebuffers.
+//!
+//! Frame streams hand rendered [`Image`]s to their consumer and take
+//! recycled ones back; the pool keeps the returned buffers so
+//! steady-state streaming performs **zero framebuffer allocations after
+//! the first frame** — the allocation counter makes that property
+//! testable.
+
+use uni_geometry::Image;
+
+/// A free-list of render targets with an allocation counter.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    free: Vec<Image>,
+    allocations: u64,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a reusable render target: a pooled buffer when one is
+    /// available, otherwise a fresh (counted) empty image. Contents and
+    /// dimensions are *unspecified* — the consumer is expected to hand
+    /// the target to `Renderer::render_into`, whose resize-and-fill is
+    /// then the only full-frame write (acquiring does not touch pixels,
+    /// so frames are never cleared twice).
+    pub fn acquire(&mut self) -> Image {
+        match self.free.pop() {
+            Some(img) => img,
+            None => {
+                self.allocations += 1;
+                Image::empty()
+            }
+        }
+    }
+
+    /// Returns a frame to the pool for reuse.
+    pub fn release(&mut self, frame: Image) {
+        self.free.push(frame);
+    }
+
+    /// Number of *fresh* targets the pool has had to create — stays at
+    /// its steady-state value (typically 1) while callers recycle. Each
+    /// fresh target grows to frame size once, on its first render.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uni_geometry::Rgb;
+
+    #[test]
+    fn recycled_buffers_are_not_reallocated() {
+        let mut pool = FramePool::new();
+        let mut a = pool.acquire();
+        a.resize(8, 8, Rgb::BLACK);
+        assert_eq!(pool.allocations(), 1);
+        let ptr = a.pixels().as_ptr();
+        pool.release(a);
+        let b = pool.acquire();
+        assert_eq!(pool.allocations(), 1, "reuse, not a new allocation");
+        assert_eq!(b.pixels().as_ptr(), ptr, "same buffer back");
+        assert_eq!(b.get(7, 7), Rgb::BLACK, "contents untouched by acquire");
+    }
+
+    #[test]
+    fn unreturned_frames_force_new_acquisitions() {
+        let mut pool = FramePool::new();
+        let _a = pool.acquire();
+        let _b = pool.acquire();
+        assert_eq!(pool.allocations(), 2);
+        assert_eq!(pool.pooled(), 0);
+    }
+}

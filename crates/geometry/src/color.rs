@@ -169,6 +169,12 @@ impl Rgba {
 }
 
 /// A row-major image of linear RGB pixels.
+///
+/// Images double as *reusable render targets*: [`Image::resize`] and
+/// [`Image::clear`] recycle the pixel allocation, so a frame loop that
+/// renders into the same target performs no steady-state allocations
+/// (the convention `Renderer::render_into` and the frame-stream engine
+/// build on).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Image {
     width: u32,
@@ -184,6 +190,63 @@ impl Image {
             height,
             pixels: vec![fill; (width as usize) * (height as usize)],
         }
+    }
+
+    /// Creates an empty 0×0 image holding no allocation — the cheapest
+    /// seed for a reusable target that a renderer will [`Image::resize`].
+    pub fn empty() -> Self {
+        Self {
+            width: 0,
+            height: 0,
+            pixels: Vec::new(),
+        }
+    }
+
+    /// Resizes to `width × height` and fills every pixel with `fill`,
+    /// reusing the existing allocation whenever its capacity suffices.
+    pub fn resize(&mut self, width: u32, height: u32, fill: Rgb) {
+        self.width = width;
+        self.height = height;
+        let n = (width as usize) * (height as usize);
+        self.pixels.clear();
+        self.pixels.resize(n, fill);
+    }
+
+    /// Fills every pixel with `fill` without touching the allocation.
+    pub fn clear(&mut self, fill: Rgb) {
+        self.pixels.fill(fill);
+    }
+
+    /// Capacity of the underlying pixel buffer, in pixels. Stable across
+    /// frames when a target is reused at a fixed resolution — the
+    /// property the framebuffer-pool tests assert.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.pixels.capacity()
+    }
+
+    /// Borrow of row `y` (`width` contiguous pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[Rgb] {
+        assert!(y < self.height, "row {y} out of bounds");
+        let w = self.width as usize;
+        &self.pixels[y as usize * w..(y as usize + 1) * w]
+    }
+
+    /// Mutable borrow of row `y` (`width` contiguous pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [Rgb] {
+        assert!(y < self.height, "row {y} out of bounds");
+        let w = self.width as usize;
+        &mut self.pixels[y as usize * w..(y as usize + 1) * w]
     }
 
     /// Image width in pixels.
@@ -338,6 +401,54 @@ mod tests {
     fn image_get_out_of_bounds_panics() {
         let img = Image::new(2, 2, Rgb::BLACK);
         let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn resize_reuses_the_allocation() {
+        let mut img = Image::new(8, 8, Rgb::BLACK);
+        let cap = img.capacity();
+        let ptr = img.pixels().as_ptr();
+        img.resize(4, 4, Rgb::WHITE);
+        assert_eq!((img.width(), img.height()), (4, 4));
+        assert_eq!(img.pixels().len(), 16);
+        assert_eq!(img.get(3, 3), Rgb::WHITE);
+        assert_eq!(img.capacity(), cap, "shrinking keeps the allocation");
+        assert_eq!(img.pixels().as_ptr(), ptr, "same buffer");
+        img.resize(8, 8, Rgb::splat(0.5));
+        assert_eq!(img.pixels().as_ptr(), ptr, "growing back within capacity");
+        assert_eq!(img.get(7, 7), Rgb::splat(0.5));
+    }
+
+    #[test]
+    fn empty_image_holds_no_allocation() {
+        let img = Image::empty();
+        assert_eq!((img.width(), img.height()), (0, 0));
+        assert_eq!(img.capacity(), 0);
+    }
+
+    #[test]
+    fn clear_fills_without_resizing() {
+        let mut img = Image::new(3, 2, Rgb::BLACK);
+        let cap = img.capacity();
+        img.clear(Rgb::WHITE);
+        assert_eq!(img.get(2, 1), Rgb::WHITE);
+        assert_eq!(img.capacity(), cap);
+    }
+
+    #[test]
+    fn row_access_matches_get_set() {
+        let mut img = Image::new(4, 3, Rgb::BLACK);
+        img.row_mut(1)[2] = Rgb::WHITE;
+        assert_eq!(img.get(2, 1), Rgb::WHITE);
+        assert_eq!(img.row(1)[2], Rgb::WHITE);
+        assert_eq!(img.row(0).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let img = Image::new(2, 2, Rgb::BLACK);
+        let _ = img.row(2);
     }
 
     #[test]

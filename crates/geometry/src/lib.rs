@@ -34,7 +34,7 @@ pub mod sh;
 pub mod vec;
 
 pub use aabb::Aabb;
-pub use camera::Camera;
+pub use camera::{Camera, Orbit};
 pub use color::{Image, Rgb, Rgba};
 pub use interp::{bilinear_weights, trilinear_weights};
 pub use mat::{FlatMat, Mat3, Mat4};

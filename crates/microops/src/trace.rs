@@ -96,6 +96,20 @@ impl Trace {
         seen
     }
 
+    /// The first invocation's micro-op family, if any — the PE-array mode
+    /// the frame starts in. Together with [`Trace::last_op`] this lets a
+    /// frame *stream* decide whether consecutive frames share a mode at
+    /// the boundary (no reconfiguration) or switch (one more).
+    pub fn first_op(&self) -> Option<MicroOp> {
+        self.invocations.first().map(Invocation::op)
+    }
+
+    /// The last invocation's micro-op family, if any — the PE-array mode
+    /// the frame ends in. See [`Trace::first_op`].
+    pub fn last_op(&self) -> Option<MicroOp> {
+        self.invocations.last().map(Invocation::op)
+    }
+
     /// Number of micro-op *family switches* while walking the trace in
     /// order — each switch costs a reconfiguration on the Uni-Render
     /// accelerator (Sec. VII-E).
@@ -185,6 +199,17 @@ mod tests {
         t.push(sort());
         t.push(gemm(1));
         assert_eq!(t.reconfiguration_count(), 2);
+    }
+
+    #[test]
+    fn first_and_last_op_track_the_boundary_modes() {
+        let mut t = Trace::new(Pipeline::Gaussian3d, 64, 64);
+        assert_eq!(t.first_op(), None);
+        assert_eq!(t.last_op(), None);
+        t.push(sort());
+        t.push(gemm(1));
+        assert_eq!(t.first_op(), Some(MicroOp::Sorting));
+        assert_eq!(t.last_op(), Some(MicroOp::Gemm));
     }
 
     #[test]

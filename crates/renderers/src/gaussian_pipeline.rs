@@ -13,8 +13,12 @@
 //! The production path ([`Renderer::render`]) is SoA and allocation-free in
 //! steady state:
 //!
-//! 1. projection compacts visible splats into parallel column arrays
-//!    (centers, depths, conics, radii, opacities, SH colors);
+//! 1. projection + SH evaluation run band-parallel across splats
+//!    (`uni_parallel::par_indices` over [`PROJ_BAND_SPLATS`]-sized bands,
+//!    each compacting into per-band columns reused across frames), then
+//!    concatenate in band order into the frame's visible-splat columns
+//!    (centers, depths, conics, radii, opacities, SH colors) — bit-
+//!    identical to a serial pass;
 //! 2. tile binning counts (splat, tile) pairs per tile, prefix-sums the
 //!    histogram into per-tile segments, and scatters pair keys
 //!    `(tile << 32) | depth_key(depth)` — one **global counting (LSD
@@ -181,11 +185,16 @@ struct SplatStats {
     blended_pairs: u64,
 }
 
-/// Frame-lifetime SoA buffers, kept in a per-thread scratch arena so
-/// steady-state rendering never touches the allocator.
+/// Number of Gaussians one projection band covers. Projection + SH
+/// evaluation parallelize across bands of splats
+/// (`uni_parallel::par_indices`); band results concatenate in band order,
+/// so the global column layout is identical to a serial pass.
+const PROJ_BAND_SPLATS: usize = 2048;
+
+/// Projected-splat SoA columns, one column per field. Used both for the
+/// per-band projection scratch and for the frame's concatenated columns.
 #[derive(Debug, Default)]
-struct FrameScratch {
-    // Projected splats, one column per field.
+struct ProjCols {
     cx: Vec<f32>,
     cy: Vec<f32>,
     depth: Vec<f32>,
@@ -203,6 +212,83 @@ struct FrameScratch {
     col_r: Vec<f32>,
     col_g: Vec<f32>,
     col_b: Vec<f32>,
+}
+
+impl ProjCols {
+    fn clear(&mut self) {
+        self.cx.clear();
+        self.cy.clear();
+        self.depth.clear();
+        self.conic_a.clear();
+        self.conic_b.clear();
+        self.conic_c.clear();
+        self.radius.clear();
+        self.opacity.clear();
+        self.ln_cut.clear();
+        self.inv_a.clear();
+        self.dy_max.clear();
+        self.col_r.clear();
+        self.col_g.clear();
+        self.col_b.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.cx.len()
+    }
+
+    /// Appends one projected splat, deriving the blending-loop
+    /// precomputations (log-space cutoff, reciprocal, vertical reach).
+    fn push(&mut self, s: &ProjectedSplat, color: Rgb) {
+        self.cx.push(s.center.x);
+        self.cy.push(s.center.y);
+        self.depth.push(s.depth);
+        self.conic_a.push(s.conic.0);
+        self.conic_b.push(s.conic.1);
+        self.conic_c.push(s.conic.2);
+        self.radius.push(s.radius);
+        self.opacity.push(s.opacity);
+        let cut = (MIN_ALPHA / s.opacity).ln() - LN_ALPHA_MARGIN;
+        self.ln_cut.push(cut);
+        self.inv_a.push(1.0 / s.conic.0);
+        // The set { power >= cut } is an ellipse; its vertical
+        // half-extent is sqrt(-2·a·cut / (a·c - b²)) (the conic is
+        // positive definite, so a·c - b² > 0).
+        let det = s.conic.0 * s.conic.2 - s.conic.1 * s.conic.1;
+        self.dy_max
+            .push(((-2.0 * s.conic.0 * cut / det.max(1e-12)).max(0.0)).sqrt());
+        self.col_r.push(color.r);
+        self.col_g.push(color.g);
+        self.col_b.push(color.b);
+    }
+
+    /// Concatenates `other`'s columns onto `self` (band-order gather).
+    fn append(&mut self, other: &ProjCols) {
+        self.cx.extend_from_slice(&other.cx);
+        self.cy.extend_from_slice(&other.cy);
+        self.depth.extend_from_slice(&other.depth);
+        self.conic_a.extend_from_slice(&other.conic_a);
+        self.conic_b.extend_from_slice(&other.conic_b);
+        self.conic_c.extend_from_slice(&other.conic_c);
+        self.radius.extend_from_slice(&other.radius);
+        self.opacity.extend_from_slice(&other.opacity);
+        self.ln_cut.extend_from_slice(&other.ln_cut);
+        self.inv_a.extend_from_slice(&other.inv_a);
+        self.dy_max.extend_from_slice(&other.dy_max);
+        self.col_r.extend_from_slice(&other.col_r);
+        self.col_g.extend_from_slice(&other.col_g);
+        self.col_b.extend_from_slice(&other.col_b);
+    }
+}
+
+/// Frame-lifetime SoA buffers, kept in a per-thread scratch arena so
+/// steady-state rendering never touches the allocator.
+#[derive(Debug, Default)]
+struct FrameScratch {
+    /// Concatenated projected-splat columns for the frame.
+    cols: ProjCols,
+    /// Per-band projection scratch (each projection worker locks its own
+    /// band slot; bands are claimed exclusively, so locks never contend).
+    proj: Vec<std::sync::Mutex<ProjCols>>,
     // Tile binning + global counting sort.
     counts: Vec<u32>,
     offsets: Vec<u32>,
@@ -287,10 +373,15 @@ thread_local! {
 }
 
 impl GaussianPipeline {
-    fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, SplatStats) {
+    fn render_internal(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        target: &mut Image,
+    ) -> SplatStats {
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            self.render_soa(scene, camera, &mut scratch)
+            self.render_soa(scene, camera, &mut scratch, target)
         })
     }
 
@@ -300,9 +391,10 @@ impl GaussianPipeline {
         scene: &BakedScene,
         camera: &Camera,
         scratch: &mut FrameScratch,
-    ) -> (Image, SplatStats) {
+        target: &mut Image,
+    ) -> SplatStats {
         let bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, bg);
+        target.resize(camera.width, camera.height, bg);
         let cloud = scene.gaussians();
         let mut stats = SplatStats {
             gaussians_streamed: cloud.len() as u64,
@@ -310,6 +402,52 @@ impl GaussianPipeline {
         };
 
         let FrameScratch {
+            cols,
+            proj,
+            counts,
+            offsets,
+            keys,
+            keys_tmp,
+            ids,
+            ids_tmp,
+            hist,
+            bands,
+        } = scratch;
+
+        // (1) Space conversion + splatting: project every Gaussian into
+        // the SoA columns, evaluating its SH color once per frame (the
+        // "MLP" step). Bands of splats project in parallel into per-band
+        // columns; concatenating the bands in order reproduces the serial
+        // pass bit for bit (per-splat math is untouched and compaction
+        // order is preserved).
+        let n_coeffs = cloud.coeffs_per_channel();
+        let n_proj_bands = cloud.len().div_ceil(PROJ_BAND_SPLATS);
+        if proj.len() < n_proj_bands {
+            proj.resize_with(n_proj_bands, Default::default);
+        }
+        {
+            let proj = &*proj;
+            uni_parallel::par_indices(n_proj_bands, |b| {
+                let mut pb = proj[b].lock().expect("projection band scratch poisoned");
+                pb.clear();
+                let lo = b * PROJ_BAND_SPLATS;
+                let hi = ((b + 1) * PROJ_BAND_SPLATS).min(cloud.len());
+                for i in lo..hi {
+                    if let Some(s) = cloud.project(i as u32, camera, self.alpha_threshold) {
+                        let g = &cloud.gaussians[s.index as usize];
+                        let dir = (g.mean - camera.eye).normalized();
+                        pb.push(&s, g.color(dir, n_coeffs));
+                    }
+                }
+            });
+        }
+        cols.clear();
+        for cell in proj.iter().take(n_proj_bands) {
+            cols.append(&cell.lock().expect("projection band scratch poisoned"));
+        }
+        let visible = cols.len();
+        stats.visible_splats = visible as u64;
+        let ProjCols {
             cx,
             cy,
             depth,
@@ -324,62 +462,7 @@ impl GaussianPipeline {
             col_r,
             col_g,
             col_b,
-            counts,
-            offsets,
-            keys,
-            keys_tmp,
-            ids,
-            ids_tmp,
-            hist,
-            bands,
-        } = scratch;
-
-        // (1) Space conversion + splatting: project every Gaussian into
-        // the SoA columns, evaluating its SH color once per frame (the
-        // "MLP" step).
-        cx.clear();
-        cy.clear();
-        depth.clear();
-        conic_a.clear();
-        conic_b.clear();
-        conic_c.clear();
-        radius.clear();
-        opacity.clear();
-        ln_cut.clear();
-        inv_a.clear();
-        dy_max.clear();
-        col_r.clear();
-        col_g.clear();
-        col_b.clear();
-        let n_coeffs = cloud.coeffs_per_channel();
-        for i in 0..cloud.len() {
-            if let Some(s) = cloud.project(i as u32, camera, self.alpha_threshold) {
-                cx.push(s.center.x);
-                cy.push(s.center.y);
-                depth.push(s.depth);
-                conic_a.push(s.conic.0);
-                conic_b.push(s.conic.1);
-                conic_c.push(s.conic.2);
-                radius.push(s.radius);
-                opacity.push(s.opacity);
-                let cut = (MIN_ALPHA / s.opacity).ln() - LN_ALPHA_MARGIN;
-                ln_cut.push(cut);
-                inv_a.push(1.0 / s.conic.0);
-                // The set { power >= cut } is an ellipse; its vertical
-                // half-extent is sqrt(-2·a·cut / (a·c - b²)) (the conic is
-                // positive definite, so a·c - b² > 0).
-                let det = s.conic.0 * s.conic.2 - s.conic.1 * s.conic.1;
-                dy_max.push(((-2.0 * s.conic.0 * cut / det.max(1e-12)).max(0.0)).sqrt());
-                let g = &cloud.gaussians[s.index as usize];
-                let dir = (g.mean - camera.eye).normalized();
-                let c = g.color(dir, n_coeffs);
-                col_r.push(c.r);
-                col_g.push(c.g);
-                col_b.push(c.b);
-            }
-        }
-        let visible = cx.len();
-        stats.visible_splats = visible as u64;
+        } = cols;
 
         // (2) Tile binning, pass one: per-tile pair counts.
         let ps = self.patch_size;
@@ -456,192 +539,194 @@ impl GaussianPipeline {
         let (col_r, col_g, col_b) = (&*col_r, &*col_g, &*col_b);
         let (offsets, ids, bands) = (&*offsets, &*ids, &*bands);
 
-        let band_stats = uni_parallel::par_bands(img.pixels_mut(), band_len, |band_ty, chunk| {
-            let rows_in_band = chunk.len() / width;
-            let y_base = band_ty * ps as usize;
-            let mut candidate = 0u64;
-            let mut blended = 0u64;
-            let mut tile_scratch = bands[band_ty].lock().expect("band scratch poisoned");
-            let ts = &mut *tile_scratch;
-            for tx in 0..tiles_x {
-                let tile = band_ty * tiles_x as usize + tx as usize;
-                let seg = offsets[tile] as usize..offsets[tile + 1] as usize;
-                if seg.is_empty() {
-                    continue;
-                }
-                // Gather the tile's depth-sorted splats contiguously, and
-                // bucket them by the scanlines their alpha-threshold
-                // ellipse can reach (a small counting sort by row that
-                // keeps depth order within each row). Each scanline then
-                // only ever touches splats that can contribute to it.
-                ts.splats.clear();
-                ts.row_counts.clear();
-                ts.row_counts.resize(rows_in_band, 0);
-                for &id in &ids[seg.clone()] {
-                    let id = id as usize;
-                    // Scanline span: rows whose center is within the
-                    // splat's vertical reach (widened 1e-3 px for float
-                    // safety; the exact per-pair tests below still run).
-                    let reach = dy_max[id] + 1e-3;
-                    let lo = (cy[id] - reach - 0.5 - y_base as f32).ceil().max(0.0);
-                    let hi = (cy[id] + reach - 0.5 - y_base as f32).floor();
-                    let (row_lo, row_hi) = if hi < lo || lo >= rows_in_band as f32 {
-                        (1, 0) // Empty span.
-                    } else {
-                        let r0 = lo as u32;
-                        let r1 = (hi as u32).min(rows_in_band as u32 - 1);
-                        for r in r0..=r1 {
-                            ts.row_counts[r as usize] += 1;
-                        }
-                        (r0, r1)
-                    };
-                    ts.splats.push(GatheredSplat {
-                        x: cx[id],
-                        y: cy[id],
-                        conic_a: conic_a[id],
-                        conic_b: conic_b[id],
-                        conic_c: conic_c[id],
-                        inv_a: inv_a[id],
-                        ln_cut: ln_cut[id],
-                        opacity: opacity[id],
-                        r: col_r[id],
-                        g: col_g[id],
-                        b: col_b[id],
-                        row_lo,
-                        row_hi,
-                    });
-                }
-                let n = ts.splats.len();
-                ts.row_offsets.clear();
-                ts.row_offsets.push(0);
-                let mut run = 0u32;
-                for &c in &ts.row_counts {
-                    run += c;
-                    ts.row_offsets.push(run);
-                }
-                ts.row_lists.clear();
-                ts.row_lists.resize(run as usize, 0);
-                ts.row_counts.fill(0);
-                for (k, s) in ts.splats.iter().enumerate() {
-                    if s.row_lo > s.row_hi {
+        let band_stats =
+            uni_parallel::par_bands(target.pixels_mut(), band_len, |band_ty, chunk| {
+                let rows_in_band = chunk.len() / width;
+                let y_base = band_ty * ps as usize;
+                let mut candidate = 0u64;
+                let mut blended = 0u64;
+                let mut tile_scratch = bands[band_ty].lock().expect("band scratch poisoned");
+                let ts = &mut *tile_scratch;
+                for tx in 0..tiles_x {
+                    let tile = band_ty * tiles_x as usize + tx as usize;
+                    let seg = offsets[tile] as usize..offsets[tile + 1] as usize;
+                    if seg.is_empty() {
                         continue;
                     }
-                    for r in s.row_lo..=s.row_hi {
-                        let slot = ts.row_offsets[r as usize] + ts.row_counts[r as usize];
-                        ts.row_lists[slot as usize] = k as u32;
-                        ts.row_counts[r as usize] += 1;
+                    // Gather the tile's depth-sorted splats contiguously, and
+                    // bucket them by the scanlines their alpha-threshold
+                    // ellipse can reach (a small counting sort by row that
+                    // keeps depth order within each row). Each scanline then
+                    // only ever touches splats that can contribute to it.
+                    ts.splats.clear();
+                    ts.row_counts.clear();
+                    ts.row_counts.resize(rows_in_band, 0);
+                    for &id in &ids[seg.clone()] {
+                        let id = id as usize;
+                        // Scanline span: rows whose center is within the
+                        // splat's vertical reach (widened 1e-3 px for float
+                        // safety; the exact per-pair tests below still run).
+                        let reach = dy_max[id] + 1e-3;
+                        let lo = (cy[id] - reach - 0.5 - y_base as f32).ceil().max(0.0);
+                        let hi = (cy[id] + reach - 0.5 - y_base as f32).floor();
+                        let (row_lo, row_hi) = if hi < lo || lo >= rows_in_band as f32 {
+                            (1, 0) // Empty span.
+                        } else {
+                            let r0 = lo as u32;
+                            let r1 = (hi as u32).min(rows_in_band as u32 - 1);
+                            for r in r0..=r1 {
+                                ts.row_counts[r as usize] += 1;
+                            }
+                            (r0, r1)
+                        };
+                        ts.splats.push(GatheredSplat {
+                            x: cx[id],
+                            y: cy[id],
+                            conic_a: conic_a[id],
+                            conic_b: conic_b[id],
+                            conic_c: conic_c[id],
+                            inv_a: inv_a[id],
+                            ln_cut: ln_cut[id],
+                            opacity: opacity[id],
+                            r: col_r[id],
+                            g: col_g[id],
+                            b: col_b[id],
+                            row_lo,
+                            row_hi,
+                        });
                     }
-                }
-
-                let px0 = tx * ps;
-                let px1 = ((tx + 1) * ps).min(camera.width);
-                let px_count = (px1 - px0) as usize;
-                for row_local in 0..rows_in_band {
-                    let py = (y_base + row_local) as f32 + 0.5;
-                    let row = &mut chunk[row_local * width..(row_local + 1) * width];
-
-                    // Fresh per-pixel compositing state for this scanline
-                    // segment. Splat-major traversal below feeds each
-                    // pixel its samples in depth order (the outer loop is
-                    // depth-ordered), so compositing semantics — including
-                    // early saturation — match the seed's pixel-major
-                    // walk exactly.
-                    ts.accs.clear();
-                    ts.accs.resize(px_count, RayAccumulator::new());
-                    ts.last_blend.clear();
-                    ts.last_blend.resize(px_count, 0);
-
-                    let row_seg =
-                        ts.row_offsets[row_local] as usize..ts.row_offsets[row_local + 1] as usize;
-                    let (accs, last_blend) =
-                        (&mut ts.accs[..px_count], &mut ts.last_blend[..px_count]);
-                    for li in row_seg {
-                        let j = ts.row_lists[li] as usize;
-                        let s = ts.splats[j];
-                        let dy = py - s.y;
-                        // X interval where `power >= ln_cut` can hold
-                        // (roots of 0.5·a·dx² + b·dy·dx + 0.5·c·dy² + cut
-                        // ≤ 0, widened by 1e-3 px). Pixels outside it are
-                        // provably below the alpha threshold.
-                        let bb = s.conic_b * dy;
-                        let c0 = 0.5 * s.conic_c * dy * dy + s.ln_cut;
-                        let disc = bb * bb - 2.0 * s.conic_a * c0;
-                        if disc <= 0.0 {
-                            continue; // Below threshold across the row.
-                        }
-                        let sq = disc.sqrt();
-                        let xlo = s.x + (-bb - sq) * s.inv_a - 1e-3;
-                        let xhi = s.x + (-bb + sq) * s.inv_a + 1e-3;
-                        // Pixel centers sit at px + 0.5 (float casts
-                        // saturate, so negative bounds clamp to zero).
-                        let lo = ((xlo - 0.5).ceil().max(px0 as f32) as u32).max(px0);
-                        let hi_f = (xhi - 0.5).floor();
-                        if hi_f < lo as f32 {
+                    let n = ts.splats.len();
+                    ts.row_offsets.clear();
+                    ts.row_offsets.push(0);
+                    let mut run = 0u32;
+                    for &c in &ts.row_counts {
+                        run += c;
+                        ts.row_offsets.push(run);
+                    }
+                    ts.row_lists.clear();
+                    ts.row_lists.resize(run as usize, 0);
+                    ts.row_counts.fill(0);
+                    for (k, s) in ts.splats.iter().enumerate() {
+                        if s.row_lo > s.row_hi {
                             continue;
                         }
-                        let hi = (hi_f as u32).min(px1 - 1);
-                        let color = Rgb::new(s.r, s.g, s.b);
-                        // `c·dy·dy` keeps the seed's left-to-right product
-                        // order, and the `b·dx·dy` pairing stays inside
-                        // the loop, so `power` is bit-identical to
-                        // ProjectedSplat::falloff's.
-                        let c_dyy = s.conic_c * dy * dy;
-                        for px in lo..=hi {
-                            let pi = (px - px0) as usize;
-                            let acc = &mut accs[pi];
-                            if acc.saturated() {
-                                continue;
-                            }
-                            let pxf = px as f32 + 0.5;
-                            let dx = pxf - s.x;
-                            // Same expression as ProjectedSplat::falloff,
-                            // with the exp elided for pairs provably below
-                            // the alpha threshold.
-                            let power = -0.5 * (s.conic_a * dx * dx + c_dyy) - s.conic_b * dx * dy;
-                            if power > 0.0 || power < s.ln_cut {
-                                continue;
-                            }
-                            let mut alpha = s.opacity * fast_exp_neg(power);
-                            // Near the 1/255 cutoff, fall back to libm exp
-                            // for both the decision and the value: inclusion
-                            // then matches the scalar reference exactly (the
-                            // polynomial's ~2 ulp error is far inside the
-                            // 1e-3 guard band).
-                            if (alpha - MIN_ALPHA).abs() <= MIN_ALPHA * 1e-3 {
-                                alpha = s.opacity * power.exp();
-                            }
-                            if alpha < MIN_ALPHA {
-                                continue;
-                            }
-                            blended += 1;
-                            acc.add_alpha_sample(color, alpha);
-                            last_blend[pi] = j as u32;
+                        for r in s.row_lo..=s.row_hi {
+                            let slot = ts.row_offsets[r as usize] + ts.row_counts[r as usize];
+                            ts.row_lists[slot as usize] = k as u32;
+                            ts.row_counts[r as usize] += 1;
                         }
                     }
 
-                    // Candidate-pair accounting matches the seed loop: it
-                    // examined every splat up to (and including) the one
-                    // that saturated the ray, or all of them. Skipped
-                    // pairs never blend, so the saturation point is
-                    // unchanged by the interval culling.
-                    for pi in 0..px_count {
-                        let acc = ts.accs[pi];
-                        candidate += if acc.saturated() {
-                            u64::from(ts.last_blend[pi]) + 1
-                        } else {
-                            n as u64
-                        };
-                        row[px0 as usize + pi] = acc.finish(bg);
+                    let px0 = tx * ps;
+                    let px1 = ((tx + 1) * ps).min(camera.width);
+                    let px_count = (px1 - px0) as usize;
+                    for row_local in 0..rows_in_band {
+                        let py = (y_base + row_local) as f32 + 0.5;
+                        let row = &mut chunk[row_local * width..(row_local + 1) * width];
+
+                        // Fresh per-pixel compositing state for this scanline
+                        // segment. Splat-major traversal below feeds each
+                        // pixel its samples in depth order (the outer loop is
+                        // depth-ordered), so compositing semantics — including
+                        // early saturation — match the seed's pixel-major
+                        // walk exactly.
+                        ts.accs.clear();
+                        ts.accs.resize(px_count, RayAccumulator::new());
+                        ts.last_blend.clear();
+                        ts.last_blend.resize(px_count, 0);
+
+                        let row_seg = ts.row_offsets[row_local] as usize
+                            ..ts.row_offsets[row_local + 1] as usize;
+                        let (accs, last_blend) =
+                            (&mut ts.accs[..px_count], &mut ts.last_blend[..px_count]);
+                        for li in row_seg {
+                            let j = ts.row_lists[li] as usize;
+                            let s = ts.splats[j];
+                            let dy = py - s.y;
+                            // X interval where `power >= ln_cut` can hold
+                            // (roots of 0.5·a·dx² + b·dy·dx + 0.5·c·dy² + cut
+                            // ≤ 0, widened by 1e-3 px). Pixels outside it are
+                            // provably below the alpha threshold.
+                            let bb = s.conic_b * dy;
+                            let c0 = 0.5 * s.conic_c * dy * dy + s.ln_cut;
+                            let disc = bb * bb - 2.0 * s.conic_a * c0;
+                            if disc <= 0.0 {
+                                continue; // Below threshold across the row.
+                            }
+                            let sq = disc.sqrt();
+                            let xlo = s.x + (-bb - sq) * s.inv_a - 1e-3;
+                            let xhi = s.x + (-bb + sq) * s.inv_a + 1e-3;
+                            // Pixel centers sit at px + 0.5 (float casts
+                            // saturate, so negative bounds clamp to zero).
+                            let lo = ((xlo - 0.5).ceil().max(px0 as f32) as u32).max(px0);
+                            let hi_f = (xhi - 0.5).floor();
+                            if hi_f < lo as f32 {
+                                continue;
+                            }
+                            let hi = (hi_f as u32).min(px1 - 1);
+                            let color = Rgb::new(s.r, s.g, s.b);
+                            // `c·dy·dy` keeps the seed's left-to-right product
+                            // order, and the `b·dx·dy` pairing stays inside
+                            // the loop, so `power` is bit-identical to
+                            // ProjectedSplat::falloff's.
+                            let c_dyy = s.conic_c * dy * dy;
+                            for px in lo..=hi {
+                                let pi = (px - px0) as usize;
+                                let acc = &mut accs[pi];
+                                if acc.saturated() {
+                                    continue;
+                                }
+                                let pxf = px as f32 + 0.5;
+                                let dx = pxf - s.x;
+                                // Same expression as ProjectedSplat::falloff,
+                                // with the exp elided for pairs provably below
+                                // the alpha threshold.
+                                let power =
+                                    -0.5 * (s.conic_a * dx * dx + c_dyy) - s.conic_b * dx * dy;
+                                if power > 0.0 || power < s.ln_cut {
+                                    continue;
+                                }
+                                let mut alpha = s.opacity * fast_exp_neg(power);
+                                // Near the 1/255 cutoff, fall back to libm exp
+                                // for both the decision and the value: inclusion
+                                // then matches the scalar reference exactly (the
+                                // polynomial's ~2 ulp error is far inside the
+                                // 1e-3 guard band).
+                                if (alpha - MIN_ALPHA).abs() <= MIN_ALPHA * 1e-3 {
+                                    alpha = s.opacity * power.exp();
+                                }
+                                if alpha < MIN_ALPHA {
+                                    continue;
+                                }
+                                blended += 1;
+                                acc.add_alpha_sample(color, alpha);
+                                last_blend[pi] = j as u32;
+                            }
+                        }
+
+                        // Candidate-pair accounting matches the seed loop: it
+                        // examined every splat up to (and including) the one
+                        // that saturated the ray, or all of them. Skipped
+                        // pairs never blend, so the saturation point is
+                        // unchanged by the interval culling.
+                        for pi in 0..px_count {
+                            let acc = ts.accs[pi];
+                            candidate += if acc.saturated() {
+                                u64::from(ts.last_blend[pi]) + 1
+                            } else {
+                                n as u64
+                            };
+                            row[px0 as usize + pi] = acc.finish(bg);
+                        }
                     }
                 }
-            }
-            (candidate, blended)
-        });
+                (candidate, blended)
+            });
         for (candidate, blended) in band_stats {
             stats.candidate_pairs += candidate;
             stats.blended_pairs += blended;
         }
-        (img, stats)
+        stats
     }
 
     /// The seed-era scalar reference path: AoS splats, per-patch `Vec`
@@ -740,13 +825,15 @@ impl Renderer for GaussianPipeline {
         Pipeline::Gaussian3d
     }
 
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
-        self.render_internal(scene, camera).0
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
+        self.render_internal(scene, camera, target);
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {
         let probe = Probe::plan(camera);
-        let (_, stats) = self.render_internal(scene, &probe.camera);
+        let stats = crate::scratch::with_probe_target(|img| {
+            self.render_internal(scene, &probe.camera, img)
+        });
         let mut trace = Trace::new(Pipeline::Gaussian3d, camera.width, camera.height);
 
         let repr = &scene.spec().repr;
@@ -892,7 +979,8 @@ mod tests {
     fn splat_stats_are_consistent() {
         let scene = testutil::scene();
         let camera = testutil::camera(scene, 96, 64);
-        let (_, stats) = GaussianPipeline::default().render_internal(scene, &camera);
+        let stats =
+            GaussianPipeline::default().render_internal(scene, &camera, &mut Image::empty());
         assert!(stats.visible_splats > 0);
         assert!(stats.visible_splats <= stats.gaussians_streamed);
         assert!(stats.blended_pairs <= stats.candidate_pairs);

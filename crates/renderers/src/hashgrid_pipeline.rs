@@ -39,13 +39,14 @@ impl HashStats {
 
 impl HashGridPipeline {
     /// Renders the scanlines starting at row `y0` into `chunk` (whole
-    /// rows, row-major).
+    /// rows, row-major), using the caller's ray scratch arena.
     fn render_rows(
         &self,
         scene: &BakedScene,
         camera: &Camera,
         y0: u32,
         chunk: &mut [Rgb],
+        rs: &mut crate::scratch::RayScratch,
     ) -> HashStats {
         let bg = scene.field().background();
         let grid = scene.hashgrid();
@@ -58,7 +59,7 @@ impl HashGridPipeline {
         let width = camera.width as usize;
         let rows = chunk.len() / width.max(1);
         let mut stats = HashStats::default();
-        crate::scratch::with_ray_scratch(|rs| {
+        {
             let crate::scratch::RayScratch { ts, feats, mlp, .. } = rs;
             feats.clear();
             feats.resize(cfg.feature_dim() as usize, 0.0);
@@ -104,28 +105,36 @@ impl HashGridPipeline {
                     row[x as usize] = acc.finish(bg);
                 }
             }
-        });
+        }
         stats
     }
 
-    fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, HashStats) {
+    fn render_internal(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        target: &mut Image,
+    ) -> HashStats {
         let bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, bg);
+        target.resize(camera.width, camera.height, bg);
         let width = camera.width as usize;
         let band_len = crate::scratch::BAND_ROWS as usize * width;
-        let per_band = uni_parallel::par_bands(img.pixels_mut(), band_len, |band, chunk| {
-            self.render_rows(
-                scene,
-                camera,
-                band as u32 * crate::scratch::BAND_ROWS,
-                chunk,
-            )
+        let per_band = uni_parallel::par_bands(target.pixels_mut(), band_len, |band, chunk| {
+            crate::scratch::with_ray_scratch(|rs| {
+                self.render_rows(
+                    scene,
+                    camera,
+                    band as u32 * crate::scratch::BAND_ROWS,
+                    chunk,
+                    rs,
+                )
+            })
         });
         let mut stats = HashStats::default();
         for s in per_band {
             stats.merge(s);
         }
-        (img, stats)
+        stats
     }
 
     /// The seed-era scalar reference path: single-threaded, allocating a
@@ -184,13 +193,15 @@ impl Renderer for HashGridPipeline {
         Pipeline::HashGrid
     }
 
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
-        self.render_internal(scene, camera).0
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
+        self.render_internal(scene, camera, target);
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {
         let probe = Probe::plan(camera);
-        let (_, stats) = self.render_internal(scene, &probe.camera);
+        let stats = crate::scratch::with_probe_target(|img| {
+            self.render_internal(scene, &probe.camera, img)
+        });
         let mut trace = Trace::new(Pipeline::HashGrid, camera.width, camera.height);
 
         let repr = &scene.spec().repr;
@@ -321,7 +332,8 @@ mod tests {
     fn occupancy_skip_gates_the_fetch() {
         let scene = testutil::scene();
         let camera = testutil::camera(scene, 64, 48);
-        let (_, stats) = HashGridPipeline::default().render_internal(scene, &camera);
+        let stats =
+            HashGridPipeline::default().render_internal(scene, &camera, &mut Image::empty());
         assert!(stats.samples_marched > 0);
         assert!(stats.samples_fetched > 0, "some samples survive the gate");
         assert!(

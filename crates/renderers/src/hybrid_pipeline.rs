@@ -21,7 +21,8 @@ pub struct MixRtPipeline {}
 
 impl MixRtPipeline {
     /// Surface-shades rows `[y0, y0 + rows)` from the hit buffer: one
-    /// hash fetch + decoder evaluation per covered pixel.
+    /// hash fetch + decoder evaluation per covered pixel, using the
+    /// caller's ray scratch arena.
     fn shade_rows(
         &self,
         scene: &BakedScene,
@@ -29,6 +30,7 @@ impl MixRtPipeline {
         hits: &[Option<PixelHitPublic>],
         y0: u32,
         chunk: &mut [Rgb],
+        rs: &mut crate::scratch::RayScratch,
     ) {
         let bg = scene.field().background();
         let grid = scene.hashgrid();
@@ -36,7 +38,7 @@ impl MixRtPipeline {
         let mesh = scene.mesh();
         let width = camera.width as usize;
         let rows = chunk.len() / width.max(1);
-        crate::scratch::with_ray_scratch(|rs| {
+        {
             let crate::scratch::RayScratch { feats, mlp, .. } = rs;
             feats.clear();
             feats.resize(grid.config().feature_dim() as usize, 0.0);
@@ -65,14 +67,16 @@ impl MixRtPipeline {
                     row[x as usize] = bg.lerp(color, confidence);
                 }
             }
-        });
+        }
     }
 
     /// Single-threaded whole-frame reference path (parity/bench baseline).
     pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
         let (hits, _) = rasterize_scalar(scene.mesh(), camera);
         let mut img = Image::new(camera.width, camera.height, scene.field().background());
-        self.shade_rows(scene, camera, &hits, 0, img.pixels_mut());
+        crate::scratch::with_ray_scratch(|rs| {
+            self.shade_rows(scene, camera, &hits, 0, img.pixels_mut(), rs);
+        });
         img
     }
 }
@@ -82,20 +86,21 @@ impl Renderer for MixRtPipeline {
         Pipeline::HybridMixRt
     }
 
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
         let bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, bg);
+        target.resize(camera.width, camera.height, bg);
         let (hits, _) = rasterize(scene.mesh(), camera);
         let width = camera.width as usize;
         let band_rows = crate::scratch::BAND_ROWS;
         uni_parallel::par_bands(
-            img.pixels_mut(),
+            target.pixels_mut(),
             band_rows as usize * width,
             |band, chunk| {
-                self.shade_rows(scene, camera, &hits, band as u32 * band_rows, chunk);
+                crate::scratch::with_ray_scratch(|rs| {
+                    self.shade_rows(scene, camera, &hits, band as u32 * band_rows, chunk, rs);
+                });
             },
         );
-        img
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {

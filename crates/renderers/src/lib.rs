@@ -42,12 +42,30 @@ use uni_scene::BakedScene;
 
 /// A neural rendering pipeline: renders images and decomposes frames into
 /// micro-operator traces.
+///
+/// The rendering entry point is [`Renderer::render_into`]: it writes one
+/// frame into a *caller-owned* target, resizing it to the camera's
+/// resolution while reusing its allocation. Frame loops (the
+/// `uni-engine` sessions, the benches) therefore allocate one framebuffer
+/// up front and render every subsequent frame allocation-free.
+/// [`Renderer::render`] is a convenience wrapper for one-shot callers.
 pub trait Renderer {
     /// Which pipeline family this renderer implements.
     fn pipeline(&self) -> Pipeline;
 
-    /// Renders one frame.
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image;
+    /// Renders one frame into `target`, resizing it to `camera.width ×
+    /// camera.height` (reusing its allocation) and overwriting every
+    /// pixel. Steady-state frame loops allocate nothing once the target's
+    /// capacity has grown to the frame size.
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image);
+
+    /// Renders one frame into a freshly allocated image. Convenience
+    /// wrapper over [`Renderer::render_into`].
+    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
+        let mut img = Image::empty();
+        self.render_into(scene, camera, &mut img);
+        img
+    }
 
     /// Decomposes one frame into its micro-operator trace (Sec. IV).
     ///

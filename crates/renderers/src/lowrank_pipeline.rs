@@ -38,13 +38,14 @@ impl LowRankStats {
 
 impl LowRankPipeline {
     /// Renders the scanlines starting at row `y0` into `chunk` (whole
-    /// rows, row-major).
+    /// rows, row-major), using the caller's ray scratch arena.
     fn render_rows(
         &self,
         scene: &BakedScene,
         camera: &Camera,
         y0: u32,
         chunk: &mut [Rgb],
+        rs: &mut crate::scratch::RayScratch,
     ) -> LowRankStats {
         let bg = scene.field().background();
         let tp = scene.triplane();
@@ -56,7 +57,7 @@ impl LowRankPipeline {
         let width = camera.width as usize;
         let rows = chunk.len() / width.max(1);
         let mut stats = LowRankStats::default();
-        crate::scratch::with_ray_scratch(|rs| {
+        {
             let crate::scratch::RayScratch { ts, feats, mlp, .. } = rs;
             feats.clear();
             feats.resize(channels, 0.0);
@@ -120,28 +121,36 @@ impl LowRankPipeline {
                     row[x as usize] = (color + bg * acc.transmittance()).saturate();
                 }
             }
-        });
+        }
         stats
     }
 
-    fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, LowRankStats) {
+    fn render_internal(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        target: &mut Image,
+    ) -> LowRankStats {
         let bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, bg);
+        target.resize(camera.width, camera.height, bg);
         let width = camera.width as usize;
         let band_len = crate::scratch::BAND_ROWS as usize * width;
-        let per_band = uni_parallel::par_bands(img.pixels_mut(), band_len, |band, chunk| {
-            self.render_rows(
-                scene,
-                camera,
-                band as u32 * crate::scratch::BAND_ROWS,
-                chunk,
-            )
+        let per_band = uni_parallel::par_bands(target.pixels_mut(), band_len, |band, chunk| {
+            crate::scratch::with_ray_scratch(|rs| {
+                self.render_rows(
+                    scene,
+                    camera,
+                    band as u32 * crate::scratch::BAND_ROWS,
+                    chunk,
+                    rs,
+                )
+            })
         });
         let mut stats = LowRankStats::default();
         for s in per_band {
             stats.merge(s);
         }
-        (img, stats)
+        stats
     }
 
     /// The seed-era scalar reference path: single-threaded, allocating a
@@ -215,13 +224,15 @@ impl Renderer for LowRankPipeline {
         Pipeline::LowRankGrid
     }
 
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
-        self.render_internal(scene, camera).0
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
+        self.render_internal(scene, camera, target);
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {
         let probe = Probe::plan(camera);
-        let (_, stats) = self.render_internal(scene, &probe.camera);
+        let stats = crate::scratch::with_probe_target(|img| {
+            self.render_internal(scene, &probe.camera, img)
+        });
         let mut trace = Trace::new(Pipeline::LowRankGrid, camera.width, camera.height);
 
         let repr = &scene.spec().repr;

@@ -183,7 +183,8 @@ pub(crate) struct PixelHitPublic {
 }
 
 impl MeshPipeline {
-    /// Deferred-shades rows `[y0, y0 + rows)` from the hit buffer.
+    /// Deferred-shades rows `[y0, y0 + rows)` from the hit buffer, using
+    /// the caller's ray scratch arena.
     fn shade_rows(
         &self,
         scene: &BakedScene,
@@ -191,12 +192,13 @@ impl MeshPipeline {
         hits: &[Option<PixelHitPublic>],
         y0: u32,
         chunk: &mut [Rgb],
+        rs: &mut crate::scratch::RayScratch,
     ) {
         let tex = scene.texture();
         let mesh = scene.mesh();
         let width = camera.width as usize;
         let rows = chunk.len() / width.max(1);
-        crate::scratch::with_ray_scratch(|rs| {
+        {
             let crate::scratch::RayScratch { feats, mlp, .. } = rs;
             feats.clear();
             feats.resize(tex.channels() as usize, 0.0);
@@ -227,29 +229,38 @@ impl MeshPipeline {
                     .saturate();
                 }
             }
-        });
+        }
     }
 
-    fn shade(&self, scene: &BakedScene, camera: &Camera, hits: &[Option<PixelHitPublic>]) -> Image {
+    fn shade_into(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        hits: &[Option<PixelHitPublic>],
+        target: &mut Image,
+    ) {
         let bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, bg);
+        target.resize(camera.width, camera.height, bg);
         let width = camera.width as usize;
         let band_rows = crate::scratch::BAND_ROWS;
         uni_parallel::par_bands(
-            img.pixels_mut(),
+            target.pixels_mut(),
             band_rows as usize * width,
             |band, chunk| {
-                self.shade_rows(scene, camera, hits, band as u32 * band_rows, chunk);
+                crate::scratch::with_ray_scratch(|rs| {
+                    self.shade_rows(scene, camera, hits, band as u32 * band_rows, chunk, rs);
+                });
             },
         );
-        img
     }
 
     /// Single-threaded whole-frame reference path (parity/bench baseline).
     pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
         let (hits, _) = rasterize_scalar(scene.mesh(), camera);
         let mut img = Image::new(camera.width, camera.height, scene.field().background());
-        self.shade_rows(scene, camera, &hits, 0, img.pixels_mut());
+        crate::scratch::with_ray_scratch(|rs| {
+            self.shade_rows(scene, camera, &hits, 0, img.pixels_mut(), rs);
+        });
         img
     }
 }
@@ -259,9 +270,9 @@ impl Renderer for MeshPipeline {
         Pipeline::Mesh
     }
 
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
         let (hits, _) = rasterize(scene.mesh(), camera);
-        self.shade(scene, camera, &hits)
+        self.shade_into(scene, camera, &hits, target);
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {

@@ -54,14 +54,16 @@ impl VolumeStats {
 
 impl MlpPipeline {
     /// Renders the scanlines starting at row `y0` into `chunk` (whole
-    /// rows, row-major). The band loop for the parallel path and, over
-    /// the full image, the scalar reference.
+    /// rows, row-major), using the caller's ray scratch arena. The band
+    /// loop for the parallel path and, over the full image, the scalar
+    /// reference.
     fn render_rows(
         &self,
         scene: &BakedScene,
         camera: &Camera,
         y0: u32,
         chunk: &mut [Rgb],
+        rs: &mut crate::scratch::RayScratch,
     ) -> VolumeStats {
         let field_bg = scene.field().background();
         let bounds = scene.kilonerf().bounds();
@@ -71,59 +73,65 @@ impl MlpPipeline {
         let width = camera.width as usize;
         let rows = chunk.len() / width.max(1);
         let mut stats = VolumeStats::default();
-        crate::scratch::with_ray_scratch(|rs| {
-            let crate::scratch::RayScratch { ts, kilo, .. } = rs;
-            for dy in 0..rows {
-                let y = y0 + dy as u32;
-                let row = &mut chunk[dy * width..(dy + 1) * width];
-                for x in 0..camera.width {
-                    stats.rays += 1;
-                    let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
-                    let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
-                        continue;
-                    };
-                    stats.rays_in_bounds += 1;
-                    let mut acc = RayAccumulator::new();
-                    sampler.sample_into(t0, t1, &mut rng, ts);
-                    let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
-                    for &t in ts.iter() {
-                        if acc.saturated() {
-                            break;
-                        }
-                        stats.samples_tested += 1;
-                        // Occupancy skip: empty cells never reach an MLP.
-                        if let Some(s) = scene.kilonerf().query_scratch(ray.at(t), kilo) {
-                            stats.samples_occupied += 1;
-                            if s.density > 1e-3 {
-                                acc.add_density_sample(s.color, s.density, dt);
-                            }
+        let crate::scratch::RayScratch { ts, kilo, .. } = rs;
+        for dy in 0..rows {
+            let y = y0 + dy as u32;
+            let row = &mut chunk[dy * width..(dy + 1) * width];
+            for x in 0..camera.width {
+                stats.rays += 1;
+                let ray = camera.primary_ray(x as f32 + 0.5, y as f32 + 0.5);
+                let Some((t0, t1)) = bounds.intersect_ray(&ray, camera.near, camera.far) else {
+                    continue;
+                };
+                stats.rays_in_bounds += 1;
+                let mut acc = RayAccumulator::new();
+                sampler.sample_into(t0, t1, &mut rng, ts);
+                let dt = (t1 - t0) / samples_per_ray.max(1) as f32;
+                for &t in ts.iter() {
+                    if acc.saturated() {
+                        break;
+                    }
+                    stats.samples_tested += 1;
+                    // Occupancy skip: empty cells never reach an MLP.
+                    if let Some(s) = scene.kilonerf().query_scratch(ray.at(t), kilo) {
+                        stats.samples_occupied += 1;
+                        if s.density > 1e-3 {
+                            acc.add_density_sample(s.color, s.density, dt);
                         }
                     }
-                    row[x as usize] = acc.finish(field_bg);
                 }
+                row[x as usize] = acc.finish(field_bg);
             }
-        });
+        }
         stats
     }
 
-    fn render_internal(&self, scene: &BakedScene, camera: &Camera) -> (Image, VolumeStats) {
+    fn render_internal(
+        &self,
+        scene: &BakedScene,
+        camera: &Camera,
+        target: &mut Image,
+    ) -> VolumeStats {
         let field_bg = scene.field().background();
-        let mut img = Image::new(camera.width, camera.height, field_bg);
+        target.resize(camera.width, camera.height, field_bg);
         let width = camera.width as usize;
         let band_len = crate::scratch::BAND_ROWS as usize * width;
-        let per_band = uni_parallel::par_bands(img.pixels_mut(), band_len, |band, chunk| {
-            self.render_rows(
-                scene,
-                camera,
-                band as u32 * crate::scratch::BAND_ROWS,
-                chunk,
-            )
+        let per_band = uni_parallel::par_bands(target.pixels_mut(), band_len, |band, chunk| {
+            crate::scratch::with_ray_scratch(|rs| {
+                self.render_rows(
+                    scene,
+                    camera,
+                    band as u32 * crate::scratch::BAND_ROWS,
+                    chunk,
+                    rs,
+                )
+            })
         });
         let mut stats = VolumeStats::default();
         for s in per_band {
             stats.merge(s);
         }
-        (img, stats)
+        stats
     }
 
     /// The seed-era scalar reference path: single-threaded, allocating a
@@ -167,13 +175,15 @@ impl Renderer for MlpPipeline {
         Pipeline::Mlp
     }
 
-    fn render(&self, scene: &BakedScene, camera: &Camera) -> Image {
-        self.render_internal(scene, camera).0
+    fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
+        self.render_internal(scene, camera, target);
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {
         let probe = Probe::plan(camera);
-        let (_, stats) = self.render_internal(scene, &probe.camera);
+        let stats = crate::scratch::with_probe_target(|img| {
+            self.render_internal(scene, &probe.camera, img)
+        });
         let mut trace = Trace::new(Pipeline::Mlp, camera.width, camera.height);
 
         let repr = &scene.spec().repr; // Full-scale constants.
@@ -294,7 +304,7 @@ mod tests {
     fn occupancy_skip_reduces_mlp_evaluations() {
         let scene = testutil::scene();
         let camera = testutil::camera(scene, 64, 48);
-        let (_, stats) = MlpPipeline::default().render_internal(scene, &camera);
+        let stats = MlpPipeline::default().render_internal(scene, &camera, &mut Image::empty());
         assert!(stats.samples_tested > 0);
         assert!(
             stats.samples_occupied < stats.samples_tested,

@@ -6,6 +6,13 @@
 //! workers borrow them from a thread-local arena, so the steady-state
 //! per-pixel loops never touch the allocator and parallel bands get
 //! disjoint buffers for free.
+//!
+//! The thread-local is consulted only at the *band boundary* (one
+//! [`with_ray_scratch`] call per band closure); everything below it —
+//! `render_rows` / `shade_rows` and the per-ray loops — takes the
+//! [`RayScratch`] as an explicit `&mut` parameter, so the data path is
+//! visible in the signatures and callers with their own arenas (tests,
+//! future batching layers) can bypass the thread-local entirely.
 
 use std::cell::RefCell;
 use uni_scene::{KiloNerfScratch, MlpScratch};
@@ -30,9 +37,19 @@ pub(crate) struct RayScratch {
 
 thread_local! {
     static RAY: RefCell<RayScratch> = RefCell::new(RayScratch::default());
+    static PROBE_TARGET: RefCell<uni_geometry::Image> =
+        RefCell::new(uni_geometry::Image::empty());
 }
 
 /// Runs `f` with this thread's ray scratch.
 pub(crate) fn with_ray_scratch<R>(f: impl FnOnce(&mut RayScratch) -> R) -> R {
     RAY.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's reusable probe render target. `trace`
+/// implementations render their workload probe into it, so per-frame
+/// tracing (frame streams trace every frame) allocates no framebuffer
+/// in steady state.
+pub(crate) fn with_probe_target<R>(f: impl FnOnce(&mut uni_geometry::Image) -> R) -> R {
+    PROBE_TARGET.with(|cell| f(&mut cell.borrow_mut()))
 }

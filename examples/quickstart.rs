@@ -39,8 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{:<28} {:>9} {:>12} {:>10} {:>9}",
         "Pipeline", "PSNR", "sim FPS", "power W", "real-time"
     );
+    // One reusable render target serves every pipeline (`render_into`
+    // overwrites it in place).
+    let mut image = Image::empty();
     for renderer in all_renderers() {
-        let image = renderer.render(&scene, &camera);
+        renderer.render_into(&scene, &camera, &mut image);
         let psnr = image.psnr(&reference);
         let name = renderer
             .pipeline()

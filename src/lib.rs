@@ -20,7 +20,15 @@
 //!
 //! This facade crate re-exports the member crates and offers a [`prelude`].
 //!
-//! # Quickstart
+//! # Quickstart: stream a camera path
+//!
+//! Rendering is frame-stream-first: a [`engine::RenderSession`] owns a
+//! baked scene, a renderer, a reusable framebuffer pool, and a camera
+//! path, and yields one [`engine::FrameReport`] per frame — the rendered
+//! image plus the frame's micro-operator trace and simulated accelerator
+//! report. Recycling each frame's buffer keeps the stream allocation-free
+//! after the first frame; the end-of-stream summary reports throughput
+//! and the reconfigurations amortized across frame boundaries.
 //!
 //! ```
 //! use uni_render::prelude::*;
@@ -29,21 +37,29 @@
 //! let spec = SceneSpec::demo("quickstart", 42).with_detail(0.25);
 //! let scene = spec.bake();
 //!
-//! // Render one frame with the hash-grid pipeline and trace its micro-ops.
-//! let camera = scene.orbit().camera_at(0.8).with_resolution(64, 48);
-//! let renderer = HashGridPipeline::default();
-//! let image = renderer.render(&scene, &camera);
-//! assert_eq!(image.width(), 64);
-//!
-//! // Simulate the frame on the Uni-Render accelerator.
-//! let trace = renderer.trace(&scene, &camera);
-//! let accel = Accelerator::new(AcceleratorConfig::paper());
-//! let report = accel.simulate(&trace);
-//! assert!(report.fps() > 0.0);
+//! // Stream a 4-frame orbit through the hash-grid pipeline, simulating
+//! // every frame on the Uni-Render accelerator.
+//! let path = CameraPath::orbit(spec.orbit(64, 48), 4);
+//! let mut session = RenderSession::new(scene, Box::new(HashGridPipeline::default()), path)
+//!     .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+//! while let Some(frame) = session.next_frame() {
+//!     assert_eq!(frame.image.width(), 64);
+//!     assert!(frame.sim.as_ref().expect("simulated").fps() > 0.0);
+//!     session.recycle(frame.image); // reuse the framebuffer
+//! }
+//! let summary = session.summary();
+//! assert_eq!(summary.frames, 4);
+//! assert_eq!(summary.framebuffer_allocations, 1);
+//! assert!(summary.mean_fps() > 0.0);
 //! ```
+//!
+//! One-shot rendering is still available: `renderer.render(&scene,
+//! &camera)` allocates a frame, and `renderer.render_into(&scene,
+//! &camera, &mut image)` writes into a caller-owned target.
 
 pub use uni_baselines as baselines;
 pub use uni_core as accel;
+pub use uni_engine as engine;
 pub use uni_geometry as geometry;
 pub use uni_microops as microops;
 pub use uni_renderers as renderers;
@@ -52,8 +68,9 @@ pub use uni_scene as scene;
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use uni_baselines::{all_baselines, commercial_devices, dedicated_accelerators, Device};
-    pub use uni_core::{Accelerator, AcceleratorConfig, SimReport};
-    pub use uni_geometry::{Aabb, Camera, Image, Mat4, Ray, Rgb, Vec2, Vec3, Vec4};
+    pub use uni_core::{Accelerator, AcceleratorConfig, ReplayScratch, SimReport};
+    pub use uni_engine::{CameraPath, FramePool, FrameReport, RenderSession, StreamSummary};
+    pub use uni_geometry::{Aabb, Camera, Image, Mat4, Orbit, Ray, Rgb, Vec2, Vec3, Vec4};
     pub use uni_microops::{MicroOp, Pipeline, Trace};
     pub use uni_renderers::{
         GaussianPipeline, HashGridPipeline, LowRankPipeline, MeshPipeline, MixRtPipeline,

@@ -1,8 +1,10 @@
 //! Parity tests for the render hot-path overhaul: the SoA +
 //! counting-sort + band-parallel production paths must reproduce the
 //! seed-era scalar reference within 1e-5 per channel for all six
-//! pipelines, and the global counting sort must order (tile, depth) pairs
-//! exactly like the comparison sort it replaced.
+//! pipelines, the reusable-target entry point `render_into` must be
+//! bit-identical to `render` (it *is* the same path, writing into a
+//! caller-owned buffer), and the global counting sort must order
+//! (tile, depth) pairs exactly like the comparison sort it replaced.
 
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -91,6 +93,69 @@ fn hybrid_band_path_matches_scalar() {
         &p.render_scalar(scene(), &camera()),
         "hybrid",
     );
+}
+
+/// `render_into` writes the same pixels as `render` for every pipeline
+/// (bit-identical — both run the same production path), into a target
+/// whose allocation is reused across frames, and stays within 1e-5 of
+/// the seed-era scalar reference.
+#[test]
+fn render_into_matches_render_and_scalar_for_all_pipelines() {
+    let renderers: Vec<(Box<dyn Renderer>, &str)> = vec![
+        (Box::new(MeshPipeline::default()), "mesh"),
+        (Box::new(MlpPipeline::default()), "mlp"),
+        (Box::new(LowRankPipeline::default()), "lowrank"),
+        (Box::new(HashGridPipeline::default()), "hashgrid"),
+        (Box::new(GaussianPipeline::default()), "gaussian"),
+        (Box::new(MixRtPipeline::default()), "hybrid"),
+    ];
+    // One shared target across all pipelines: render_into must fully
+    // overwrite whatever the previous pipeline left behind.
+    let mut target = Image::new(8, 8, Rgb::WHITE);
+    for (renderer, name) in &renderers {
+        let fresh = renderer.render(scene(), &camera());
+        renderer.render_into(scene(), &camera(), &mut target);
+        assert_eq!(
+            (target.width(), target.height()),
+            (fresh.width(), fresh.height()),
+            "{name}: target resized to the camera resolution"
+        );
+        assert_eq!(
+            target.pixels(),
+            fresh.pixels(),
+            "{name}: render_into must be bit-identical to render"
+        );
+    }
+    // Scalar agreement through the reused target, same 1e-5 budget as
+    // the per-pipeline parity tests above.
+    for (renderer, name) in &renderers {
+        renderer.render_into(scene(), &camera(), &mut target);
+        let scalar = match *name {
+            "mesh" => MeshPipeline::default().render_scalar(scene(), &camera()),
+            "mlp" => MlpPipeline::default().render_scalar(scene(), &camera()),
+            "lowrank" => LowRankPipeline::default().render_scalar(scene(), &camera()),
+            "hashgrid" => HashGridPipeline::default().render_scalar(scene(), &camera()),
+            "gaussian" => GaussianPipeline::default().render_scalar(scene(), &camera()),
+            _ => MixRtPipeline::default().render_scalar(scene(), &camera()),
+        };
+        assert_images_close(&target, &scalar, name);
+    }
+}
+
+/// Rendering repeatedly into one target reuses its allocation: after the
+/// first frame at a resolution, no pixel-buffer reallocation occurs.
+#[test]
+fn render_into_reuses_the_target_allocation() {
+    let renderer = MeshPipeline::default();
+    let mut target = Image::empty();
+    renderer.render_into(scene(), &camera(), &mut target);
+    let cap = target.capacity();
+    let ptr = target.pixels().as_ptr();
+    for _ in 0..3 {
+        renderer.render_into(scene(), &camera(), &mut target);
+        assert_eq!(target.capacity(), cap, "capacity stable across frames");
+        assert_eq!(target.pixels().as_ptr(), ptr, "buffer pointer stable");
+    }
 }
 
 proptest! {

@@ -1,0 +1,140 @@
+//! Integration tests for the frame-stream engine: sessions over orbit /
+//! lerp camera paths must reuse the framebuffer pool (stable pointer and
+//! capacity after frame 1), report per-frame simulated performance, and
+//! account reconfigurations amortized across the stream.
+
+use std::sync::OnceLock;
+use uni_render::prelude::*;
+
+fn scene() -> &'static BakedScene {
+    static SCENE: OnceLock<BakedScene> = OnceLock::new();
+    SCENE.get_or_init(|| SceneSpec::demo("stream", 123).with_detail(0.03).bake())
+}
+
+fn orbit_path(frames: usize, w: u32, h: u32) -> CameraPath {
+    CameraPath::orbit(scene().spec().orbit(w, h), frames)
+}
+
+/// A 4-frame orbit stream reuses the framebuffer: the pixel pointer and
+/// capacity are stable across every frame after the first, and the pool
+/// performs exactly one allocation.
+#[test]
+fn four_frame_orbit_stream_reuses_the_framebuffer() {
+    let path = orbit_path(4, 64, 48);
+    let mut session =
+        RenderSession::new(scene().clone(), Box::new(GaussianPipeline::default()), path);
+    let mut ptr_cap = None;
+    let mut frames = 0;
+    while let Some(frame) = session.next_frame() {
+        assert_eq!((frame.image.width(), frame.image.height()), (64, 48));
+        let here = (frame.image.pixels().as_ptr(), frame.image.capacity());
+        if let Some(prev) = ptr_cap {
+            assert_eq!(here, prev, "frame {}: pointer/capacity stable", frame.index);
+        }
+        ptr_cap = Some(here);
+        frames += 1;
+        session.recycle(frame.image);
+    }
+    assert_eq!(frames, 4);
+    assert_eq!(session.summary().framebuffer_allocations, 1);
+}
+
+/// With an accelerator attached, every frame carries a trace and a
+/// simulated report, and the stream summary aggregates them.
+#[test]
+fn simulated_stream_reports_per_frame_fps_and_amortized_reconfigurations() {
+    let path = orbit_path(5, 48, 32);
+    let mut session =
+        RenderSession::new(scene().clone(), Box::new(GaussianPipeline::default()), path)
+            .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+    let mut per_frame_reconfigs = 0;
+    while let Some(frame) = session.next_frame() {
+        let sim = frame.sim.as_ref().expect("simulated");
+        assert!(sim.fps() > 0.0, "frame {} has a simulated fps", frame.index);
+        assert!(frame.trace.is_some());
+        per_frame_reconfigs += sim.reconfigurations;
+        session.recycle(frame.image);
+    }
+    let summary = session.summary();
+    assert_eq!(summary.frames, 5);
+    assert_eq!(summary.in_frame_reconfigurations, per_frame_reconfigs);
+    // 5 frames -> 4 boundaries, each either a switch or amortized away.
+    assert_eq!(
+        summary.boundary_reconfigurations + summary.boundary_switches_avoided,
+        4
+    );
+    assert!(summary.mean_fps() > 0.0);
+    assert!(summary.total_cycles > 0);
+    // Amortized switches per frame can never exceed per-frame switches
+    // plus one boundary each.
+    assert!(summary.reconfigurations_per_frame() <= (per_frame_reconfigs as f64 / 5.0) + 1.0);
+}
+
+/// The same pipeline streamed frame to frame starts and ends each frame
+/// in the same micro-op family, so a homogeneous stream amortizes every
+/// boundary it can: boundary accounting must be deterministic across
+/// runs.
+#[test]
+fn homogeneous_stream_boundary_accounting_is_deterministic() {
+    let run = || {
+        let mut session = RenderSession::new(
+            scene().clone(),
+            Box::new(HashGridPipeline::default()),
+            orbit_path(3, 48, 32),
+        )
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+        while let Some(frame) = session.next_frame() {
+            session.recycle(frame.image);
+        }
+        let s = session.summary();
+        (
+            s.boundary_reconfigurations,
+            s.boundary_switches_avoided,
+            s.in_frame_reconfigurations,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Batch replay through `Accelerator::simulate_many` agrees with the
+/// streamed per-frame replay.
+#[test]
+fn batch_replay_matches_streamed_replay() {
+    let mut session = RenderSession::new(
+        scene().clone(),
+        Box::new(MeshPipeline::default()),
+        orbit_path(3, 48, 32),
+    )
+    .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+    let batch = session.replay_path().expect("accelerator attached");
+    assert_eq!(batch.len(), 3);
+    let mut i = 0;
+    while let Some(frame) = session.next_frame() {
+        assert_eq!(
+            frame.sim.as_ref().expect("simulated").cycles,
+            batch[i].cycles,
+            "frame {i}"
+        );
+        i += 1;
+        session.recycle(frame.image);
+    }
+}
+
+/// A lerp path streams frames whose cameras move from one pose to the
+/// other; the session renders every one at the path resolution.
+#[test]
+fn lerp_path_streams_between_poses() {
+    let orbit = scene().spec().orbit(40, 30);
+    let path = CameraPath::lerp(orbit.camera_at(0.0), orbit.camera_at(1.2), 4);
+    let mut session = RenderSession::new(scene().clone(), Box::new(MeshPipeline::default()), path);
+    let first = session.next_frame().expect("frame 0");
+    let eye0 = first.camera.eye;
+    session.recycle(first.image);
+    let mut last_eye = eye0;
+    while let Some(frame) = session.next_frame() {
+        last_eye = frame.camera.eye;
+        session.recycle(frame.image);
+    }
+    assert!((eye0 - orbit.camera_at(0.0).eye).length() < 1e-6);
+    assert!((last_eye - orbit.camera_at(1.2).eye).length() < 1e-6);
+}
