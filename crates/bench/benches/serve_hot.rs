@@ -1,0 +1,134 @@
+//! Multi-session serving benchmark: one `RenderServer` sharding 1 / 4 /
+//! 16 mixed-pipeline camera streams over a single shared baked scene.
+//!
+//! Runs as a criterion harness (`cargo bench --bench serve_hot`) and
+//! emits machine-readable results to `BENCH_serve.json` at the workspace
+//! root so the serving trajectory is tracked PR-over-PR:
+//!
+//! ```json
+//! { "configs": [ { "sessions": 4, "frames": 16, "wall_fps": ...,
+//!   "sim_fps": ..., "reconfigs_per_frame": ..., "boundary_reconfigs": ... }, ... ] }
+//! ```
+//!
+//! Sessions cycle through the pipeline mix below (so neighbouring
+//! schedule slots usually switch renderer families — the worst case for
+//! reconfiguration amortization); every session renders its own orbit
+//! arc at the same resolution. `wall_fps` is host wall-clock frames per
+//! second across the whole schedule; `sim_fps` and the reconfiguration
+//! counters come from the deterministic `ServerSummary`, so they are
+//! host-independent.
+
+use criterion::{black_box, Criterion};
+use std::sync::Arc;
+use uni_bench::HARNESS_DETAIL;
+use uni_core::{Accelerator, AcceleratorConfig};
+use uni_engine::{CameraPath, RenderServer, ServerSummary, SessionRequest};
+use uni_renderers::{GaussianPipeline, HashGridPipeline, MeshPipeline, MlpPipeline, Renderer};
+use uni_scene::{BakedScene, SceneSpec};
+
+const SESSION_COUNTS: [usize; 3] = [1, 4, 16];
+const FRAMES_PER_SESSION: usize = 4;
+const RESOLUTION: (u32, u32) = (96, 96);
+
+fn renderer(slot: usize) -> Box<dyn Renderer + Send> {
+    match slot % 4 {
+        0 => Box::new(GaussianPipeline::default()),
+        1 => Box::new(MeshPipeline::default()),
+        2 => Box::new(HashGridPipeline::default()),
+        _ => Box::new(MlpPipeline::default()),
+    }
+}
+
+fn serve(scene: &Arc<BakedScene>, spec: &SceneSpec, sessions: usize) -> ServerSummary {
+    let mut server = RenderServer::new(Arc::clone(scene))
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+    for s in 0..sessions {
+        let orbit = spec.orbit(RESOLUTION.0, RESOLUTION.1);
+        server.add_session(SessionRequest::new(
+            renderer(s),
+            CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, FRAMES_PER_SESSION),
+        ));
+    }
+    server.run()
+}
+
+fn main() {
+    let spec = SceneSpec::demo("serve-hot", 2025).with_detail(HARNESS_DETAIL);
+    let scene = Arc::new(spec.bake());
+    let threads = uni_parallel::worker_count();
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("serve_hot");
+    // Serving is deterministic, so the summary of the last timed
+    // iteration doubles as the reported one — no untimed re-run needed.
+    let mut summaries = Vec::new();
+    for &sessions in &SESSION_COUNTS {
+        let mut last = None;
+        group.bench_function(format!("sessions/{sessions}"), |b| {
+            b.iter(|| last = Some(serve(black_box(&scene), black_box(&spec), sessions)));
+        });
+        summaries.push(last.expect("bench ran at least once"));
+    }
+    group.finish();
+
+    let ms_of = |id: String| -> f64 {
+        criterion
+            .measurements()
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.secs_per_iter * 1e3)
+            .expect("benchmark ran")
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve_hot\",\n");
+    json.push_str(&format!(
+        "  \"resolution\": [{}, {}],\n",
+        RESOLUTION.0, RESOLUTION.1
+    ));
+    json.push_str(&format!(
+        "  \"frames_per_session\": {FRAMES_PER_SESSION},\n"
+    ));
+    json.push_str(&format!("  \"scene_detail\": {HARNESS_DETAIL},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(
+        "  \"note\": \"one RenderServer, mixed gaussian/mesh/hashgrid/mlp sessions sharing one \
+         Arc'd baked scene; wall_fps is host wall-clock over the whole round-robin schedule, \
+         sim_fps and reconfiguration counters come from the deterministic ServerSummary\",\n",
+    );
+    json.push_str("  \"configs\": [\n");
+    for (i, &sessions) in SESSION_COUNTS.iter().enumerate() {
+        let ms = ms_of(format!("serve_hot/sessions/{sessions}"));
+        let summary = &summaries[i];
+        let frames = summary.scheduled_frames;
+        let wall_fps = frames as f64 / (ms / 1e3);
+        assert!(summary.is_consistent(), "server accounting must sum");
+        println!(
+            "serve_hot/sessions/{sessions}: {frames} frames, wall {wall_fps:.1} FPS, \
+             sim {:.1} FPS, {:.2} reconfigs/frame",
+            summary.mean_fps(),
+            summary.reconfigurations_per_frame()
+        );
+        json.push_str(&format!(
+            "    {{ \"sessions\": {sessions}, \"frames\": {frames}, \"wall_ms\": {ms:.2}, \
+             \"wall_fps\": {wall_fps:.2}, \"sim_fps\": {:.2}, \
+             \"reconfigs_per_frame\": {:.4}, \"boundary_reconfigs\": {}, \
+             \"boundary_avoided\": {} }}{}\n",
+            summary.mean_fps(),
+            summary.reconfigurations_per_frame(),
+            summary.boundary_reconfigurations,
+            summary.boundary_switches_avoided,
+            if i + 1 == SESSION_COUNTS.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

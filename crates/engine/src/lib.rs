@@ -14,7 +14,16 @@
 //!   micro-op trace + simulated [`uni_core::SimReport`]), reusing one
 //!   [`uni_core::ReplayScratch`] across the stream and counting the
 //!   reconfigurations amortized at frame boundaries
-//!   ([`StreamSummary`]).
+//!   ([`StreamSummary`]);
+//! - [`RenderServer`] — the multi-session serving layer: one immutable
+//!   `Arc`-shared baked scene, N concurrent camera streams
+//!   ([`SessionRequest`]s, pipelines mixing freely), frames scheduled
+//!   **round-robin** across persistent worker lanes. Delivery and
+//!   accounting follow the deterministic schedule order, so every served
+//!   frame is bit-identical to the same frame from a standalone session,
+//!   while the [`ServerSummary`] exposes the cross-session
+//!   reconfigurations the shared accelerator pays at scheduled-frame
+//!   boundaries.
 //!
 //! Rendering goes through `Renderer::render_into`, the caller-owned-
 //! target entry point of `uni_renderers` — sessions are the canonical
@@ -22,8 +31,13 @@
 
 pub mod path;
 pub mod pool;
+pub mod server;
 pub mod session;
 
 pub use path::CameraPath;
 pub use pool::FramePool;
+pub use server::{RenderServer, ServedFrame, SessionRequest};
 pub use session::{FrameReport, RenderSession, StreamSummary};
+// The serving summaries live in `uni_microops::serve`; re-export them so
+// engine consumers get the whole serving surface from one crate.
+pub use uni_microops::{ServerSummary, SessionStats};

@@ -27,9 +27,39 @@ impl FramePool {
     /// the target to `Renderer::render_into`, whose resize-and-fill is
     /// then the only full-frame write (acquiring does not touch pixels,
     /// so frames are never cleared twice).
+    ///
+    /// When the upcoming frame's resolution is known, prefer
+    /// [`FramePool::acquire_for`], which also counts the reallocation a
+    /// too-small pooled buffer is about to pay.
     pub fn acquire(&mut self) -> Image {
         match self.free.pop() {
             Some(img) => img,
+            None => {
+                self.allocations += 1;
+                Image::empty()
+            }
+        }
+    }
+
+    /// Takes a reusable render target for a `width × height` frame.
+    ///
+    /// Identical to [`FramePool::acquire`] except that a pooled buffer
+    /// whose capacity cannot hold the frame is *counted as an
+    /// allocation*: the subsequent `Image::resize` will reallocate its
+    /// pixel buffer exactly once, and that hidden growth used to escape
+    /// the counter. A stream that shrinks and then grows back within
+    /// capacity still counts nothing; growing past the pooled capacity
+    /// mid-stream counts once and the grown buffer serves every later
+    /// frame at that size for free.
+    pub fn acquire_for(&mut self, width: u32, height: u32) -> Image {
+        let needed = (width as usize) * (height as usize);
+        match self.free.pop() {
+            Some(img) => {
+                if img.capacity() < needed {
+                    self.allocations += 1;
+                }
+                img
+            }
             None => {
                 self.allocations += 1;
                 Image::empty()
@@ -81,5 +111,47 @@ mod tests {
         let _b = pool.acquire();
         assert_eq!(pool.allocations(), 2);
         assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn growing_past_pooled_capacity_counts_exactly_once() {
+        let mut pool = FramePool::new();
+        let mut img = pool.acquire_for(8, 8);
+        img.resize(8, 8, Rgb::BLACK);
+        assert_eq!(pool.allocations(), 1, "first frame is the only cold one");
+        pool.release(img);
+
+        // Mid-stream growth: the pooled 8x8 buffer cannot hold 16x16, so
+        // the resize it is about to pay is counted — once.
+        let mut img = pool.acquire_for(16, 16);
+        assert_eq!(pool.allocations(), 2, "growth reallocation counted");
+        img.resize(16, 16, Rgb::BLACK);
+        let cap = img.capacity();
+        pool.release(img);
+
+        // Every later frame at the grown size reuses the grown buffer.
+        let img = pool.acquire_for(16, 16);
+        assert_eq!(pool.allocations(), 2, "steady state after growth");
+        assert_eq!(img.capacity(), cap);
+    }
+
+    #[test]
+    fn shrink_then_grow_within_capacity_is_free() {
+        let mut pool = FramePool::new();
+        let mut img = pool.acquire_for(12, 12);
+        img.resize(12, 12, Rgb::BLACK);
+        pool.release(img);
+
+        // Shrink: capacity is retained by Image::resize...
+        let mut img = pool.acquire_for(6, 6);
+        img.resize(6, 6, Rgb::BLACK);
+        let ptr = img.pixels().as_ptr();
+        pool.release(img);
+
+        // ...so growing back to the original size stays allocation-free.
+        let mut img = pool.acquire_for(12, 12);
+        assert_eq!(pool.allocations(), 1, "shrink-then-grow reuses capacity");
+        img.resize(12, 12, Rgb::BLACK);
+        assert_eq!(img.pixels().as_ptr(), ptr, "same buffer throughout");
     }
 }

@@ -1,0 +1,514 @@
+//! Multi-session serving: many camera streams sharing one baked scene
+//! and one accelerator.
+//!
+//! A [`RenderServer`] is the serving analogue of the paper's premise —
+//! one reconfigurable accelerator in front of *diverse* renderers. It
+//! owns a single immutable [`BakedScene`] behind an [`Arc`] (no
+//! per-session copies), accepts any number of [`SessionRequest`]s (each
+//! its own camera path, resolution, and pipeline — pipelines mix freely
+//! across sessions), and schedules their frames **round-robin** across a
+//! persistent pool of worker lanes ([`uni_parallel::LanePool`]). Each
+//! session keeps its own [`FramePool`], [`ReplayScratch`], and share of
+//! the reconfiguration accounting.
+//!
+//! Two properties are part of the public contract:
+//!
+//! 1. **Deterministic schedule.** Frames are delivered in strict
+//!    round-robin session order (session 0 frame 0, session 1 frame 0,
+//!    …, session 0 frame 1, …; exhausted sessions drop out of the
+//!    cycle). Lanes only overlap *execution*; delivery and accounting
+//!    follow the schedule, so results are independent of lane timing
+//!    and every served frame is **bit-identical** to the same frame
+//!    rendered by a standalone [`crate::RenderSession`].
+//! 2. **Cross-session switching is charged.** The accelerator is one
+//!    device: whenever two consecutively *scheduled* frames end and
+//!    start in different micro-operator families — typically because
+//!    neighbouring sessions run different pipelines — the schedule pays
+//!    one reconfiguration ([`BoundaryMeter`]). That is exactly the
+//!    cross-renderer switching cost the paper models, now visible as a
+//!    serving-mix property in [`ServerSummary`].
+
+use crate::path::CameraPath;
+use crate::pool::FramePool;
+use crate::session::FrameReport;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use uni_core::{Accelerator, ReplayScratch, SimReport};
+use uni_geometry::{Camera, Image};
+use uni_microops::{BoundaryMeter, ServerSummary, SessionStats, Trace};
+use uni_parallel::{LanePool, Ticket};
+use uni_renderers::Renderer;
+use uni_scene::BakedScene;
+
+/// One camera stream a [`RenderServer`] should serve: a renderer
+/// (pipeline choice) plus a camera path (trajectory *and* resolution).
+pub struct SessionRequest {
+    /// The pipeline rendering this stream. `Send` because frames execute
+    /// on worker lanes.
+    pub renderer: Box<dyn Renderer + Send>,
+    /// The frames to serve, in order.
+    pub path: CameraPath,
+}
+
+impl SessionRequest {
+    /// Bundles a renderer and a path into a request.
+    pub fn new(renderer: Box<dyn Renderer + Send>, path: CameraPath) -> Self {
+        Self { renderer, path }
+    }
+}
+
+/// One delivered frame of a served schedule.
+#[derive(Debug)]
+pub struct ServedFrame {
+    /// Which session the frame belongs to (id from
+    /// [`RenderServer::add_session`]).
+    pub session: usize,
+    /// The frame itself. `report.index` is the frame's position on *its
+    /// session's* path; `report.boundary_reconfiguration` is true when
+    /// the accelerator switched mode entering this frame from the
+    /// previously *scheduled* one (possibly another session's). Hand
+    /// `report.image` back via [`RenderServer::recycle`].
+    pub report: FrameReport,
+}
+
+/// What a worker lane hands back for one scheduled frame.
+struct Rendered {
+    camera: Camera,
+    image: Image,
+    trace: Option<Trace>,
+    sim: Option<SimReport>,
+}
+
+/// The per-session state a worker lane mutates while rendering one of
+/// the session's frames. Guarded by a mutex, but never contended: the
+/// scheduler keeps at most one frame of a session in flight.
+struct SessionState {
+    renderer: Box<dyn Renderer + Send>,
+    path: CameraPath,
+    pool: FramePool,
+    replay: ReplayScratch,
+}
+
+/// Scheduler-side bookkeeping for one session.
+struct SessionSlot {
+    state: Arc<Mutex<SessionState>>,
+    /// Total frames on the session's path.
+    len: usize,
+    /// Frames dispatched to lanes so far.
+    scheduled: usize,
+    /// Whether a dispatched frame has not been delivered yet (at most
+    /// one — the invariant that keeps per-session pools at 1 buffer).
+    in_flight: bool,
+    stats: SessionStats,
+}
+
+/// A frame dispatched to a lane, awaiting in-order delivery.
+struct Pending {
+    session: usize,
+    index: usize,
+    ticket: Ticket<Rendered>,
+}
+
+/// A multi-session render server over one shared baked scene.
+///
+/// See the [module docs](self) for the scheduling and accounting
+/// contract. Typical use:
+///
+/// ```
+/// use std::sync::Arc;
+/// use uni_engine::{CameraPath, RenderServer, SessionRequest};
+/// use uni_renderers::{MeshPipeline, MlpPipeline};
+/// use uni_scene::SceneSpec;
+///
+/// let spec = SceneSpec::demo("server-doc", 5).with_detail(0.03);
+/// let scene = Arc::new(spec.bake());
+/// let mut server = RenderServer::new(Arc::clone(&scene));
+/// server.add_session(SessionRequest::new(
+///     Box::new(MeshPipeline::default()),
+///     CameraPath::orbit(spec.orbit(32, 24), 2),
+/// ));
+/// server.add_session(SessionRequest::new(
+///     Box::new(MlpPipeline::default()),
+///     CameraPath::orbit(spec.orbit(16, 12), 2),
+/// ));
+/// while let Some(frame) = server.next_frame() {
+///     let session = frame.session;
+///     server.recycle(session, frame.report.image);
+/// }
+/// assert_eq!(server.summary().scheduled_frames, 4);
+/// ```
+pub struct RenderServer {
+    scene: Arc<BakedScene>,
+    accel: Option<Arc<Accelerator>>,
+    sessions: Vec<SessionSlot>,
+    lanes_requested: usize,
+    lane_pool: Option<LanePool>,
+    /// Next session id the round-robin cursor considers.
+    rr: usize,
+    /// Monotone dispatch counter (assigns lanes round-robin too).
+    dispatched: usize,
+    pending: VecDeque<Pending>,
+    delivered: usize,
+    boundary: BoundaryMeter,
+    total_cycles: u64,
+    total_seconds: f64,
+    in_frame_reconfigs: u64,
+}
+
+impl RenderServer {
+    /// Creates a server over `scene` with no sessions yet.
+    ///
+    /// `scene` accepts an owned [`BakedScene`] or a shared
+    /// `Arc<BakedScene>`; either way every session renders the same
+    /// instance.
+    pub fn new(scene: impl Into<Arc<BakedScene>>) -> Self {
+        Self {
+            scene: scene.into(),
+            accel: None,
+            sessions: Vec::new(),
+            lanes_requested: uni_parallel::worker_count(),
+            lane_pool: None,
+            rr: 0,
+            dispatched: 0,
+            pending: VecDeque::new(),
+            delivered: 0,
+            boundary: BoundaryMeter::new(),
+            total_cycles: 0,
+            total_seconds: 0.0,
+            in_frame_reconfigs: 0,
+        }
+    }
+
+    /// Additionally traces and simulates every served frame on `accel`
+    /// (one device shared by all sessions), enabling the reconfiguration
+    /// accounting.
+    pub fn with_accelerator(mut self, accel: Accelerator) -> Self {
+        self.accel = Some(Arc::new(accel));
+        self
+    }
+
+    /// Overrides the worker-lane count (default:
+    /// [`uni_parallel::worker_count`]). Lane count never affects
+    /// delivered images or accounting — only execution overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after serving has started.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(
+            self.lane_pool.is_none(),
+            "lane count must be set before serving starts"
+        );
+        self.lanes_requested = lanes.max(1);
+        self
+    }
+
+    /// Registers a camera stream and returns its session id (ids are
+    /// dense, in registration order).
+    pub fn add_session(&mut self, request: SessionRequest) -> usize {
+        let id = self.sessions.len();
+        let pipeline = request.renderer.pipeline();
+        self.sessions.push(SessionSlot {
+            len: request.path.len(),
+            state: Arc::new(Mutex::new(SessionState {
+                renderer: request.renderer,
+                path: request.path,
+                pool: FramePool::new(),
+                replay: ReplayScratch::default(),
+            })),
+            scheduled: 0,
+            in_flight: false,
+            stats: SessionStats::new(id, pipeline),
+        });
+        id
+    }
+
+    /// The scene every session shares.
+    pub fn scene(&self) -> &BakedScene {
+        &self.scene
+    }
+
+    /// A shared handle to the scene (no copy).
+    pub fn shared_scene(&self) -> Arc<BakedScene> {
+        Arc::clone(&self.scene)
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Frames not yet delivered, across all sessions.
+    pub fn remaining(&self) -> usize {
+        let total: usize = self.sessions.iter().map(|s| s.len).sum();
+        total - self.delivered
+    }
+
+    /// Returns a delivered frame's buffer to its session's pool. Recycle
+    /// every frame before asking for the next one and each session's
+    /// pool stays at a single allocation for its whole stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `session` is not a registered id.
+    pub fn recycle(&mut self, session: usize, image: Image) {
+        self.sessions[session]
+            .state
+            .lock()
+            .expect("session state")
+            .pool
+            .release(image);
+    }
+
+    /// Delivers the next frame of the round-robin schedule, or `None`
+    /// once every session's path is exhausted.
+    ///
+    /// Rendering (and simulation) of upcoming frames overlaps on the
+    /// worker lanes, but delivery and accounting strictly follow the
+    /// schedule order, so outputs and summaries are deterministic.
+    pub fn next_frame(&mut self) -> Option<ServedFrame> {
+        self.fill_lanes();
+        let pending = self.pending.pop_front()?;
+        let rendered = pending.ticket.wait();
+        let session = pending.session;
+        self.sessions[session].in_flight = false;
+        self.delivered += 1;
+
+        let mut boundary = false;
+        if let Some(accel) = &self.accel {
+            let (first, last) = match &rendered.trace {
+                Some(trace) => (trace.first_op(), trace.last_op()),
+                None => (None, None),
+            };
+            let slot = &mut self.sessions[session];
+            let avoided_before = self.boundary.avoided();
+            if self.boundary.observe(first, last) {
+                // The schedule pays the switch into this frame; charge it
+                // to the aggregate and attribute it to the entering
+                // session.
+                boundary = true;
+                let cfg = accel.config();
+                let cycles = cfg.reconfig_cycles;
+                let seconds = cfg.cycles_to_seconds(cycles);
+                self.total_cycles += cycles;
+                self.total_seconds += seconds;
+                slot.stats.boundary_reconfigurations += 1;
+                slot.stats.cycles += cycles;
+                slot.stats.seconds += seconds;
+            } else if self.boundary.avoided() > avoided_before {
+                slot.stats.boundary_switches_avoided += 1;
+            }
+            if let Some(sim) = &rendered.sim {
+                self.in_frame_reconfigs += sim.reconfigurations;
+                self.total_cycles += sim.cycles;
+                self.total_seconds += sim.seconds;
+                slot.stats.in_frame_reconfigurations += sim.reconfigurations;
+                slot.stats.cycles += sim.cycles;
+                slot.stats.seconds += sim.seconds;
+            }
+        }
+        self.sessions[session].stats.frames += 1;
+
+        Some(ServedFrame {
+            session,
+            report: FrameReport {
+                index: pending.index,
+                camera: rendered.camera,
+                image: rendered.image,
+                trace: rendered.trace,
+                sim: rendered.sim,
+                boundary_reconfiguration: boundary,
+            },
+        })
+    }
+
+    /// Serves every remaining frame, recycling each buffer internally,
+    /// and returns the final summary. The droppable-output path for
+    /// benchmarks and accounting runs.
+    pub fn run(&mut self) -> ServerSummary {
+        while let Some(frame) = self.next_frame() {
+            self.recycle(frame.session, frame.report.image);
+        }
+        self.summary()
+    }
+
+    /// Statistics over everything delivered so far: per-session stats in
+    /// session-id order plus schedule-level aggregates (always
+    /// [consistent](ServerSummary::is_consistent)).
+    pub fn summary(&self) -> ServerSummary {
+        let per_session: Vec<SessionStats> = self
+            .sessions
+            .iter()
+            .map(|slot| {
+                let mut stats = slot.stats.clone();
+                stats.framebuffer_allocations =
+                    slot.state.lock().expect("session state").pool.allocations();
+                stats
+            })
+            .collect();
+        ServerSummary {
+            per_session,
+            scheduled_frames: self.delivered,
+            total_cycles: self.total_cycles,
+            total_seconds: self.total_seconds,
+            in_frame_reconfigurations: self.in_frame_reconfigs,
+            boundary_reconfigurations: self.boundary.switches(),
+            boundary_switches_avoided: self.boundary.avoided(),
+        }
+    }
+
+    /// Dispatches upcoming schedule entries to worker lanes until the
+    /// lanes are saturated, the schedule is exhausted, or the next entry
+    /// belongs to a session whose previous frame is still undelivered
+    /// (the schedule never skips ahead — determinism over throughput).
+    fn fill_lanes(&mut self) {
+        if self.lane_pool.is_none() {
+            self.lane_pool = Some(LanePool::new(self.lanes_requested));
+        }
+        let n = self.sessions.len();
+        if n == 0 {
+            return;
+        }
+        let pool = self.lane_pool.as_ref().expect("lane pool created above");
+        let capacity = pool.lanes();
+        while self.pending.len() < capacity {
+            // The next schedule entry: first session at or after the
+            // round-robin cursor with frames left to dispatch.
+            let mut next = None;
+            for step in 0..n {
+                let sid = (self.rr + step) % n;
+                if self.sessions[sid].scheduled < self.sessions[sid].len {
+                    next = Some(sid);
+                    break;
+                }
+            }
+            let Some(sid) = next else { break };
+            if self.sessions[sid].in_flight {
+                break;
+            }
+            let slot = &mut self.sessions[sid];
+            let index = slot.scheduled;
+            slot.scheduled += 1;
+            slot.in_flight = true;
+            self.rr = (sid + 1) % n;
+
+            let state = Arc::clone(&slot.state);
+            let scene = Arc::clone(&self.scene);
+            let accel = self.accel.clone();
+            let lane = self.dispatched % capacity;
+            self.dispatched += 1;
+            let ticket = pool.submit(lane, move || {
+                let mut guard = state.lock().expect("session state");
+                let state = &mut *guard;
+                let camera = state.path.camera(index);
+                let mut image = state.pool.acquire_for(camera.width, camera.height);
+                state.renderer.render_into(&scene, &camera, &mut image);
+                let (trace, sim) = match &accel {
+                    Some(accel) => {
+                        let trace = state.renderer.trace(&scene, &camera);
+                        let sim = accel.simulate_with_scratch(&trace, &mut state.replay);
+                        (Some(trace), Some(sim))
+                    }
+                    None => (None, None),
+                };
+                Rendered {
+                    camera,
+                    image,
+                    trace,
+                    sim,
+                }
+            });
+            self.pending.push_back(Pending {
+                session: sid,
+                index,
+                ticket,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uni_core::AcceleratorConfig;
+    use uni_renderers::{MeshPipeline, MlpPipeline};
+    use uni_scene::SceneSpec;
+
+    fn scene_and_spec() -> (Arc<BakedScene>, SceneSpec) {
+        static SCENE: std::sync::OnceLock<Arc<BakedScene>> = std::sync::OnceLock::new();
+        let spec = SceneSpec::demo("server-test", 11).with_detail(0.03);
+        let scene = SCENE.get_or_init(|| Arc::new(spec.bake()));
+        (Arc::clone(scene), spec)
+    }
+
+    #[test]
+    fn delivery_follows_round_robin_until_sessions_drain() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(Arc::clone(&scene)).with_lanes(2);
+        // Session 0: 3 frames; session 1: 1 frame — it drops out of the
+        // cycle after its only frame.
+        server.add_session(SessionRequest::new(
+            Box::new(MeshPipeline::default()),
+            CameraPath::orbit(spec.orbit(24, 16), 3),
+        ));
+        server.add_session(SessionRequest::new(
+            Box::new(MlpPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 1),
+        ));
+        let mut order = Vec::new();
+        while let Some(frame) = server.next_frame() {
+            order.push((frame.session, frame.report.index));
+            server.recycle(frame.session, frame.report.image);
+        }
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (0, 2)]);
+        assert_eq!(server.remaining(), 0);
+        assert!(server.next_frame().is_none());
+    }
+
+    #[test]
+    fn recycled_sessions_keep_one_framebuffer_each() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene)
+            .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+            .with_lanes(2);
+        for _ in 0..3 {
+            server.add_session(SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(20, 14), 3),
+            ));
+        }
+        let summary = server.run();
+        assert_eq!(summary.scheduled_frames, 9);
+        assert!(summary.is_consistent());
+        for stats in &summary.per_session {
+            assert_eq!(stats.frames, 3);
+            assert_eq!(
+                stats.framebuffer_allocations, 1,
+                "session {} allocated once for its whole stream",
+                stats.session
+            );
+        }
+        assert!(summary.total_cycles > 0);
+        assert!(summary.mean_fps() > 0.0);
+    }
+
+    #[test]
+    fn lane_count_does_not_change_the_summary() {
+        let (scene, spec) = scene_and_spec();
+        let serve = |lanes: usize| {
+            let mut server = RenderServer::new(Arc::clone(&scene))
+                .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+                .with_lanes(lanes);
+            server.add_session(SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(20, 14), 2),
+            ));
+            server.add_session(SessionRequest::new(
+                Box::new(MlpPipeline::default()),
+                CameraPath::orbit(spec.orbit(16, 12), 2),
+            ));
+            server.run()
+        };
+        assert_eq!(serve(1), serve(4));
+    }
+}

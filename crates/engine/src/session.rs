@@ -13,9 +13,10 @@
 
 use crate::path::CameraPath;
 use crate::pool::FramePool;
+use std::sync::Arc;
 use uni_core::{Accelerator, ReplayScratch, SimReport};
 use uni_geometry::{Camera, Image};
-use uni_microops::{MicroOp, Trace};
+use uni_microops::{BoundaryMeter, Trace};
 use uni_renderers::Renderer;
 use uni_scene::BakedScene;
 
@@ -92,41 +93,49 @@ impl StreamSummary {
 }
 
 /// A streaming render session over one scene, renderer, and camera path.
+///
+/// The scene is held behind an [`Arc`], so many sessions (and the
+/// multi-session [`crate::RenderServer`]) can stream over **one** baked
+/// scene without per-session copies — pass an `Arc<BakedScene>` to share,
+/// or a plain [`BakedScene`] to let the session own it.
 pub struct RenderSession {
-    scene: BakedScene,
+    scene: Arc<BakedScene>,
     renderer: Box<dyn Renderer>,
     path: CameraPath,
     pool: FramePool,
     accel: Option<Accelerator>,
     replay: ReplayScratch,
     cursor: usize,
-    last_op: Option<MicroOp>,
+    boundary: BoundaryMeter,
     frames_done: usize,
     total_cycles: u64,
     total_seconds: f64,
     in_frame_reconfigs: u64,
-    boundary_reconfigs: u64,
-    boundary_avoided: u64,
 }
 
 impl RenderSession {
     /// Creates a session that renders images only (no simulation).
-    pub fn new(scene: BakedScene, renderer: Box<dyn Renderer>, path: CameraPath) -> Self {
+    ///
+    /// `scene` accepts either an owned [`BakedScene`] or an
+    /// `Arc<BakedScene>` shared with other sessions.
+    pub fn new(
+        scene: impl Into<Arc<BakedScene>>,
+        renderer: Box<dyn Renderer>,
+        path: CameraPath,
+    ) -> Self {
         Self {
-            scene,
+            scene: scene.into(),
             renderer,
             path,
             pool: FramePool::new(),
             accel: None,
             replay: ReplayScratch::default(),
             cursor: 0,
-            last_op: None,
+            boundary: BoundaryMeter::new(),
             frames_done: 0,
             total_cycles: 0,
             total_seconds: 0.0,
             in_frame_reconfigs: 0,
-            boundary_reconfigs: 0,
-            boundary_avoided: 0,
         }
     }
 
@@ -140,6 +149,12 @@ impl RenderSession {
     /// The scene being rendered.
     pub fn scene(&self) -> &BakedScene {
         &self.scene
+    }
+
+    /// A shared handle to the scene (no copy) — hand it to further
+    /// sessions or a [`crate::RenderServer`] serving the same scene.
+    pub fn shared_scene(&self) -> Arc<BakedScene> {
+        Arc::clone(&self.scene)
     }
 
     /// The renderer driving the stream.
@@ -179,8 +194,9 @@ impl RenderSession {
         let camera = self.path.camera(index);
         // `render_into` resizes and overwrites the target, so the
         // acquired buffer arrives untouched (one full-frame fill per
-        // frame, not two).
-        let mut image = self.pool.acquire();
+        // frame, not two). `acquire_for` also counts the reallocation a
+        // mid-stream resolution growth is about to pay.
+        let mut image = self.pool.acquire_for(camera.width, camera.height);
         self.renderer.render_into(&self.scene, &camera, &mut image);
 
         let mut trace_out = None;
@@ -189,25 +205,19 @@ impl RenderSession {
         if let Some(accel) = &self.accel {
             let trace = self.renderer.trace(&self.scene, &camera);
             let sim = accel.simulate_with_scratch(&trace, &mut self.replay);
-            if let (Some(prev), Some(first)) = (self.last_op, trace.first_op()) {
-                if prev == first {
-                    self.boundary_avoided += 1;
-                } else {
-                    self.boundary_reconfigs += 1;
-                    boundary = true;
-                    // Per-frame simulation charges only in-frame switches
-                    // (a frame's first op is free), so the stream pays the
-                    // boundary switch here — keeping the time accounting
-                    // consistent with total_reconfigurations().
-                    let cfg = accel.config();
-                    self.total_cycles += cfg.reconfig_cycles;
-                    self.total_seconds += cfg.cycles_to_seconds(cfg.reconfig_cycles);
-                }
+            if self.boundary.observe(trace.first_op(), trace.last_op()) {
+                boundary = true;
+                // Per-frame simulation charges only in-frame switches
+                // (a frame's first op is free), so the stream pays the
+                // boundary switch here — keeping the time accounting
+                // consistent with total_reconfigurations().
+                let cfg = accel.config();
+                self.total_cycles += cfg.reconfig_cycles;
+                self.total_seconds += cfg.cycles_to_seconds(cfg.reconfig_cycles);
             }
             self.in_frame_reconfigs += sim.reconfigurations;
             self.total_cycles += sim.cycles;
             self.total_seconds += sim.seconds;
-            self.last_op = trace.last_op().or(self.last_op);
             trace_out = Some(trace);
             sim_out = Some(sim);
         }
@@ -229,8 +239,8 @@ impl RenderSession {
             total_cycles: self.total_cycles,
             total_seconds: self.total_seconds,
             in_frame_reconfigurations: self.in_frame_reconfigs,
-            boundary_reconfigurations: self.boundary_reconfigs,
-            boundary_switches_avoided: self.boundary_avoided,
+            boundary_reconfigurations: self.boundary.switches(),
+            boundary_switches_avoided: self.boundary.avoided(),
             framebuffer_allocations: self.pool.allocations(),
         }
     }

@@ -33,6 +33,7 @@ pub mod cost;
 pub mod invoke;
 pub mod op;
 pub mod pipeline;
+pub mod serve;
 pub mod stats;
 pub mod trace;
 
@@ -40,5 +41,6 @@ pub use cost::CostVector;
 pub use invoke::{Invocation, PrimitiveKind, Workload};
 pub use op::{Dims, IndexFunction, IndexingTask, MemAccessPattern, MicroOp, ReductionTask};
 pub use pipeline::Pipeline;
+pub use serve::{BoundaryMeter, ServerSummary, SessionStats};
 pub use stats::TraceStats;
 pub use trace::Trace;

@@ -1,0 +1,294 @@
+//! Serving statistics: boundary-switch metering and per-session /
+//! aggregate summaries for multi-stream schedules.
+//!
+//! Uni-Render's accelerator is *one* device: when it serves several frame
+//! streams (or several renderers) interleaved, a PE-array reconfiguration
+//! is paid whenever two *consecutively scheduled* frames start and end in
+//! different micro-operator families — regardless of which stream they
+//! belong to. This module carries the device-independent bookkeeping for
+//! that claim:
+//!
+//! - [`BoundaryMeter`] — walks a schedule of frame traces (via their
+//!   [`Trace::first_op`] / [`Trace::last_op`] families) and counts the
+//!   boundary switches paid vs. amortized away;
+//! - [`SessionStats`] — one stream's share of a served schedule;
+//! - [`ServerSummary`] — the aggregate over every session a server
+//!   scheduled, with the invariant that aggregate counters equal the sum
+//!   of the per-session ones.
+//!
+//! [`Trace::first_op`]: crate::Trace::first_op
+//! [`Trace::last_op`]: crate::Trace::last_op
+
+use crate::op::MicroOp;
+use crate::pipeline::Pipeline;
+use serde::{Deserialize, Serialize};
+
+/// Counts PE-array mode switches across a sequence of scheduled frames.
+///
+/// Feed it each scheduled frame's boundary micro-operator families in
+/// schedule order; it reports whether *entering* that frame required a
+/// reconfiguration (the previous frame ended in a different family) and
+/// keeps running totals of switches paid and avoided. The first observed
+/// frame is free — there is no previous mode to switch from.
+///
+/// Empty traces (no invocations, `None` boundary ops) neither pay nor
+/// avoid a switch and leave the remembered mode untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryMeter {
+    last: Option<MicroOp>,
+    switches: u64,
+    avoided: u64,
+}
+
+impl BoundaryMeter {
+    /// A meter that has observed nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes the next scheduled frame's boundary families and returns
+    /// whether entering it required a mode switch.
+    pub fn observe(&mut self, first: Option<MicroOp>, last: Option<MicroOp>) -> bool {
+        let switched = match (self.last, first) {
+            (Some(prev), Some(first)) if prev == first => {
+                self.avoided += 1;
+                false
+            }
+            (Some(_), Some(_)) => {
+                self.switches += 1;
+                true
+            }
+            _ => false,
+        };
+        self.last = last.or(self.last);
+        switched
+    }
+
+    /// The micro-operator family the most recent non-empty frame ended in.
+    pub fn last_op(&self) -> Option<MicroOp> {
+        self.last
+    }
+
+    /// Boundary switches paid so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Boundaries where the families matched (switch amortized away).
+    pub fn avoided(&self) -> u64 {
+        self.avoided
+    }
+
+    /// All boundaries observed between non-empty frames.
+    pub fn boundaries(&self) -> u64 {
+        self.switches + self.avoided
+    }
+}
+
+/// One session's (one camera stream's) share of a served schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Server-assigned session id (index in submission order).
+    pub session: usize,
+    /// The pipeline family this session renders with.
+    pub pipeline: Pipeline,
+    /// Frames of this session the server has delivered.
+    pub frames: usize,
+    /// Simulated cycles attributed to this session, including the
+    /// boundary reconfigurations charged when its frames were scheduled.
+    pub cycles: u64,
+    /// Simulated seconds attributed to this session.
+    pub seconds: f64,
+    /// Mode switches *inside* this session's frame traces.
+    pub in_frame_reconfigurations: u64,
+    /// Mode switches paid when the accelerator entered this session's
+    /// frames from whatever it ran before them in the schedule.
+    pub boundary_reconfigurations: u64,
+    /// Schedule boundaries into this session's frames that needed no
+    /// switch.
+    pub boundary_switches_avoided: u64,
+    /// Fresh framebuffer allocations this session's pool performed
+    /// (stays at 1 for a recycled fixed-resolution stream).
+    pub framebuffer_allocations: u64,
+}
+
+impl SessionStats {
+    /// A zeroed record for session `session` rendering `pipeline`.
+    pub fn new(session: usize, pipeline: Pipeline) -> Self {
+        Self {
+            session,
+            pipeline,
+            frames: 0,
+            cycles: 0,
+            seconds: 0.0,
+            in_frame_reconfigurations: 0,
+            boundary_reconfigurations: 0,
+            boundary_switches_avoided: 0,
+            framebuffer_allocations: 0,
+        }
+    }
+
+    /// All reconfigurations charged to this session.
+    pub fn total_reconfigurations(&self) -> u64 {
+        self.in_frame_reconfigurations + self.boundary_reconfigurations
+    }
+
+    /// Simulated throughput of this session's frames (frames per
+    /// simulated second); 0 when nothing was simulated.
+    pub fn mean_fps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.frames as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate statistics over everything a server scheduled.
+///
+/// The scalar counters are sums over [`ServerSummary::per_session`]
+/// (checked by [`ServerSummary::is_consistent`]); they exist separately
+/// so consumers can read schedule-level totals without re-summing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerSummary {
+    /// Per-session statistics, in session-id order.
+    pub per_session: Vec<SessionStats>,
+    /// Frames delivered across all sessions, in schedule order.
+    pub scheduled_frames: usize,
+    /// Simulated cycles across the whole schedule.
+    pub total_cycles: u64,
+    /// Simulated seconds across the whole schedule.
+    pub total_seconds: f64,
+    /// Mode switches inside frame traces, summed over the schedule.
+    pub in_frame_reconfigurations: u64,
+    /// Mode switches paid at scheduled-frame boundaries (including the
+    /// cross-session ones a standalone stream would never pay).
+    pub boundary_reconfigurations: u64,
+    /// Scheduled-frame boundaries that needed no switch.
+    pub boundary_switches_avoided: u64,
+}
+
+impl ServerSummary {
+    /// Statistics for one session, if it exists.
+    pub fn session(&self, session: usize) -> Option<&SessionStats> {
+        self.per_session.iter().find(|s| s.session == session)
+    }
+
+    /// All reconfigurations the schedule paid: in-frame plus boundary.
+    pub fn total_reconfigurations(&self) -> u64 {
+        self.in_frame_reconfigurations + self.boundary_reconfigurations
+    }
+
+    /// Reconfigurations per delivered frame, amortized over the schedule.
+    pub fn reconfigurations_per_frame(&self) -> f64 {
+        if self.scheduled_frames == 0 {
+            0.0
+        } else {
+            self.total_reconfigurations() as f64 / self.scheduled_frames as f64
+        }
+    }
+
+    /// Simulated schedule throughput (frames per simulated second); 0
+    /// when nothing was simulated.
+    pub fn mean_fps(&self) -> f64 {
+        if self.total_seconds > 0.0 {
+            self.scheduled_frames as f64 / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether every aggregate counter equals the sum of its per-session
+    /// counterparts — the invariant a correct server maintains.
+    pub fn is_consistent(&self) -> bool {
+        let frames: usize = self.per_session.iter().map(|s| s.frames).sum();
+        let cycles: u64 = self.per_session.iter().map(|s| s.cycles).sum();
+        let in_frame: u64 = self
+            .per_session
+            .iter()
+            .map(|s| s.in_frame_reconfigurations)
+            .sum();
+        let boundary: u64 = self
+            .per_session
+            .iter()
+            .map(|s| s.boundary_reconfigurations)
+            .sum();
+        let avoided: u64 = self
+            .per_session
+            .iter()
+            .map(|s| s.boundary_switches_avoided)
+            .sum();
+        let seconds: f64 = self.per_session.iter().map(|s| s.seconds).sum();
+        frames == self.scheduled_frames
+            && cycles == self.total_cycles
+            && in_frame == self.in_frame_reconfigurations
+            && boundary == self.boundary_reconfigurations
+            && avoided == self.boundary_switches_avoided
+            && (seconds - self.total_seconds).abs() <= 1e-9 * self.total_seconds.abs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_switches_and_amortizations() {
+        let mut m = BoundaryMeter::new();
+        // First frame is free.
+        assert!(!m.observe(Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        // Same family: amortized.
+        assert!(!m.observe(Some(MicroOp::Gemm), Some(MicroOp::Sorting)));
+        // Sorting -> Gemm: switch.
+        assert!(m.observe(Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        assert_eq!(m.switches(), 1);
+        assert_eq!(m.avoided(), 1);
+        assert_eq!(m.boundaries(), 2);
+        assert_eq!(m.last_op(), Some(MicroOp::Gemm));
+    }
+
+    #[test]
+    fn meter_skips_empty_frames_without_forgetting_the_mode() {
+        let mut m = BoundaryMeter::new();
+        m.observe(Some(MicroOp::Sorting), Some(MicroOp::Sorting));
+        // An empty trace neither pays nor avoids, and the mode survives.
+        assert!(!m.observe(None, None));
+        assert_eq!(m.boundaries(), 0, "first frame free, empty frame skipped");
+        assert_eq!(m.last_op(), Some(MicroOp::Sorting));
+        // The remembered mode still drives the next boundary.
+        assert!(m.observe(Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        assert_eq!(m.boundaries(), 1);
+    }
+
+    #[test]
+    fn summary_consistency_checks_sums() {
+        let mut a = SessionStats::new(0, Pipeline::Mesh);
+        a.frames = 2;
+        a.cycles = 100;
+        a.seconds = 1.0;
+        a.boundary_reconfigurations = 1;
+        let mut b = SessionStats::new(1, Pipeline::Gaussian3d);
+        b.frames = 3;
+        b.cycles = 50;
+        b.seconds = 0.5;
+        b.boundary_switches_avoided = 2;
+        let summary = ServerSummary {
+            per_session: vec![a, b],
+            scheduled_frames: 5,
+            total_cycles: 150,
+            total_seconds: 1.5,
+            in_frame_reconfigurations: 0,
+            boundary_reconfigurations: 1,
+            boundary_switches_avoided: 2,
+        };
+        assert!(summary.is_consistent());
+        assert_eq!(summary.total_reconfigurations(), 1);
+        assert!((summary.reconfigurations_per_frame() - 0.2).abs() < 1e-12);
+        assert!((summary.mean_fps() - 5.0 / 1.5).abs() < 1e-12);
+        assert_eq!(summary.session(1).unwrap().pipeline, Pipeline::Gaussian3d);
+
+        let mut broken = summary.clone();
+        broken.total_cycles = 151;
+        assert!(!broken.is_consistent());
+    }
+}

@@ -13,6 +13,156 @@
 //! callers keep a single code path either way.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A type-erased job a [`LanePool`] worker executes.
+type LaneJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A handle to one submitted [`LanePool`] job's result.
+///
+/// [`Ticket::wait`] blocks until the job has run on its lane (or returns
+/// immediately when the pool executes inline).
+#[derive(Debug)]
+pub struct Ticket<R> {
+    inner: TicketInner<R>,
+}
+
+#[derive(Debug)]
+enum TicketInner<R> {
+    /// The job already ran on the submitting thread (inline pool).
+    Ready(R),
+    /// The job runs on a lane; the result arrives on this channel.
+    Pending(mpsc::Receiver<R>),
+}
+
+impl<R> Ticket<R> {
+    /// Blocks until the job's result is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job itself panicked on its lane (the lane survives;
+    /// the ticket carries the failure).
+    pub fn wait(self) -> R {
+        match self.inner {
+            TicketInner::Ready(r) => r,
+            TicketInner::Pending(rx) => rx.recv().expect("lane job panicked"),
+        }
+    }
+}
+
+/// A pool of *persistent* worker lanes.
+///
+/// Unlike [`par_bands`] / [`par_indices`], which spawn scoped threads per
+/// call, a `LanePool` keeps its workers alive across submissions — the
+/// primitive long-lived frame servers schedule onto. Jobs are submitted to
+/// an explicit lane index; each lane executes its jobs in FIFO order, and
+/// distinct lanes run concurrently. Results come back through [`Ticket`]s,
+/// so a caller that submits in a deterministic order and waits in that
+/// same order observes results independent of execution timing.
+///
+/// With the `threads` feature disabled, with `UNI_RENDER_THREADS=1`, or
+/// with `lanes <= 1`, the pool is *inline*: `submit` runs the job on the
+/// calling thread and the ticket is immediately ready. Callers keep a
+/// single code path either way.
+#[derive(Debug)]
+pub struct LanePool {
+    lanes: Vec<Lane>,
+}
+
+#[derive(Debug)]
+struct Lane {
+    tx: Option<mpsc::Sender<LaneJob>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LanePool {
+    /// Creates a pool of `lanes` persistent workers.
+    ///
+    /// Requests are clamped to at least one lane. The pool degenerates to
+    /// inline execution when threading is unavailable (see type docs).
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        if !is_parallel() || lanes == 1 {
+            return Self { lanes: Vec::new() };
+        }
+        let lanes = (0..lanes)
+            .map(|i| {
+                let (tx, rx) = mpsc::channel::<LaneJob>();
+                let handle = std::thread::Builder::new()
+                    .name(format!("uni-lane-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            // A panicking job must not take the lane down
+                            // with it: catch the unwind so later jobs on
+                            // this lane still run. The failure surfaces at
+                            // the job's own `Ticket::wait` (its result
+                            // sender is dropped without sending).
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn lane worker");
+                Lane {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { lanes }
+    }
+
+    /// Number of lanes jobs can be submitted to (1 when inline).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len().max(1)
+    }
+
+    /// Whether submissions run on the calling thread.
+    pub fn is_inline(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Submits `job` to lane `lane % self.lanes()` and returns a ticket
+    /// for its result. Jobs on the same lane run in submission order.
+    pub fn submit<R, F>(&self, lane: usize, job: F) -> Ticket<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        if self.lanes.is_empty() {
+            return Ticket {
+                inner: TicketInner::Ready(job()),
+            };
+        }
+        let lane = &self.lanes[lane % self.lanes.len()];
+        let (tx, rx) = mpsc::channel();
+        lane.tx
+            .as_ref()
+            .expect("lane open while pool is alive")
+            .send(Box::new(move || {
+                // Receiver may be dropped (caller abandoned the ticket) —
+                // discarding the result is fine then.
+                let _ = tx.send(job());
+            }))
+            .expect("lane worker alive while pool is alive");
+        Ticket {
+            inner: TicketInner::Pending(rx),
+        }
+    }
+}
+
+impl Drop for LanePool {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's recv loop; joining
+        // guarantees no lane outlives the pool.
+        for lane in &mut self.lanes {
+            lane.tx.take();
+        }
+        for lane in &mut self.lanes {
+            if let Some(handle) = lane.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
 
 /// One band's work slot: the chunk a worker claims (exactly once).
 type BandCell<'a, T> = std::sync::Mutex<Option<&'a mut [T]>>;
@@ -194,5 +344,49 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn lane_pool_returns_results_per_submission() {
+        let pool = LanePool::new(3);
+        let tickets: Vec<Ticket<usize>> = (0..12).map(|i| pool.submit(i, move || i * i)).collect();
+        let results: Vec<usize> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(results, (0..12).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_pool_jobs_on_one_lane_run_in_submission_order() {
+        let pool = LanePool::new(2);
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let tickets: Vec<Ticket<()>> = (0..8)
+            .map(|i| {
+                let log = log.clone();
+                pool.submit(0, move || log.lock().unwrap().push(i))
+            })
+            .collect();
+        for t in tickets {
+            t.wait();
+        }
+        assert_eq!(*log.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_pool_clamps_to_one_lane() {
+        let pool = LanePool::new(0);
+        assert_eq!(pool.lanes(), 1);
+        assert_eq!(pool.submit(7, || 42).wait(), 42);
+    }
+
+    #[test]
+    fn lane_pool_survives_a_panicking_job() {
+        let pool = LanePool::new(2);
+        // Inline pools panic at submit, threaded ones at wait — either
+        // way the failure reaches the submitting thread.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.submit(1, || panic!("job failure")).wait()
+        }));
+        assert!(caught.is_err(), "panicking job surfaces to the submitter");
+        // The lane is still serviceable afterwards.
+        assert_eq!(pool.submit(1, || 7).wait(), 7);
     }
 }

@@ -69,7 +69,10 @@ pub use uni_scene as scene;
 pub mod prelude {
     pub use uni_baselines::{all_baselines, commercial_devices, dedicated_accelerators, Device};
     pub use uni_core::{Accelerator, AcceleratorConfig, ReplayScratch, SimReport};
-    pub use uni_engine::{CameraPath, FramePool, FrameReport, RenderSession, StreamSummary};
+    pub use uni_engine::{
+        CameraPath, FramePool, FrameReport, RenderServer, RenderSession, ServedFrame,
+        ServerSummary, SessionRequest, SessionStats, StreamSummary,
+    };
     pub use uni_geometry::{Aabb, Camera, Image, Mat4, Orbit, Ray, Rgb, Vec2, Vec3, Vec4};
     pub use uni_microops::{MicroOp, Pipeline, Trace};
     pub use uni_renderers::{

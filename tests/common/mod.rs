@@ -1,0 +1,20 @@
+//! Helpers shared across the integration-test binaries.
+
+use uni_render::prelude::Image;
+
+/// FNV-1a over the raw little-endian f32 pixel bytes — equal hashes mean
+/// bit-identical frames. Both the serving determinism property test and
+/// the golden-frame harness pin output through this one definition, so
+/// "bit-identical" cannot drift between them.
+pub fn fnv1a_image(image: &Image) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for px in image.pixels() {
+        for channel in [px.r, px.g, px.b] {
+            for byte in channel.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}

@@ -1,0 +1,73 @@
+//! Golden-frame regression harness: one 64×64 frame per pipeline,
+//! FNV-1a-hashed over the raw f32 pixel buffer and pinned against
+//! checked-in constants. Future perf PRs cannot silently change renderer
+//! output — a hash mismatch here means the *image bytes* changed, not
+//! just timing.
+//!
+//! Band parallelism is bit-exact by construction, so these hashes are
+//! independent of `UNI_RENDER_THREADS`. If an intentional rendering
+//! change lands, regenerate the constants with:
+//!
+//! ```sh
+//! UNI_RENDER_BLESS=1 cargo test --test golden_frames -- --nocapture
+//! ```
+//!
+//! and paste the printed `GOLDEN` table into this file.
+
+use uni_render::prelude::*;
+
+mod common;
+use common::fnv1a_image as fnv1a;
+
+/// Scene and camera every golden frame uses. Fixed forever — changing
+/// either invalidates the constants.
+const GOLDEN_SEED: u64 = 424242;
+const GOLDEN_DETAIL: f32 = 0.05;
+const GOLDEN_ANGLE: f32 = 0.8;
+const GOLDEN_RES: (u32, u32) = (64, 64);
+
+/// Checked-in frame hashes, in `all_renderers()` (Tab. I + hybrid) order.
+const GOLDEN: [(&str, u64); 6] = [
+    ("mesh", 0x4583dafba7973c39),
+    ("mlp", 0x80bc7b87e9e04c55),
+    ("lowrank", 0x7de76394114cf04e),
+    ("hashgrid", 0xd072d3fa0ada7edf),
+    ("gaussian", 0x3daad2f67e9fd6e7),
+    ("mixrt", 0x70dfaa914076b3bb),
+];
+
+fn golden_frames() -> Vec<(String, u64)> {
+    let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);
+    let scene = spec.bake();
+    let camera = spec
+        .orbit(GOLDEN_RES.0, GOLDEN_RES.1)
+        .camera_at(GOLDEN_ANGLE);
+    uni_render::renderers::all_renderers()
+        .iter()
+        .map(|renderer| {
+            let image = renderer.render(&scene, &camera);
+            assert_eq!((image.width(), image.height()), GOLDEN_RES);
+            (renderer.pipeline().to_string(), fnv1a(&image))
+        })
+        .collect()
+}
+
+#[test]
+fn every_pipeline_matches_its_golden_frame_hash() {
+    let rendered = golden_frames();
+    if std::env::var("UNI_RENDER_BLESS").is_ok_and(|v| v == "1") {
+        println!("const GOLDEN: [(&str, u64); 6] = [");
+        for ((name, _), (_, hash)) in GOLDEN.iter().zip(&rendered) {
+            println!("    (\"{name}\", {hash:#018x}),");
+        }
+        println!("];");
+        return;
+    }
+    for ((name, expected), (pipeline, actual)) in GOLDEN.iter().zip(&rendered) {
+        assert_eq!(
+            actual, expected,
+            "{pipeline} ({name}) 64x64 frame hash changed — if intentional, \
+             re-bless with UNI_RENDER_BLESS=1 cargo test --test golden_frames -- --nocapture"
+        );
+    }
+}

@@ -120,6 +120,39 @@ fn batch_replay_matches_streamed_replay() {
     }
 }
 
+/// A stream whose resolution shrinks and then grows back stays on one
+/// allocation (capacity is retained), while growing *past* the pooled
+/// capacity mid-stream reallocates exactly once — and is counted.
+#[test]
+fn mid_stream_resolution_growth_is_counted_exactly_once() {
+    let orbit = scene().spec().orbit(32, 24);
+    let cam = |w: u32, h: u32, angle: f32| orbit.camera_at(angle).with_resolution(w, h);
+    // 32x24 -> shrink to 16x12 -> grow back (free) -> grow past capacity.
+    let path = CameraPath::waypoints(vec![
+        cam(32, 24, 0.0),
+        cam(16, 12, 0.3),
+        cam(32, 24, 0.6),
+        cam(64, 48, 0.9),
+        cam(64, 48, 1.2),
+    ]);
+    let mut session = RenderSession::new(scene().clone(), Box::new(MeshPipeline::default()), path);
+    let mut allocs_per_frame = Vec::new();
+    while let Some(frame) = session.next_frame() {
+        let camera = frame.camera;
+        assert_eq!(
+            (frame.image.width(), frame.image.height()),
+            (camera.width, camera.height),
+            "frame {} rendered at its camera's resolution",
+            frame.index
+        );
+        allocs_per_frame.push(session.summary().framebuffer_allocations);
+        session.recycle(frame.image);
+    }
+    // One cold allocation, free shrink-then-grow, then exactly one
+    // counted reallocation when 64x48 exceeds the 32x24 capacity.
+    assert_eq!(allocs_per_frame, vec![1, 1, 1, 2, 2]);
+}
+
 /// A lerp path streams frames whose cameras move from one pose to the
 /// other; the session renders every one at the path resolution.
 #[test]
