@@ -1,34 +1,68 @@
-//! Multi-session serving benchmark: one `RenderServer` sharding 1 / 4 /
-//! 16 mixed-pipeline camera streams over a single shared baked scene.
+//! Multi-session serving benchmark: one `RenderServer` sharding mixed-
+//! pipeline camera streams over a single shared baked scene, swept across
+//! session counts *and scheduling policies*.
 //!
-//! Runs as a criterion harness (`cargo bench --bench serve_hot`) and
-//! emits machine-readable results to `BENCH_serve.json` at the workspace
-//! root so the serving trajectory is tracked PR-over-PR:
+//! Runs as a criterion harness (`cargo bench --bench serve_hot`; pass
+//! `-- --quick` for a single-shot smoke that still refreshes the JSON)
+//! and emits machine-readable results to `BENCH_serve.json` at the
+//! workspace root so the serving trajectory is tracked PR-over-PR:
 //!
 //! ```json
-//! { "configs": [ { "sessions": 4, "frames": 16, "wall_fps": ...,
-//!   "sim_fps": ..., "reconfigs_per_frame": ..., "boundary_reconfigs": ... }, ... ] }
+//! { "configs": [ { "policy": "round_robin", "sessions": 4, "frames": 16,
+//!   "wall_fps": ..., "sim_fps": ..., "reconfigs_per_frame": ...,
+//!   "boundary_reconfigs": ... }, ... ] }
 //! ```
 //!
 //! Sessions cycle through the pipeline mix below (so neighbouring
 //! schedule slots usually switch renderer families — the worst case for
-//! reconfiguration amortization); every session renders its own orbit
-//! arc at the same resolution. `wall_fps` is host wall-clock frames per
-//! second across the whole schedule; `sim_fps` and the reconfiguration
-//! counters come from the deterministic `ServerSummary`, so they are
-//! host-independent.
+//! reconfiguration amortization) and carry staggered weights/priorities
+//! so the fair-share and priority policies have real decisions to make.
+//! The policy sweep covers `round_robin` (1/4/16 sessions, the
+//! interleaved baseline), `weighted_fair`, `priority`, and
+//! `round_robin_coalesced` (4/16 sessions). The harness asserts — and
+//! the committed JSON records — that the coalesced schedule pays
+//! *strictly fewer* reconfigurations per frame than interleaved
+//! round-robin on the mixed 4-session workload. `wall_fps` is host
+//! wall-clock frames per second across the whole schedule; `sim_fps` and
+//! the reconfiguration counters come from the deterministic
+//! `ServerSummary`, so they are host-independent.
 
 use criterion::{black_box, Criterion};
 use std::sync::Arc;
 use uni_bench::HARNESS_DETAIL;
 use uni_core::{Accelerator, AcceleratorConfig};
-use uni_engine::{CameraPath, RenderServer, ServerSummary, SessionRequest};
+use uni_engine::{
+    CameraPath, Priority, RenderServer, RoundRobin, SchedulePolicy, ServerSummary, SessionRequest,
+    WeightedFair,
+};
 use uni_renderers::{GaussianPipeline, HashGridPipeline, MeshPipeline, MlpPipeline, Renderer};
 use uni_scene::{BakedScene, SceneSpec};
 
-const SESSION_COUNTS: [usize; 3] = [1, 4, 16];
 const FRAMES_PER_SESSION: usize = 4;
 const RESOLUTION: (u32, u32) = (96, 96);
+
+/// `(policy name, session count)` sweep, round-robin baselines first.
+const SWEEP: [(&str, usize); 9] = [
+    ("round_robin", 1),
+    ("round_robin", 4),
+    ("round_robin", 16),
+    ("weighted_fair", 4),
+    ("weighted_fair", 16),
+    ("priority", 4),
+    ("priority", 16),
+    ("round_robin_coalesced", 4),
+    ("round_robin_coalesced", 16),
+];
+
+fn policy(name: &str) -> Box<dyn SchedulePolicy> {
+    match name {
+        "round_robin" => Box::new(RoundRobin::new()),
+        "round_robin_coalesced" => Box::new(RoundRobin::new().coalesce_switches(true)),
+        "weighted_fair" => Box::new(WeightedFair::new()),
+        "priority" => Box::new(Priority::new()),
+        other => panic!("unknown policy {other}"),
+    }
+}
 
 fn renderer(slot: usize) -> Box<dyn Renderer + Send> {
     match slot % 4 {
@@ -39,46 +73,101 @@ fn renderer(slot: usize) -> Box<dyn Renderer + Send> {
     }
 }
 
-fn serve(scene: &Arc<BakedScene>, spec: &SceneSpec, sessions: usize) -> ServerSummary {
+fn serve(
+    scene: &Arc<BakedScene>,
+    spec: &SceneSpec,
+    policy_name: &str,
+    sessions: usize,
+) -> ServerSummary {
     let mut server = RenderServer::new(Arc::clone(scene))
-        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+        .with_policy(policy(policy_name));
     for s in 0..sessions {
         let orbit = spec.orbit(RESOLUTION.0, RESOLUTION.1);
-        server.add_session(SessionRequest::new(
-            renderer(s),
-            CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, FRAMES_PER_SESSION),
-        ));
+        server.admit(
+            SessionRequest::new(
+                renderer(s),
+                CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, FRAMES_PER_SESSION),
+            )
+            .weight(1 + (s % 3) as u32)
+            .priority((s % 3) as u8),
+        );
     }
     server.run()
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let spec = SceneSpec::demo("serve-hot", 2025).with_detail(HARNESS_DETAIL);
     let scene = Arc::new(spec.bake());
     let threads = uni_parallel::worker_count();
 
-    let mut criterion = Criterion::default();
-    let mut group = criterion.benchmark_group("serve_hot");
     // Serving is deterministic, so the summary of the last timed
     // iteration doubles as the reported one — no untimed re-run needed.
-    let mut summaries = Vec::new();
-    for &sessions in &SESSION_COUNTS {
-        let mut last = None;
-        group.bench_function(format!("sessions/{sessions}"), |b| {
-            b.iter(|| last = Some(serve(black_box(&scene), black_box(&spec), sessions)));
-        });
-        summaries.push(last.expect("bench ran at least once"));
+    let mut results: Vec<(f64, ServerSummary)> = Vec::new();
+    if quick {
+        for &(policy_name, sessions) in &SWEEP {
+            let start = std::time::Instant::now();
+            let summary = serve(&scene, &spec, policy_name, sessions);
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            println!("bench serve_hot/{policy_name}/{sessions} {ms:>12.3} ms (quick)");
+            results.push((ms, summary));
+        }
+    } else {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("serve_hot");
+        let mut summaries = Vec::new();
+        for &(policy_name, sessions) in &SWEEP {
+            let mut last = None;
+            group.bench_function(format!("{policy_name}/{sessions}"), |b| {
+                b.iter(|| {
+                    last = Some(serve(
+                        black_box(&scene),
+                        black_box(&spec),
+                        policy_name,
+                        sessions,
+                    ))
+                });
+            });
+            summaries.push(last.expect("bench ran at least once"));
+        }
+        group.finish();
+        for (&(policy_name, sessions), summary) in SWEEP.iter().zip(summaries) {
+            let id = format!("serve_hot/{policy_name}/{sessions}");
+            let ms = criterion
+                .measurements()
+                .iter()
+                .find(|m| m.id == id)
+                .map(|m| m.secs_per_iter * 1e3)
+                .expect("benchmark ran");
+            results.push((ms, summary));
+        }
     }
-    group.finish();
 
-    let ms_of = |id: String| -> f64 {
-        criterion
-            .measurements()
+    // The reconfiguration-aware schedule must beat interleaved
+    // round-robin on the mixed 4-session workload — the whole point of
+    // the coalesce_switches knob. Committed to the JSON below.
+    let find = |p: &str, n: usize| {
+        let at = SWEEP
             .iter()
-            .find(|m| m.id == id)
-            .map(|m| m.secs_per_iter * 1e3)
-            .expect("benchmark ran")
+            .position(|&(sp, sn)| sp == p && sn == n)
+            .expect("config in sweep");
+        &results[at].1
     };
+    let rr4 = find("round_robin", 4);
+    let co4 = find("round_robin_coalesced", 4);
+    assert_eq!(
+        rr4.scheduled_frames, co4.scheduled_frames,
+        "same workload either way"
+    );
+    assert!(
+        co4.boundary_reconfigurations < rr4.boundary_reconfigurations,
+        "coalesced schedule must pay strictly fewer boundary reconfigs \
+         ({} vs {})",
+        co4.boundary_reconfigurations,
+        rr4.boundary_reconfigurations
+    );
+    assert!(co4.reconfigurations_per_frame() < rr4.reconfigurations_per_frame());
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -92,26 +181,29 @@ fn main() {
     ));
     json.push_str(&format!("  \"scene_detail\": {HARNESS_DETAIL},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(
-        "  \"note\": \"one RenderServer, mixed gaussian/mesh/hashgrid/mlp sessions sharing one \
-         Arc'd baked scene; wall_fps is host wall-clock over the whole round-robin schedule, \
-         sim_fps and reconfiguration counters come from the deterministic ServerSummary\",\n",
+        "  \"note\": \"one RenderServer, mixed gaussian/mesh/hashgrid/mlp sessions (staggered \
+         weights/priorities) sharing one Arc'd baked scene, swept across scheduling policies; \
+         wall_fps is host wall-clock over the whole schedule, sim_fps and reconfiguration \
+         counters come from the deterministic ServerSummary; round_robin_coalesced at 4 \
+         sessions is asserted strictly below round_robin in reconfigs_per_frame\",\n",
     );
     json.push_str("  \"configs\": [\n");
-    for (i, &sessions) in SESSION_COUNTS.iter().enumerate() {
-        let ms = ms_of(format!("serve_hot/sessions/{sessions}"));
-        let summary = &summaries[i];
+    for (i, (&(policy_name, sessions), (ms, summary))) in SWEEP.iter().zip(&results).enumerate() {
         let frames = summary.scheduled_frames;
         let wall_fps = frames as f64 / (ms / 1e3);
         assert!(summary.is_consistent(), "server accounting must sum");
+        assert_eq!(summary.policy, policy_name);
         println!(
-            "serve_hot/sessions/{sessions}: {frames} frames, wall {wall_fps:.1} FPS, \
+            "serve_hot/{policy_name}/{sessions}: {frames} frames, wall {wall_fps:.1} FPS, \
              sim {:.1} FPS, {:.2} reconfigs/frame",
             summary.mean_fps(),
             summary.reconfigurations_per_frame()
         );
         json.push_str(&format!(
-            "    {{ \"sessions\": {sessions}, \"frames\": {frames}, \"wall_ms\": {ms:.2}, \
+            "    {{ \"policy\": \"{policy_name}\", \"sessions\": {sessions}, \
+             \"frames\": {frames}, \"wall_ms\": {ms:.2}, \
              \"wall_fps\": {wall_fps:.2}, \"sim_fps\": {:.2}, \
              \"reconfigs_per_frame\": {:.4}, \"boundary_reconfigs\": {}, \
              \"boundary_avoided\": {} }}{}\n",
@@ -119,11 +211,7 @@ fn main() {
             summary.reconfigurations_per_frame(),
             summary.boundary_reconfigurations,
             summary.boundary_switches_avoided,
-            if i + 1 == SESSION_COUNTS.len() {
-                ""
-            } else {
-                ","
-            }
+            if i + 1 == SWEEP.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -18,12 +18,17 @@
 //! - [`RenderServer`] — the multi-session serving layer: one immutable
 //!   `Arc`-shared baked scene, N concurrent camera streams
 //!   ([`SessionRequest`]s, pipelines mixing freely), frames scheduled
-//!   **round-robin** across persistent worker lanes. Delivery and
-//!   accounting follow the deterministic schedule order, so every served
-//!   frame is bit-identical to the same frame from a standalone session,
-//!   while the [`ServerSummary`] exposes the cross-session
-//!   reconfigurations the shared accelerator pays at scheduled-frame
-//!   boundaries.
+//!   across persistent worker lanes by a pluggable deterministic
+//!   [`SchedulePolicy`] ([`RoundRobin`] — the original contract —
+//!   [`WeightedFair`], [`Priority`], each with a switch-coalescing
+//!   variant). Sessions are addressed by typed [`SessionHandle`]s and
+//!   may be [admitted](RenderServer::admit) or
+//!   [closed](RenderServer::close) *mid-serve* at deterministic tick
+//!   boundaries. Delivery and accounting follow the deterministic
+//!   schedule order, so every served frame is bit-identical to the same
+//!   frame from a standalone session, while the [`ServerSummary`]
+//!   exposes the cross-session reconfigurations the shared accelerator
+//!   pays at scheduled-frame boundaries.
 //!
 //! Rendering goes through `Renderer::render_into`, the caller-owned-
 //! target entry point of `uni_renderers` — sessions are the canonical
@@ -31,12 +36,16 @@
 
 pub mod path;
 pub mod pool;
+pub mod sched;
 pub mod server;
 pub mod session;
 
 pub use path::CameraPath;
 pub use pool::FramePool;
-pub use server::{RenderServer, ServedFrame, SessionRequest};
+pub use sched::{
+    Priority, RoundRobin, ScheduleContext, SchedulePolicy, SessionHandle, SessionView, WeightedFair,
+};
+pub use server::{RenderServer, ServedFrame, SessionRequest, DEFAULT_LOOKAHEAD};
 pub use session::{FrameReport, RenderSession, StreamSummary};
 // The serving summaries live in `uni_microops::serve`; re-export them so
 // engine consumers get the whole serving surface from one crate.

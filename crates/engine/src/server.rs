@@ -1,68 +1,132 @@
 //! Multi-session serving: many camera streams sharing one baked scene
-//! and one accelerator.
+//! and one accelerator, scheduled by a pluggable deterministic policy.
 //!
 //! A [`RenderServer`] is the serving analogue of the paper's premise —
 //! one reconfigurable accelerator in front of *diverse* renderers. It
 //! owns a single immutable [`BakedScene`] behind an [`Arc`] (no
 //! per-session copies), accepts any number of [`SessionRequest`]s (each
-//! its own camera path, resolution, and pipeline — pipelines mix freely
-//! across sessions), and schedules their frames **round-robin** across a
-//! persistent pool of worker lanes ([`uni_parallel::LanePool`]). Each
-//! session keeps its own [`FramePool`], [`ReplayScratch`], and share of
-//! the reconfiguration accounting.
+//! its own camera path, resolution, pipeline, fair-share weight, and
+//! priority — pipelines mix freely across sessions), and schedules their
+//! frames across a persistent pool of worker lanes
+//! ([`uni_parallel::LanePool`]) in whatever order its
+//! [`SchedulePolicy`] dictates — strict [`RoundRobin`](crate::RoundRobin)
+//! by default, [`WeightedFair`](crate::WeightedFair) or
+//! [`Priority`](crate::Priority) (or any custom policy) by
+//! [`RenderServer::with_policy`]. Each session keeps its own
+//! [`FramePool`], [`ReplayScratch`], and share of the reconfiguration
+//! accounting.
 //!
-//! Two properties are part of the public contract:
+//! Three properties are part of the public contract:
 //!
-//! 1. **Deterministic schedule.** Frames are delivered in strict
-//!    round-robin session order (session 0 frame 0, session 1 frame 0,
-//!    …, session 0 frame 1, …; exhausted sessions drop out of the
-//!    cycle). Lanes only overlap *execution*; delivery and accounting
-//!    follow the schedule, so results are independent of lane timing
-//!    and every served frame is **bit-identical** to the same frame
-//!    rendered by a standalone [`crate::RenderSession`].
+//! 1. **Deterministic schedule.** The schedule is a pure function of the
+//!    session mix, the policy, and the sequence of
+//!    [`admit`](RenderServer::admit) / [`close`](RenderServer::close)
+//!    calls (keyed to delivered-frame counts). Lanes only overlap
+//!    *execution*; delivery and accounting follow the schedule, so
+//!    results are independent of lane timing and every served frame is
+//!    **bit-identical** to the same frame rendered by a standalone
+//!    [`crate::RenderSession`], at any `UNI_RENDER_THREADS`.
 //! 2. **Cross-session switching is charged.** The accelerator is one
 //!    device: whenever two consecutively *scheduled* frames end and
 //!    start in different micro-operator families — typically because
 //!    neighbouring sessions run different pipelines — the schedule pays
-//!    one reconfiguration ([`BoundaryMeter`]). That is exactly the
-//!    cross-renderer switching cost the paper models, now visible as a
-//!    serving-mix property in [`ServerSummary`].
+//!    one reconfiguration ([`BoundaryMeter`]). Policies built with
+//!    `coalesce_switches` batch same-pipeline frames to amortize exactly
+//!    this cost.
+//! 3. **Deterministic churn.** Sessions may be admitted and closed
+//!    *mid-serve*. Both take effect at a deterministic schedule slot
+//!    derived from the delivered-frame count at the time of the call
+//!    plus the server's dispatch window — never from how far worker
+//!    lanes happen to have run ahead — so churn keeps the served stream
+//!    bit-identical across thread counts.
 
 use crate::path::CameraPath;
 use crate::pool::FramePool;
+use crate::sched::{RoundRobin, ScheduleContext, SchedulePolicy, SessionHandle, SessionView};
 use crate::session::FrameReport;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use uni_core::{Accelerator, ReplayScratch, SimReport};
 use uni_geometry::{Camera, Image};
-use uni_microops::{BoundaryMeter, ServerSummary, SessionStats, Trace};
+use uni_microops::{BoundaryMeter, Pipeline, ServerSummary, SessionStats, Trace};
 use uni_parallel::{LanePool, Ticket};
 use uni_renderers::Renderer;
 use uni_scene::BakedScene;
 
+/// Default bound on scheduled-but-undelivered frames.
+///
+/// The dispatch window is `min(lanes, lookahead, policy.max_in_flight())`
+/// but mid-serve admissions and closes activate `min(lookahead,
+/// policy.max_in_flight())` *delivered* frames after the call — a bound
+/// that deliberately excludes the lane count, so churn timing is
+/// identical at any `UNI_RENDER_THREADS`. The default sits above
+/// typical lane counts so overlap is not throttled; servers expecting
+/// frequent churn under an unbounded policy (e.g. round-robin) should
+/// lower it via [`RenderServer::with_lookahead`] to tighten admission /
+/// close latency (a staged change waits up to this many delivered
+/// frames, or until the schedule drains).
+pub const DEFAULT_LOOKAHEAD: usize = 32;
+
 /// One camera stream a [`RenderServer`] should serve: a renderer
-/// (pipeline choice) plus a camera path (trajectory *and* resolution).
+/// (pipeline choice), a camera path (trajectory *and* resolution), and
+/// the scheduling attributes policies consume.
 pub struct SessionRequest {
     /// The pipeline rendering this stream. `Send` because frames execute
     /// on worker lanes.
     pub renderer: Box<dyn Renderer + Send>,
     /// The frames to serve, in order.
     pub path: CameraPath,
+    weight: u32,
+    priority: u8,
+    label: Option<String>,
 }
 
 impl SessionRequest {
-    /// Bundles a renderer and a path into a request.
+    /// Bundles a renderer and a path into a request with default
+    /// scheduling attributes (weight 1, priority 0, no label).
     pub fn new(renderer: Box<dyn Renderer + Send>, path: CameraPath) -> Self {
-        Self { renderer, path }
+        Self {
+            renderer,
+            path,
+            weight: 1,
+            priority: 0,
+            label: None,
+        }
+    }
+
+    /// Sets the fair-share weight (clamped to ≥ 1). Under
+    /// [`WeightedFair`](crate::WeightedFair) a session with weight `w`
+    /// receives `w / Σw` of the accelerator's sim-time while backlogged.
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Sets the priority level (higher wins). Under
+    /// [`Priority`](crate::Priority) scheduling, runnable sessions of a
+    /// higher level always go first.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a human-readable label, surfaced in
+    /// [`SessionStats::label`].
+    pub fn label(mut self, label: &str) -> Self {
+        self.label = Some(label.to_string());
+        self
     }
 }
 
 /// One delivered frame of a served schedule.
 #[derive(Debug)]
 pub struct ServedFrame {
-    /// Which session the frame belongs to (id from
-    /// [`RenderServer::add_session`]).
+    /// Which session the frame belongs to (dense id, equal to
+    /// [`ServedFrame::handle`]`.id()`).
     pub session: usize,
+    /// Typed handle of the owning session — usable with
+    /// [`RenderServer::close`] and [`RenderServer::session_stats`].
+    pub handle: SessionHandle,
     /// The frame itself. `report.index` is the frame's position on *its
     /// session's* path; `report.boundary_reconfiguration` is true when
     /// the accelerator switched mode entering this frame from the
@@ -92,6 +156,9 @@ struct SessionState {
 /// Scheduler-side bookkeeping for one session.
 struct SessionSlot {
     state: Arc<Mutex<SessionState>>,
+    /// Pipeline family (cached from the renderer; policies and the
+    /// boundary meter consume it without locking the state).
+    pipeline: Pipeline,
     /// Total frames on the session's path.
     len: usize,
     /// Frames dispatched to lanes so far.
@@ -99,7 +166,25 @@ struct SessionSlot {
     /// Whether a dispatched frame has not been delivered yet (at most
     /// one — the invariant that keeps per-session pools at 1 buffer).
     in_flight: bool,
+    /// First schedule slot at which the session participates (staged
+    /// mid-serve admissions activate once the schedule reaches it).
+    active_from: usize,
+    /// Whether the session has joined the schedule.
+    active: bool,
+    /// Schedule slot at which a staged close takes effect, if any.
+    closed_from: Option<usize>,
+    /// Whether the close has been applied (no further frames scheduled).
+    closed: bool,
+    /// Tick of the session's most recently scheduled frame.
+    last_scheduled: Option<u64>,
     stats: SessionStats,
+}
+
+impl SessionSlot {
+    /// Whether the scheduler may still dispatch frames of this session.
+    fn schedulable(&self) -> bool {
+        self.active && !self.closed && self.scheduled < self.len
+    }
 }
 
 /// A frame dispatched to a lane, awaiting in-order delivery.
@@ -116,18 +201,23 @@ struct Pending {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use uni_engine::{CameraPath, RenderServer, SessionRequest};
+/// use uni_engine::{CameraPath, RenderServer, SessionRequest, WeightedFair};
 /// use uni_renderers::{MeshPipeline, MlpPipeline};
 /// use uni_scene::SceneSpec;
 ///
 /// let spec = SceneSpec::demo("server-doc", 5).with_detail(0.03);
 /// let scene = Arc::new(spec.bake());
-/// let mut server = RenderServer::new(Arc::clone(&scene));
-/// server.add_session(SessionRequest::new(
-///     Box::new(MeshPipeline::default()),
-///     CameraPath::orbit(spec.orbit(32, 24), 2),
-/// ));
-/// server.add_session(SessionRequest::new(
+/// let mut server = RenderServer::new(Arc::clone(&scene))
+///     .with_policy(WeightedFair::new());
+/// let alice = server.admit(
+///     SessionRequest::new(
+///         Box::new(MeshPipeline::default()),
+///         CameraPath::orbit(spec.orbit(32, 24), 2),
+///     )
+///     .weight(3)
+///     .label("alice"),
+/// );
+/// let bob = server.admit(SessionRequest::new(
 ///     Box::new(MlpPipeline::default()),
 ///     CameraPath::orbit(spec.orbit(16, 12), 2),
 /// ));
@@ -136,19 +226,28 @@ struct Pending {
 ///     server.recycle(session, frame.report.image);
 /// }
 /// assert_eq!(server.summary().scheduled_frames, 4);
+/// let stats = server.session_stats(alice).expect("alice served");
+/// assert_eq!(stats.weight, 3);
+/// assert_eq!(stats.label.as_deref(), Some("alice"));
+/// assert_eq!(server.session_stats(bob).expect("bob served").frames, 2);
 /// ```
 pub struct RenderServer {
     scene: Arc<BakedScene>,
     accel: Option<Arc<Accelerator>>,
     sessions: Vec<SessionSlot>,
+    policy: Box<dyn SchedulePolicy>,
+    lookahead: usize,
     lanes_requested: usize,
     lane_pool: Option<LanePool>,
-    /// Next session id the round-robin cursor considers.
-    rr: usize,
-    /// Monotone dispatch counter (assigns lanes round-robin too).
-    dispatched: usize,
+    /// Schedule slots assigned so far (the next slot's index).
+    ticks: u64,
+    /// Session / pipeline scheduled at the previous tick.
+    last_session: Option<usize>,
+    last_pipeline: Option<Pipeline>,
     pending: VecDeque<Pending>,
     delivered: usize,
+    admissions: u64,
+    closes: u64,
     boundary: BoundaryMeter,
     total_cycles: u64,
     total_seconds: f64,
@@ -156,7 +255,9 @@ pub struct RenderServer {
 }
 
 impl RenderServer {
-    /// Creates a server over `scene` with no sessions yet.
+    /// Creates a server over `scene` with no sessions yet, scheduling
+    /// strict [`RoundRobin`] (the original contract) until
+    /// [`RenderServer::with_policy`] says otherwise.
     ///
     /// `scene` accepts an owned [`BakedScene`] or a shared
     /// `Arc<BakedScene>`; either way every session renders the same
@@ -166,12 +267,17 @@ impl RenderServer {
             scene: scene.into(),
             accel: None,
             sessions: Vec::new(),
+            policy: Box::new(RoundRobin::new()),
+            lookahead: DEFAULT_LOOKAHEAD,
             lanes_requested: uni_parallel::worker_count(),
             lane_pool: None,
-            rr: 0,
-            dispatched: 0,
+            ticks: 0,
+            last_session: None,
+            last_pipeline: None,
             pending: VecDeque::new(),
             delivered: 0,
+            admissions: 0,
+            closes: 0,
             boundary: BoundaryMeter::new(),
             total_cycles: 0,
             total_seconds: 0.0,
@@ -187,9 +293,26 @@ impl RenderServer {
         self
     }
 
+    /// Replaces the scheduling policy (default: [`RoundRobin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after serving has started — the policy is part
+    /// of the deterministic schedule and cannot change mid-stream.
+    pub fn with_policy(mut self, policy: impl SchedulePolicy + 'static) -> Self {
+        assert!(
+            self.ticks == 0,
+            "scheduling policy must be set before serving starts"
+        );
+        self.policy = Box::new(policy);
+        self
+    }
+
     /// Overrides the worker-lane count (default:
-    /// [`uni_parallel::worker_count`]). Lane count never affects
-    /// delivered images or accounting — only execution overlap.
+    /// [`uni_parallel::worker_count`]). Requests are clamped to at least
+    /// one lane — `with_lanes(0)` serves inline rather than panicking on
+    /// first dispatch. Lane count never affects delivered images or
+    /// accounting — only execution overlap.
     ///
     /// # Panics
     ///
@@ -203,24 +326,123 @@ impl RenderServer {
         self
     }
 
-    /// Registers a camera stream and returns its session id (ids are
-    /// dense, in registration order).
+    /// Overrides the dispatch lookahead (default [`DEFAULT_LOOKAHEAD`];
+    /// clamped to ≥ 1): the most frames the server schedules beyond the
+    /// delivered prefix, and therefore how many delivered frames pass
+    /// before a mid-serve [`admit`](RenderServer::admit) /
+    /// [`close`](RenderServer::close) takes effect.
+    ///
+    /// The lookahead is part of the *deterministic* schedule contract:
+    /// derive it from workload shape if you must, never from thread or
+    /// core counts, or churn timing will stop being reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after serving has started.
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        assert!(
+            self.ticks == 0,
+            "lookahead must be set before serving starts"
+        );
+        self.lookahead = lookahead.max(1);
+        self
+    }
+
+    /// Registers a camera stream and returns its dense session id.
+    ///
+    /// Equivalent to `admit(request).id()` — kept for callers of the
+    /// pre-handle API. New code should prefer
+    /// [`admit`](RenderServer::admit), which returns a typed
+    /// [`SessionHandle`].
     pub fn add_session(&mut self, request: SessionRequest) -> usize {
+        self.admit(request).id()
+    }
+
+    /// Admits a camera stream and returns its [`SessionHandle`]. Legal
+    /// at any time, including **mid-serve**.
+    ///
+    /// Before the first frame is scheduled, admission is immediate. Once
+    /// serving has started, the session is *staged*: it joins the
+    /// schedule at a deterministic slot — the current delivered-frame
+    /// count plus the dispatch window (`min(lookahead,
+    /// policy.max_in_flight())`) — and its first scheduled frame is
+    /// charged through the boundary meter like any other schedule entry
+    /// (entering it from a different pipeline pays one reconfiguration).
+    /// Keying activation to *delivered* frames (never to how far lanes
+    /// ran ahead) is what keeps mid-serve admission bit-deterministic at
+    /// any thread count. If the schedule drains before the activation
+    /// slot is reached, staged sessions join at the drain point instead
+    /// of being lost.
+    pub fn admit(&mut self, request: SessionRequest) -> SessionHandle {
         let id = self.sessions.len();
-        let pipeline = request.renderer.pipeline();
+        let mid_serve = self.ticks > 0;
+        let active_from = if mid_serve {
+            self.delivered + self.window_limit()
+        } else {
+            0
+        };
+        if mid_serve {
+            self.admissions += 1;
+        }
+        let SessionRequest {
+            renderer,
+            path,
+            weight,
+            priority,
+            label,
+        } = request;
+        let pipeline = renderer.pipeline();
+        let mut stats = SessionStats::new(id, pipeline);
+        stats.weight = weight;
+        stats.priority = priority;
+        stats.label = label;
         self.sessions.push(SessionSlot {
-            len: request.path.len(),
+            len: path.len(),
             state: Arc::new(Mutex::new(SessionState {
-                renderer: request.renderer,
-                path: request.path,
+                renderer,
+                path,
                 pool: FramePool::new(),
                 replay: ReplayScratch::default(),
             })),
+            pipeline,
             scheduled: 0,
             in_flight: false,
-            stats: SessionStats::new(id, pipeline),
+            active_from,
+            active: !mid_serve,
+            closed_from: None,
+            closed: false,
+            last_scheduled: None,
+            stats,
         });
-        id
+        SessionHandle(id)
+    }
+
+    /// Closes a session early: no further frames of it are scheduled
+    /// once the close takes effect, at the same deterministic slot rule
+    /// as [`admit`](RenderServer::admit) (delivered count + dispatch
+    /// window). Frames scheduled before that slot are still delivered
+    /// and accounted normally.
+    ///
+    /// Returns `false` — and stages nothing — when the handle is
+    /// unknown, the session is already closed (or has a close staged),
+    /// or every frame of its path is already scheduled (nothing left to
+    /// cancel).
+    pub fn close(&mut self, handle: SessionHandle) -> bool {
+        let mid_serve = self.ticks > 0;
+        let closed_from = if mid_serve {
+            self.delivered + self.window_limit()
+        } else {
+            0
+        };
+        let Some(slot) = self.sessions.get_mut(handle.0) else {
+            return false;
+        };
+        if slot.closed || slot.closed_from.is_some() || slot.scheduled >= slot.len {
+            return false;
+        }
+        slot.closed_from = Some(closed_from);
+        self.closes += 1;
+        true
     }
 
     /// The scene every session shares.
@@ -233,35 +455,65 @@ impl RenderServer {
         Arc::clone(&self.scene)
     }
 
-    /// Number of registered sessions.
+    /// Number of admitted sessions (including staged and closed ones).
     pub fn session_count(&self) -> usize {
         self.sessions.len()
     }
 
-    /// Frames not yet delivered, across all sessions.
+    /// Machine-readable name of the active scheduling policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Frames not yet delivered, across all sessions. While a staged
+    /// close is pending this is an upper bound (frames it will cancel
+    /// are still counted); once applied the count is exact.
     pub fn remaining(&self) -> usize {
-        let total: usize = self.sessions.iter().map(|s| s.len).sum();
+        let total: usize = self
+            .sessions
+            .iter()
+            .map(|s| if s.closed { s.scheduled } else { s.len })
+            .sum();
         total - self.delivered
     }
 
-    /// Returns a delivered frame's buffer to its session's pool. Recycle
-    /// every frame before asking for the next one and each session's
-    /// pool stays at a single allocation for its whole stream.
+    /// Statistics for one session: its delivered share of the schedule
+    /// so far. `None` for unknown handles.
+    pub fn session_stats(&self, handle: SessionHandle) -> Option<SessionStats> {
+        self.sessions
+            .get(handle.0)
+            .map(|slot| self.slot_stats(slot))
+    }
+
+    /// Returns a delivered frame's buffer to its session's pool, and
+    /// reports whether the pool took it. Recycle every frame before
+    /// asking for the next one and each session's pool stays at a single
+    /// allocation for its whole stream.
     ///
-    /// # Panics
-    ///
-    /// Panics when `session` is not a registered id.
-    pub fn recycle(&mut self, session: usize, image: Image) {
-        self.sessions[session]
-            .state
+    /// The pool *refuses* buffers that could never be reused — unknown
+    /// session ids, sessions whose every frame is already scheduled, and
+    /// closed sessions — returning `false` instead of silently crediting
+    /// a finished stream's pool (the buffer is dropped). Recycling the
+    /// final frame of a drained session therefore returns `false`; that
+    /// is harmless and expected.
+    pub fn recycle(&mut self, session: usize, image: Image) -> bool {
+        let Some(slot) = self.sessions.get_mut(session) else {
+            return false;
+        };
+        if slot.closed || slot.scheduled >= slot.len {
+            return false;
+        }
+        slot.state
             .lock()
             .expect("session state")
             .pool
             .release(image);
+        true
     }
 
-    /// Delivers the next frame of the round-robin schedule, or `None`
-    /// once every session's path is exhausted.
+    /// Delivers the next frame of the schedule, or `None` once every
+    /// session's path is exhausted (staged admissions are activated
+    /// rather than abandoned, so `None` really means *nothing left*).
     ///
     /// Rendering (and simulation) of upcoming frames overlaps on the
     /// worker lanes, but delivery and accounting strictly follow the
@@ -282,7 +534,11 @@ impl RenderServer {
             };
             let slot = &mut self.sessions[session];
             let avoided_before = self.boundary.avoided();
-            if self.boundary.observe(first, last) {
+            // Pipeline-aware boundary metering: crossing renderers always
+            // reconfigures (the device swaps pipeline configuration);
+            // same-renderer boundaries pay only when the micro-operator
+            // families differ. Coalescing policies amortize the former.
+            if self.boundary.observe_for(slot.pipeline, first, last) {
                 // The schedule pays the switch into this frame; charge it
                 // to the aggregate and attribute it to the entering
                 // session.
@@ -311,6 +567,7 @@ impl RenderServer {
 
         Some(ServedFrame {
             session,
+            handle: SessionHandle(session),
             report: FrameReport {
                 index: pending.index,
                 camera: rendered.camera,
@@ -334,20 +591,19 @@ impl RenderServer {
 
     /// Statistics over everything delivered so far: per-session stats in
     /// session-id order plus schedule-level aggregates (always
-    /// [consistent](ServerSummary::is_consistent)).
+    /// [consistent](ServerSummary::is_consistent)), the policy name, and
+    /// the mid-serve admission / close event counts.
     pub fn summary(&self) -> ServerSummary {
         let per_session: Vec<SessionStats> = self
             .sessions
             .iter()
-            .map(|slot| {
-                let mut stats = slot.stats.clone();
-                stats.framebuffer_allocations =
-                    slot.state.lock().expect("session state").pool.allocations();
-                stats
-            })
+            .map(|slot| self.slot_stats(slot))
             .collect();
         ServerSummary {
             per_session,
+            policy: self.policy.name().to_string(),
+            admissions: self.admissions,
+            closes: self.closes,
             scheduled_frames: self.delivered,
             total_cycles: self.total_cycles,
             total_seconds: self.total_seconds,
@@ -357,47 +613,128 @@ impl RenderServer {
         }
     }
 
+    /// One slot's stats, completed with the pool's allocation counter.
+    fn slot_stats(&self, slot: &SessionSlot) -> SessionStats {
+        let mut stats = slot.stats.clone();
+        stats.framebuffer_allocations =
+            slot.state.lock().expect("session state").pool.allocations();
+        stats
+    }
+
+    /// The lane-invariant dispatch bound: how many frames may be
+    /// scheduled beyond the delivered prefix, and how many delivered
+    /// frames pass before staged churn activates. Never derived from the
+    /// lane count — that is the whole point.
+    fn window_limit(&self) -> usize {
+        self.lookahead.min(self.policy.max_in_flight()).max(1)
+    }
+
+    /// Activates staged admissions and applies staged closes whose slot
+    /// has been reached; returns whether anything changed. The drain
+    /// fast-forward passes `usize::MAX` to apply everything staged
+    /// immediately (the drain point is itself schedule-determined, so
+    /// that stays deterministic).
+    fn apply_staged(&mut self, slot_index: usize) -> bool {
+        let mut changed = false;
+        for slot in &mut self.sessions {
+            if !slot.active && slot.active_from <= slot_index {
+                slot.active = true;
+                changed = true;
+            }
+            if let Some(at) = slot.closed_from {
+                if !slot.closed && at <= slot_index {
+                    slot.closed = true;
+                    if slot.scheduled < slot.len {
+                        slot.stats.closed_early = true;
+                    }
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Snapshot of every schedulable session, in id order — what the
+    /// policy decides over.
+    fn views(&self) -> Vec<SessionView> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.schedulable())
+            .map(|(id, slot)| SessionView {
+                session: id,
+                pipeline: slot.pipeline,
+                remaining: slot.len - slot.scheduled,
+                weight: slot.stats.weight,
+                priority: slot.stats.priority,
+                delivered: slot.stats.frames,
+                sim_seconds: slot.stats.seconds,
+                last_scheduled: slot.last_scheduled,
+            })
+            .collect()
+    }
+
     /// Dispatches upcoming schedule entries to worker lanes until the
-    /// lanes are saturated, the schedule is exhausted, or the next entry
-    /// belongs to a session whose previous frame is still undelivered
-    /// (the schedule never skips ahead — determinism over throughput).
+    /// dispatch window is full, the schedule is exhausted, or the policy
+    /// picks a session whose previous frame is still undelivered (the
+    /// schedule never skips ahead — determinism over throughput).
     fn fill_lanes(&mut self) {
         if self.lane_pool.is_none() {
             self.lane_pool = Some(LanePool::new(self.lanes_requested));
         }
-        let n = self.sessions.len();
-        if n == 0 {
-            return;
-        }
-        let pool = self.lane_pool.as_ref().expect("lane pool created above");
-        let capacity = pool.lanes();
-        while self.pending.len() < capacity {
-            // The next schedule entry: first session at or after the
-            // round-robin cursor with frames left to dispatch.
-            let mut next = None;
-            for step in 0..n {
-                let sid = (self.rr + step) % n;
-                if self.sessions[sid].scheduled < self.sessions[sid].len {
-                    next = Some(sid);
-                    break;
+        let window = {
+            let pool = self.lane_pool.as_ref().expect("lane pool created above");
+            pool.lanes().min(self.window_limit())
+        };
+        while self.pending.len() < window {
+            let slot_index = self.ticks as usize;
+            self.apply_staged(slot_index);
+            let views = self.views();
+            let pick = if views.is_empty() {
+                None
+            } else {
+                let ctx = ScheduleContext {
+                    tick: self.ticks,
+                    last_session: self.last_session,
+                    last_pipeline: self.last_pipeline,
+                };
+                self.policy.pick(&ctx, &views)
+            };
+            let Some(sid) = pick else {
+                // Nothing runnable. If the schedule has drained while
+                // churn is still staged, bring it in now instead of
+                // ending the stream with sessions stranded.
+                if self.pending.is_empty() && self.apply_staged(usize::MAX) {
+                    continue;
                 }
-            }
-            let Some(sid) = next else { break };
-            if self.sessions[sid].in_flight {
+                break;
+            };
+            let valid = views.iter().any(|v| v.session == sid);
+            debug_assert!(valid, "policy picked an unschedulable session {sid}");
+            if !valid {
                 break;
             }
+            if self.sessions[sid].in_flight {
+                // The policy insists on a session mid-delivery: wait for
+                // it rather than reordering the schedule.
+                break;
+            }
+
+            let tick = self.ticks;
+            self.ticks += 1;
             let slot = &mut self.sessions[sid];
             let index = slot.scheduled;
             slot.scheduled += 1;
             slot.in_flight = true;
-            self.rr = (sid + 1) % n;
+            slot.last_scheduled = Some(tick);
+            self.last_session = Some(sid);
+            self.last_pipeline = Some(slot.pipeline);
 
             let state = Arc::clone(&slot.state);
             let scene = Arc::clone(&self.scene);
             let accel = self.accel.clone();
-            let lane = self.dispatched % capacity;
-            self.dispatched += 1;
-            let ticket = pool.submit(lane, move || {
+            let pool = self.lane_pool.as_ref().expect("lane pool created above");
+            let ticket = pool.submit_at(tick, move || {
                 let mut guard = state.lock().expect("session state");
                 let state = &mut *guard;
                 let camera = state.path.camera(index);
@@ -430,6 +767,7 @@ impl RenderServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::{Priority, WeightedFair};
     use uni_core::AcceleratorConfig;
     use uni_renderers::{MeshPipeline, MlpPipeline};
     use uni_scene::SceneSpec;
@@ -480,6 +818,7 @@ mod tests {
         let summary = server.run();
         assert_eq!(summary.scheduled_frames, 9);
         assert!(summary.is_consistent());
+        assert_eq!(summary.policy, "round_robin");
         for stats in &summary.per_session {
             assert_eq!(stats.frames, 3);
             assert_eq!(
@@ -510,5 +849,153 @@ mod tests {
             server.run()
         };
         assert_eq!(serve(1), serve(4));
+    }
+
+    #[test]
+    fn zero_lane_request_serves_inline() {
+        // Regression: `with_lanes(0)` must clamp to one inline lane, not
+        // build an empty pool that panics on first dispatch.
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene).with_lanes(0);
+        server.add_session(SessionRequest::new(
+            Box::new(MeshPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 2),
+        ));
+        let summary = server.run();
+        assert_eq!(summary.scheduled_frames, 2);
+    }
+
+    #[test]
+    fn recycle_reports_whether_the_pool_took_the_buffer() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene).with_lanes(1);
+        server.add_session(SessionRequest::new(
+            Box::new(MeshPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 2),
+        ));
+        let first = server.next_frame().expect("frame 0");
+        assert!(
+            server.recycle(first.session, first.report.image),
+            "mid-stream recycle is accepted"
+        );
+        let last = server.next_frame().expect("frame 1");
+        assert!(
+            !server.recycle(last.session, last.report.image),
+            "a finished session's pool refuses the buffer"
+        );
+        // Out-of-range ids are refused, not a panic.
+        assert!(!server.recycle(99, Image::empty()));
+    }
+
+    #[test]
+    fn mid_serve_admission_joins_at_a_deterministic_slot() {
+        let (scene, spec) = scene_and_spec();
+        let serve = |lanes: usize| {
+            let mut server = RenderServer::new(Arc::clone(&scene))
+                .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+                .with_lanes(lanes)
+                .with_lookahead(3);
+            server.add_session(SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(20, 14), 4),
+            ));
+            server.add_session(SessionRequest::new(
+                Box::new(MlpPipeline::default()),
+                CameraPath::orbit(spec.orbit(16, 12), 4),
+            ));
+            let mut order = Vec::new();
+            let mut late = None;
+            while let Some(frame) = server.next_frame() {
+                order.push((frame.session, frame.report.index));
+                server.recycle(frame.session, frame.report.image);
+                if order.len() == 2 {
+                    late = Some(
+                        server.admit(
+                            SessionRequest::new(
+                                Box::new(MeshPipeline::default()),
+                                CameraPath::orbit(spec.orbit(16, 12), 2),
+                            )
+                            .label("late"),
+                        ),
+                    );
+                }
+            }
+            let late = late.expect("admitted");
+            let stats = server.session_stats(late).expect("late session stats");
+            assert_eq!(stats.frames, 2, "staged admission is served, not lost");
+            assert_eq!(stats.label.as_deref(), Some("late"));
+            let summary = server.summary();
+            assert_eq!(summary.admissions, 1);
+            assert!(summary.is_consistent());
+            (order, summary)
+        };
+        assert_eq!(serve(1), serve(4), "churn timing is lane-invariant");
+    }
+
+    #[test]
+    fn close_cancels_unscheduled_frames_only() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(Arc::clone(&scene))
+            .with_lanes(1)
+            .with_lookahead(2);
+        let victim = server.admit(SessionRequest::new(
+            Box::new(MeshPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 12),
+        ));
+        let other = server.admit(SessionRequest::new(
+            Box::new(MlpPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 3),
+        ));
+        let first = server.next_frame().expect("frame");
+        server.recycle(first.session, first.report.image);
+        assert!(server.close(victim), "open session accepts a close");
+        assert!(!server.close(victim), "double close is refused");
+        assert!(!server.close(SessionHandle(42)), "unknown handle refused");
+        let mut delivered = [0usize; 2];
+        while let Some(frame) = server.next_frame() {
+            delivered[frame.session] += 1;
+            server.recycle(frame.session, frame.report.image);
+        }
+        let victim_stats = server.session_stats(victim).expect("victim stats");
+        assert!(victim_stats.closed_early);
+        assert!(
+            victim_stats.frames < 12,
+            "close cancelled the tail of the path"
+        );
+        assert_eq!(server.session_stats(other).expect("other").frames, 3);
+        assert_eq!(server.summary().closes, 1);
+        assert_eq!(server.remaining(), 0);
+    }
+
+    #[test]
+    fn weighted_fair_and_priority_policies_report_their_names() {
+        let (scene, spec) = scene_and_spec();
+        let serve = |policy_server: RenderServer| {
+            let mut server = policy_server;
+            server.add_session(
+                SessionRequest::new(
+                    Box::new(MeshPipeline::default()),
+                    CameraPath::orbit(spec.orbit(16, 12), 2),
+                )
+                .weight(2)
+                .priority(3),
+            );
+            server.run()
+        };
+        let wf = serve(
+            RenderServer::new(Arc::clone(&scene))
+                .with_policy(WeightedFair::new())
+                .with_lanes(1),
+        );
+        assert_eq!(wf.policy, "weighted_fair");
+        assert_eq!(wf.per_session[0].weight, 2);
+        assert_eq!(wf.per_session[0].priority, 3);
+        let pr = serve(
+            RenderServer::new(Arc::clone(&scene))
+                .with_policy(Priority::new())
+                .with_lanes(1),
+        );
+        assert_eq!(pr.policy, "priority");
+        assert_eq!(pr.scheduled_frames, 2);
     }
 }

@@ -36,6 +36,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BoundaryMeter {
     last: Option<MicroOp>,
+    /// Pipeline of the most recent non-empty frame, when the caller
+    /// meters pipeline-aware boundaries ([`BoundaryMeter::observe_for`]).
+    last_pipeline: Option<Pipeline>,
     switches: u64,
     avoided: u64,
 }
@@ -48,6 +51,13 @@ impl BoundaryMeter {
 
     /// Observes the next scheduled frame's boundary families and returns
     /// whether entering it required a mode switch.
+    ///
+    /// Pipeline-agnostic: two frames chain for free whenever their
+    /// boundary families match, whichever renderers produced them. This
+    /// is the single-stream model ([`crate::Trace`]s of one renderer) —
+    /// multi-renderer schedules should use
+    /// [`BoundaryMeter::observe_for`], which also charges the pipeline
+    /// switch itself.
     pub fn observe(&mut self, first: Option<MicroOp>, last: Option<MicroOp>) -> bool {
         let switched = match (self.last, first) {
             (Some(prev), Some(first)) if prev == first => {
@@ -60,6 +70,44 @@ impl BoundaryMeter {
             }
             _ => false,
         };
+        self.last = last.or(self.last);
+        switched
+    }
+
+    /// Observes the next scheduled frame's boundary families *and its
+    /// pipeline*, returning whether entering it required a
+    /// reconfiguration.
+    ///
+    /// The accelerator is configured per renderer: crossing from one
+    /// pipeline family to another at a schedule boundary always pays a
+    /// reconfiguration (dataflow and parameter layout change even when
+    /// the two traces happen to touch the same micro-operator at the
+    /// seam). A boundary between two frames of the *same* pipeline pays
+    /// only when the micro-operator families differ — which is exactly
+    /// what switch-coalescing schedules amortize by batching
+    /// same-pipeline frames. The first observed frame is free; empty
+    /// traces neither pay nor avoid and leave both memories untouched.
+    pub fn observe_for(
+        &mut self,
+        pipeline: Pipeline,
+        first: Option<MicroOp>,
+        last: Option<MicroOp>,
+    ) -> bool {
+        let switched = match (self.last, first) {
+            (Some(prev), Some(first)) => {
+                if prev == first && self.last_pipeline == Some(pipeline) {
+                    self.avoided += 1;
+                    false
+                } else {
+                    self.switches += 1;
+                    true
+                }
+            }
+            _ => false,
+        };
+        if first.is_some() || last.is_some() {
+            self.last_pipeline = Some(pipeline);
+        }
         self.last = last.or(self.last);
         switched
     }
@@ -88,10 +136,21 @@ impl BoundaryMeter {
 /// One session's (one camera stream's) share of a served schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionStats {
-    /// Server-assigned session id (index in submission order).
+    /// Server-assigned session id (index in admission order).
     pub session: usize,
     /// The pipeline family this session renders with.
     pub pipeline: Pipeline,
+    /// Fair-share weight the session was admitted with (≥ 1; consumed by
+    /// weighted-fair scheduling policies).
+    pub weight: u32,
+    /// Priority level the session was admitted with (higher wins under
+    /// priority scheduling policies).
+    pub priority: u8,
+    /// Optional human-readable label from the session request.
+    pub label: Option<String>,
+    /// Whether the session was closed early (cancelled before its path
+    /// finished); its counters then cover only the delivered prefix.
+    pub closed_early: bool,
     /// Frames of this session the server has delivered.
     pub frames: usize,
     /// Simulated cycles attributed to this session, including the
@@ -113,11 +172,16 @@ pub struct SessionStats {
 }
 
 impl SessionStats {
-    /// A zeroed record for session `session` rendering `pipeline`.
+    /// A zeroed record for session `session` rendering `pipeline`, with
+    /// default scheduling attributes (weight 1, priority 0, no label).
     pub fn new(session: usize, pipeline: Pipeline) -> Self {
         Self {
             session,
             pipeline,
+            weight: 1,
+            priority: 0,
+            label: None,
+            closed_early: false,
             frames: 0,
             cycles: 0,
             seconds: 0.0,
@@ -153,6 +217,15 @@ impl SessionStats {
 pub struct ServerSummary {
     /// Per-session statistics, in session-id order.
     pub per_session: Vec<SessionStats>,
+    /// Machine-readable name of the scheduling policy that produced the
+    /// schedule (e.g. `"round_robin"`, `"weighted_fair"`, `"priority"`;
+    /// empty when unknown).
+    pub policy: String,
+    /// Sessions admitted after serving started (mid-serve admission
+    /// events — registrations before the first frame don't count).
+    pub admissions: u64,
+    /// Sessions closed early (cancelled before their paths finished).
+    pub closes: u64,
     /// Frames delivered across all sessions, in schedule order.
     pub scheduled_frames: usize,
     /// Simulated cycles across the whole schedule.
@@ -186,6 +259,33 @@ impl ServerSummary {
         } else {
             self.total_reconfigurations() as f64 / self.scheduled_frames as f64
         }
+    }
+
+    /// The fraction of total simulated time consumed by `session`
+    /// (including boundary reconfigurations charged to it); 0 when the
+    /// session is unknown or nothing was simulated. This is the quantity
+    /// fair-share policies equalize per unit weight.
+    pub fn sim_time_share(&self, session: usize) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.session(session)
+            .map_or(0.0, |s| s.seconds / self.total_seconds)
+    }
+
+    /// Per-session sim-time shares, in `per_session` order (all zeros
+    /// when nothing was simulated).
+    pub fn sim_time_shares(&self) -> Vec<f64> {
+        self.per_session
+            .iter()
+            .map(|s| {
+                if self.total_seconds > 0.0 {
+                    s.seconds / self.total_seconds
+                } else {
+                    0.0
+                }
+            })
+            .collect()
     }
 
     /// Simulated schedule throughput (frames per simulated second); 0
@@ -248,6 +348,26 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_aware_meter_charges_renderer_switches() {
+        let mut m = BoundaryMeter::new();
+        // First frame free.
+        assert!(!m.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        // Same pipeline, matching families: amortized.
+        assert!(!m.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        // Different pipeline, even with matching families at the seam:
+        // the device swaps renderer configuration — charged.
+        assert!(m.observe_for(Pipeline::Mlp, Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        // Same pipeline but mismatched families: still a mode switch.
+        assert!(m.observe_for(Pipeline::Mlp, Some(MicroOp::Sorting), Some(MicroOp::Gemm)));
+        assert_eq!(m.switches(), 2);
+        assert_eq!(m.avoided(), 1);
+        // Empty frames leave the pipeline memory untouched too.
+        assert!(!m.observe_for(Pipeline::Mesh, None, None));
+        assert!(!m.observe_for(Pipeline::Mlp, Some(MicroOp::Gemm), Some(MicroOp::Gemm)));
+        assert_eq!(m.avoided(), 2, "mlp -> mlp across the empty frame");
+    }
+
+    #[test]
     fn meter_skips_empty_frames_without_forgetting_the_mode() {
         let mut m = BoundaryMeter::new();
         m.observe(Some(MicroOp::Sorting), Some(MicroOp::Sorting));
@@ -274,6 +394,9 @@ mod tests {
         b.boundary_switches_avoided = 2;
         let summary = ServerSummary {
             per_session: vec![a, b],
+            policy: "round_robin".to_string(),
+            admissions: 1,
+            closes: 0,
             scheduled_frames: 5,
             total_cycles: 150,
             total_seconds: 1.5,
@@ -286,6 +409,11 @@ mod tests {
         assert!((summary.reconfigurations_per_frame() - 0.2).abs() < 1e-12);
         assert!((summary.mean_fps() - 5.0 / 1.5).abs() < 1e-12);
         assert_eq!(summary.session(1).unwrap().pipeline, Pipeline::Gaussian3d);
+        assert!((summary.sim_time_share(0) - 1.0 / 1.5).abs() < 1e-12);
+        assert!((summary.sim_time_share(1) - 0.5 / 1.5).abs() < 1e-12);
+        assert_eq!(summary.sim_time_share(9), 0.0, "unknown session");
+        let shares = summary.sim_time_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
 
         let mut broken = summary.clone();
         broken.total_cycles = 151;

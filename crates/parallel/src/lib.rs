@@ -147,6 +147,20 @@ impl LanePool {
             inner: TicketInner::Pending(rx),
         }
     }
+
+    /// Submits `job` at schedule slot `tick`: the lane is
+    /// `tick % self.lanes()`, so lane assignment is a pure function of
+    /// the *schedule order*, never of submission timing or arrival
+    /// interleaving. Frame servers use this so the lane a frame runs on —
+    /// and therefore per-lane FIFO ordering — is reproducible from the
+    /// schedule alone at any thread count.
+    pub fn submit_at<R, F>(&self, tick: u64, job: F) -> Ticket<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.submit((tick % self.lanes() as u64) as usize, job)
+    }
 }
 
 impl Drop for LanePool {
@@ -375,6 +389,33 @@ mod tests {
         let pool = LanePool::new(0);
         assert_eq!(pool.lanes(), 1);
         assert_eq!(pool.submit(7, || 42).wait(), 42);
+    }
+
+    #[test]
+    fn zero_lane_pool_serves_a_whole_submission_stream() {
+        // Regression: a zero-lane request must behave as a one-lane pool
+        // for arbitrarily many submissions (a server built
+        // `with_lanes(0)` schedules through it for its whole run), not
+        // panic on first submit against an empty lane vector.
+        let pool = LanePool::new(0);
+        let tickets: Vec<Ticket<usize>> = (0..32)
+            .map(|i| pool.submit_at(i as u64, move || i + 1))
+            .collect();
+        let results: Vec<usize> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(results, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submit_at_assigns_lanes_by_schedule_tick() {
+        let pool = LanePool::new(2);
+        // Same tick stream, regardless of how calls interleave in time,
+        // lands on the same lanes: per-lane FIFO makes results ordered by
+        // submission within a lane, and `wait` order recovers tick order.
+        let tickets: Vec<Ticket<u64>> = (0..10u64)
+            .map(|t| pool.submit_at(t, move || t * 3))
+            .collect();
+        let results: Vec<u64> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(results, (0..10).map(|t| t * 3).collect::<Vec<_>>());
     }
 
     #[test]

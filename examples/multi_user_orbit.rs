@@ -1,13 +1,17 @@
 //! Multi-user serving scenario: one Uni-Render accelerator, one baked
 //! scene, four concurrent "users" — each its own camera orbit,
-//! resolution, and pipeline choice — served through a [`RenderServer`].
+//! resolution, pipeline choice, and fair-share weight — served through a
+//! [`RenderServer`] under the [`WeightedFair`] scheduling policy, with
+//! session churn mid-serve: a fifth user is **admitted** while frames
+//! are streaming and one of the original users is **closed** early.
 //!
-//! The server shares the scene behind an `Arc` (no per-user copies),
-//! schedules user frames round-robin across persistent worker lanes, and
-//! charges a PE-array reconfiguration whenever consecutively scheduled
-//! frames switch renderer families — the cross-renderer cost a unified
-//! accelerator pays for serving a *mixed* population, amortized wherever
-//! neighbouring frames happen to agree.
+//! The server shares the scene behind an `Arc` (no per-user copies) and
+//! schedules whichever backlogged user has consumed the least simulated
+//! accelerator time per unit weight — so sim-time shares track weights
+//! while users stay backlogged. Crossing renderers at a schedule
+//! boundary charges a PE-array reconfiguration; admission and close take
+//! effect at deterministic tick boundaries, so the whole served stream
+//! is bit-reproducible at any `UNI_RENDER_THREADS`.
 //!
 //! Delivery is deterministic: the example proves it by re-rendering one
 //! user's stream with a standalone [`RenderSession`] and asserting every
@@ -23,10 +27,12 @@ use uni_render::scene::SceneFlavor;
 
 const FRAMES: usize = 6;
 
-/// Display name, pipeline, resolution, and orbit start angle of a user.
-type User = (&'static str, Box<dyn Renderer + Send>, (u32, u32), f32);
+/// Display name, pipeline, resolution, orbit start angle, and
+/// fair-share weight of a user.
+type User = (&'static str, Box<dyn Renderer + Send>, (u32, u32), f32, u32);
 
-/// The four users: pipeline, resolution, orbit start angle.
+/// The four initial users. Bob carries twice alice's weight, dave four
+/// times — the fair-share policy will mirror those ratios in sim-time.
 fn users() -> Vec<User> {
     vec![
         (
@@ -34,26 +40,41 @@ fn users() -> Vec<User> {
             Box::new(GaussianPipeline::default()),
             (256, 192),
             0.0,
+            1,
         ),
         (
             "bob (mesh)",
             Box::new(MeshPipeline::default()),
             (320, 240),
             1.3,
+            2,
         ),
         (
             "carol (hash-grid)",
             Box::new(HashGridPipeline::default()),
             (192, 144),
             2.6,
+            1,
         ),
         (
             "dave (mlp)",
             Box::new(MlpPipeline::default()),
             (128, 96),
             3.9,
+            4,
         ),
     ]
+}
+
+/// The late joiner, admitted mid-serve.
+fn late_user() -> User {
+    (
+        "erin (low-rank)",
+        Box::new(LowRankPipeline::default()),
+        (160, 120),
+        5.2,
+        2,
+    )
 }
 
 fn path_for(spec: &SceneSpec, resolution: (u32, u32), start: f32) -> CameraPath {
@@ -72,19 +93,42 @@ fn main() {
     let scene = Arc::new(spec.bake());
 
     let mut server = RenderServer::new(Arc::clone(&scene))
-        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+        .with_policy(WeightedFair::new());
     let mut names = Vec::new();
-    for (name, renderer, resolution, start) in users() {
-        let id = server.add_session(SessionRequest::new(
-            renderer,
-            path_for(&spec, resolution, start),
-        ));
+    let mut handles = Vec::new();
+    for (name, renderer, resolution, start, weight) in users() {
+        let handle = server.admit(
+            SessionRequest::new(renderer, path_for(&spec, resolution, start))
+                .weight(weight)
+                .label(name),
+        );
         names.push(name);
-        println!("  session {id}: {name} @{}x{}", resolution.0, resolution.1);
+        handles.push(handle);
+        println!(
+            "  {handle}: {name} @{}x{} (weight {weight})",
+            resolution.0, resolution.1
+        );
     }
 
-    println!("\nServing {} frames round-robin...", server.remaining());
+    // Determinism proof runs alongside serving: alice's served frames
+    // must be bit-identical to a standalone session on the same path.
+    let (_, alice_renderer, alice_res, alice_start, _) = users().remove(0);
+    let mut solo = RenderSession::new(
+        Arc::clone(&scene),
+        alice_renderer,
+        path_for(&spec, alice_res, alice_start),
+    );
+    let mut checked = 0;
+
+    println!(
+        "\nServing {} frames under '{}' with mid-serve churn...",
+        server.remaining(),
+        server.policy_name()
+    );
+    let mut delivered = 0usize;
     while let Some(frame) = server.next_frame() {
+        delivered += 1;
         let sim = frame.report.sim.as_ref().expect("server simulates");
         println!(
             "  {:<18} frame {}: {:>8.1} FPS ({:>5.2} W){}",
@@ -98,56 +142,6 @@ fn main() {
                 ""
             },
         );
-        server.recycle(frame.session, frame.report.image);
-    }
-
-    let summary = server.summary();
-    assert!(summary.is_consistent());
-    println!("\nPer-user streams:");
-    for stats in &summary.per_session {
-        assert_eq!(stats.frames, FRAMES);
-        assert_eq!(
-            stats.framebuffer_allocations, 1,
-            "each user keeps one framebuffer for its whole stream"
-        );
-        println!(
-            "  {:<18} {} frames, sim {:>7.1} FPS, {} boundary reconfigs \
-             ({} avoided), 1 framebuffer",
-            names[stats.session],
-            stats.frames,
-            stats.mean_fps(),
-            stats.boundary_reconfigurations,
-            stats.boundary_switches_avoided,
-        );
-    }
-    println!(
-        "\nSchedule: {} frames, sim {:.1} FPS aggregate, {:.2} reconfigs/frame \
-         ({} at boundaries, {} avoided)",
-        summary.scheduled_frames,
-        summary.mean_fps(),
-        summary.reconfigurations_per_frame(),
-        summary.boundary_reconfigurations,
-        summary.boundary_switches_avoided,
-    );
-
-    // Determinism proof: alice's served frames are bit-identical to a
-    // standalone session rendering the same path alone.
-    let (_, renderer, resolution, start) = users().remove(0);
-    let mut solo = RenderSession::new(
-        Arc::clone(&scene),
-        renderer,
-        path_for(&spec, resolution, start),
-    );
-    let mut served =
-        RenderServer::new(scene).with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
-    for (_, renderer, resolution, start) in users() {
-        served.add_session(SessionRequest::new(
-            renderer,
-            path_for(&spec, resolution, start),
-        ));
-    }
-    let mut checked = 0;
-    while let Some(frame) = served.next_frame() {
         if frame.session == 0 {
             let reference = solo.next_frame().expect("same path length");
             assert_eq!(
@@ -159,8 +153,74 @@ fn main() {
             solo.recycle(reference.image);
             checked += 1;
         }
-        served.recycle(frame.session, frame.report.image);
+        server.recycle(frame.session, frame.report.image);
+
+        // Churn, keyed to delivered-frame counts (deterministic at any
+        // thread count): erin joins after 4 frames, bob leaves after 8.
+        if delivered == 4 {
+            let (name, renderer, resolution, start, weight) = late_user();
+            let handle = server.admit(
+                SessionRequest::new(renderer, path_for(&spec, resolution, start))
+                    .weight(weight)
+                    .label(name),
+            );
+            names.push(name);
+            handles.push(handle);
+            println!("  >> admitted {handle}: {name} (weight {weight}) mid-serve");
+        }
+        if delivered == 8 {
+            assert!(server.close(handles[1]), "bob's session accepts the close");
+            println!("  >> closed {}: {} leaves early", handles[1], names[1]);
+        }
     }
+
+    let summary = server.summary();
+    assert!(summary.is_consistent());
+    assert_eq!(summary.policy, "weighted_fair");
+    assert_eq!(summary.admissions, 1);
+    assert_eq!(summary.closes, 1);
+    println!("\nPer-user streams (weighted fair shares of accelerator sim-time):");
+    for stats in &summary.per_session {
+        assert_eq!(
+            stats.framebuffer_allocations, 1,
+            "each user keeps one framebuffer for its whole stream"
+        );
+        println!(
+            "  {:<18} weight {} | {} frames | sim-time share {:>5.1}% | {} boundary reconfigs{}",
+            names[stats.session],
+            stats.weight,
+            stats.frames,
+            100.0 * summary.sim_time_share(stats.session),
+            stats.boundary_reconfigurations,
+            if stats.closed_early {
+                " | closed early"
+            } else {
+                ""
+            },
+        );
+    }
+    let bob = summary.session(handles[1].id()).expect("bob served");
+    assert!(bob.closed_early, "bob's tail was cancelled");
+    assert!(bob.frames < FRAMES, "bob left before his path finished");
+    let erin = summary
+        .session(handles[4].id())
+        .expect("erin admitted mid-serve");
+    assert_eq!(erin.frames, FRAMES, "the late joiner is served fully");
+    println!(
+        "\nSchedule: {} frames, sim {:.1} FPS aggregate, {:.2} reconfigs/frame \
+         ({} at boundaries, {} avoided), {} admission / {} close mid-serve",
+        summary.scheduled_frames,
+        summary.mean_fps(),
+        summary.reconfigurations_per_frame(),
+        summary.boundary_reconfigurations,
+        summary.boundary_switches_avoided,
+        summary.admissions,
+        summary.closes,
+    );
+
     assert_eq!(checked, FRAMES);
-    println!("\nDeterminism check: {checked}/{FRAMES} served frames bit-identical to a standalone session.");
+    println!(
+        "\nDeterminism check: {checked}/{FRAMES} served frames bit-identical to a \
+         standalone session."
+    );
 }

@@ -36,6 +36,13 @@ const GOLDEN: [(&str, u64); 6] = [
     ("mixrt", 0x70dfaa914076b3bb),
 ];
 
+/// Checked-in hash of a whole *served schedule* under the [`Priority`]
+/// policy: FNV-1a folded over every delivered `(session, index,
+/// frame-hash)` triple in delivery order. Pins both the policy's
+/// schedule (strict levels, round-robin within) and the frames it
+/// delivers; re-bless together with `GOLDEN`.
+const GOLDEN_PRIORITY_STREAM: u64 = 0xfe944e12c1e565fa;
+
 fn golden_frames() -> Vec<(String, u64)> {
     let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);
     let scene = spec.bake();
@@ -50,6 +57,60 @@ fn golden_frames() -> Vec<(String, u64)> {
             (renderer.pipeline().to_string(), fnv1a(&image))
         })
         .collect()
+}
+
+/// Serves the golden scene under the `Priority` policy — three sessions
+/// at three levels, two frames each — and folds the delivery stream into
+/// one hash.
+fn priority_stream_hash() -> u64 {
+    let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);
+    let scene = spec.bake();
+    let mut server = RenderServer::new(scene)
+        .with_policy(Priority::new())
+        .with_lanes(2);
+    let sessions: [(Box<dyn Renderer + Send>, u8); 3] = [
+        (Box::new(MeshPipeline::default()), 1),
+        (Box::new(HashGridPipeline::default()), 2),
+        (Box::new(GaussianPipeline::default()), 0),
+    ];
+    for (renderer, priority) in sessions {
+        server.admit(
+            SessionRequest::new(
+                renderer,
+                CameraPath::orbit_arc(spec.orbit(GOLDEN_RES.0, GOLDEN_RES.1), GOLDEN_ANGLE, 1.5, 2),
+            )
+            .priority(priority),
+        );
+    }
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fold = |value: u64| {
+        for byte in value.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    while let Some(frame) = server.next_frame() {
+        fold(frame.session as u64);
+        fold(frame.report.index as u64);
+        fold(fnv1a(&frame.report.image));
+        server.recycle(frame.session, frame.report.image);
+    }
+    h
+}
+
+#[test]
+fn priority_schedule_matches_its_golden_stream_hash() {
+    let actual = priority_stream_hash();
+    if std::env::var("UNI_RENDER_BLESS").is_ok_and(|v| v == "1") {
+        println!("const GOLDEN_PRIORITY_STREAM: u64 = {actual:#018x};");
+        return;
+    }
+    assert_eq!(
+        actual, GOLDEN_PRIORITY_STREAM,
+        "Priority-policy served stream changed (schedule or frames) — if \
+         intentional, re-bless with UNI_RENDER_BLESS=1 cargo test --test \
+         golden_frames -- --nocapture"
+    );
 }
 
 #[test]

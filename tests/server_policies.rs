@@ -1,0 +1,406 @@
+//! The scheduler-policy contract of [`RenderServer`]:
+//!
+//! - every built-in policy's served-frame stream is a **permutation** of
+//!   the round-robin stream with **bit-identical** frames (each session's
+//!   frames arrive complete, in path order, matching a standalone
+//!   [`RenderSession`]);
+//! - schedules, streams, and summaries are **thread-invariant** at
+//!   `UNI_RENDER_THREADS ∈ {1, 4}`;
+//! - [`WeightedFair`] equalizes per-weight sim-time credit within one
+//!   frame's cost while sessions stay backlogged;
+//! - [`Priority`] is strict across levels and round-robin within one;
+//! - `coalesce_switches` pays strictly fewer boundary reconfigurations
+//!   than interleaved round-robin on a mixed-pipeline workload;
+//! - mid-serve [`RenderServer::admit`] / [`RenderServer::close`] keep the
+//!   stream bit-deterministic across thread counts.
+//!
+//! Every test mutates the process-wide `UNI_RENDER_THREADS` variable (or
+//! renders while another test might), so they all serialize on one lock.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use uni_render::prelude::*;
+
+mod common;
+use common::fnv1a_image as frame_hash;
+
+/// Delivery order, per-session frame hashes, and final summary of one
+/// served run.
+type ServedRun = (Vec<(usize, usize)>, Vec<Vec<u64>>, ServerSummary);
+
+/// A fresh-instance constructor for one scheduling policy.
+type PolicyFactory = fn() -> Box<dyn SchedulePolicy>;
+
+/// All tests in this binary serialize here: `UNI_RENDER_THREADS` is
+/// process-wide state.
+fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` under a pinned worker count (caller holds the env lock).
+fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("UNI_RENDER_THREADS", threads);
+    let result = f();
+    std::env::remove_var("UNI_RENDER_THREADS");
+    result
+}
+
+fn scene() -> Arc<BakedScene> {
+    static SCENE: OnceLock<Arc<BakedScene>> = OnceLock::new();
+    Arc::clone(SCENE.get_or_init(|| {
+        Arc::new(
+            SceneSpec::demo("serve-policies", 55)
+                .with_detail(0.03)
+                .bake(),
+        )
+    }))
+}
+
+/// One generated session: pipeline choice, frame count, resolution.
+#[derive(Debug, Clone, Copy)]
+struct Mix {
+    pipeline: usize,
+    frames: usize,
+    resolution: (u32, u32),
+}
+
+const RESOLUTIONS: [(u32, u32); 3] = [(16, 12), (24, 16), (32, 24)];
+
+fn renderer(index: usize) -> Box<dyn Renderer + Send> {
+    match index {
+        0 => Box::new(MeshPipeline::default()),
+        1 => Box::new(MlpPipeline::default()),
+        2 => Box::new(LowRankPipeline::default()),
+        3 => Box::new(HashGridPipeline::default()),
+        4 => Box::new(GaussianPipeline::default()),
+        _ => Box::new(MixRtPipeline::default()),
+    }
+}
+
+fn path_for(session: usize, mix: Mix) -> CameraPath {
+    let (w, h) = mix.resolution;
+    let orbit = scene().spec().orbit(w, h);
+    CameraPath::orbit_arc(orbit, 0.6 * session as f32, 2.0, mix.frames)
+}
+
+/// Deterministic per-session scheduling attributes so every policy has
+/// something nontrivial to decide over.
+fn request_for(id: usize, mix: Mix) -> SessionRequest {
+    SessionRequest::new(renderer(mix.pipeline), path_for(id, mix))
+        .weight(1 + (id % 3) as u32)
+        .priority((id % 2) as u8)
+}
+
+/// Renders every session standalone: per-session, per-frame hashes.
+fn standalone_hashes(mixes: &[Mix]) -> Vec<Vec<u64>> {
+    mixes
+        .iter()
+        .enumerate()
+        .map(|(id, &mix)| {
+            let mut session =
+                RenderSession::new(scene(), renderer(mix.pipeline), path_for(id, mix));
+            let mut hashes = Vec::with_capacity(mix.frames);
+            while let Some(frame) = session.next_frame() {
+                hashes.push(frame_hash(&frame.image));
+                session.recycle(frame.image);
+            }
+            hashes
+        })
+        .collect()
+}
+
+/// Serves every session through one server under `policy`: the delivery
+/// order, per-session frame hashes (indexed like `standalone_hashes`),
+/// and the end-of-run summary.
+fn served(mixes: &[Mix], policy: Box<dyn SchedulePolicy>, lanes: usize) -> ServedRun {
+    let mut server = RenderServer::new(scene())
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+        .with_policy(policy)
+        .with_lanes(lanes);
+    for (id, &mix) in mixes.iter().enumerate() {
+        server.admit(request_for(id, mix));
+    }
+    let mut order = Vec::new();
+    let mut hashes: Vec<Vec<u64>> = mixes.iter().map(|m| Vec::with_capacity(m.frames)).collect();
+    while let Some(frame) = server.next_frame() {
+        assert_eq!(
+            hashes[frame.session].len(),
+            frame.report.index,
+            "frames of one session arrive in path order"
+        );
+        order.push((frame.session, frame.report.index));
+        hashes[frame.session].push(frame_hash(&frame.report.image));
+        server.recycle(frame.session, frame.report.image);
+    }
+    (order, hashes, server.summary())
+}
+
+/// One factory per built-in policy (fresh instance per serve, since a
+/// server consumes its policy); the name is taken from an instance so
+/// the pair can never drift out of sync.
+fn policies() -> Vec<(&'static str, PolicyFactory)> {
+    fn rr() -> Box<dyn SchedulePolicy> {
+        Box::new(RoundRobin::new())
+    }
+    fn rr_coalesced() -> Box<dyn SchedulePolicy> {
+        Box::new(RoundRobin::new().coalesce_switches(true))
+    }
+    fn wf() -> Box<dyn SchedulePolicy> {
+        Box::new(WeightedFair::new())
+    }
+    fn prio() -> Box<dyn SchedulePolicy> {
+        Box::new(Priority::new())
+    }
+    let factories: [PolicyFactory; 4] = [rr, rr_coalesced, wf, prio];
+    factories.iter().map(|&f| (f().name(), f)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    #[test]
+    fn every_policy_serves_a_bit_identical_permutation_of_round_robin(
+        raw in proptest::collection::vec((0usize..6, 1usize..3, 0usize..3), 1..5),
+    ) {
+        let _guard = env_lock();
+        let mixes: Vec<Mix> = raw
+            .iter()
+            .map(|&(pipeline, frames, res)| Mix {
+                pipeline,
+                frames,
+                resolution: RESOLUTIONS[res],
+            })
+            .collect();
+        let total: usize = mixes.iter().map(|m| m.frames).sum();
+        let solo = with_threads("1", || standalone_hashes(&mixes));
+
+        for (name, fresh) in policies() {
+            let mut reference: Option<ServedRun> = None;
+            for threads in ["1", "4"] {
+                let run = with_threads(threads, || served(&mixes, fresh(), 4));
+                let (order, hashes, summary) = &run;
+                // Permutation of the round-robin stream with bit-identical
+                // frames: every session's stream is complete, in path
+                // order, and matches the standalone session exactly.
+                prop_assert!(hashes == &solo, "policy {} altered frames", name);
+                prop_assert_eq!(order.len(), total);
+                prop_assert!(summary.is_consistent());
+                prop_assert_eq!(summary.scheduled_frames, total);
+                prop_assert_eq!(&summary.policy, name);
+                // Thread count changes nothing: schedule, images, stats.
+                if let Some(reference) = &reference {
+                    prop_assert!(reference == &run, "policy {} is thread-variant", name);
+                } else {
+                    reference = Some(run);
+                }
+            }
+        }
+    }
+}
+
+/// WeightedFair equalizes accumulated sim-time per unit weight: while
+/// every session stays backlogged, any two sessions' credits differ by
+/// at most one frame's sim cost, so sim-time shares track weights.
+#[test]
+fn weighted_fair_shares_follow_weights_within_one_frame() {
+    let _guard = env_lock();
+    with_threads("1", || {
+        let weights = [1u32, 2, 3];
+        let mut server = RenderServer::new(scene())
+            .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+            .with_policy(WeightedFair::new())
+            .with_lanes(2);
+        for (id, &w) in weights.iter().enumerate() {
+            let mix = Mix {
+                pipeline: 0,
+                frames: 20,
+                resolution: (24, 16),
+            };
+            server.admit(SessionRequest::new(renderer(mix.pipeline), path_for(id, mix)).weight(w));
+        }
+        // Stop mid-stream while everyone is still backlogged: complete
+        // runs are bounded by path lengths, not by the policy.
+        let mut max_frame_seconds: f64 = 0.0;
+        for _ in 0..12 {
+            let frame = server.next_frame().expect("backlogged");
+            let sim = frame.report.sim.as_ref().expect("simulated");
+            max_frame_seconds = max_frame_seconds.max(sim.seconds);
+            server.recycle(frame.session, frame.report.image);
+        }
+        let summary = server.summary();
+        assert_eq!(summary.policy, "weighted_fair");
+        let seconds: Vec<f64> = summary.per_session.iter().map(|s| s.seconds).collect();
+        for i in 0..weights.len() {
+            for j in 0..weights.len() {
+                let credit_i = seconds[i] / f64::from(weights[i]);
+                let credit_j = seconds[j] / f64::from(weights[j]);
+                assert!(
+                    (credit_i - credit_j).abs() <= max_frame_seconds + 1e-12,
+                    "sessions {i} and {j}: credits {credit_i:.6e} vs {credit_j:.6e} \
+                     drift beyond one frame ({max_frame_seconds:.6e})"
+                );
+            }
+        }
+        // Shares therefore track weights: the heaviest session consumed
+        // the most sim-time, the lightest the least.
+        assert!(summary.sim_time_share(2) > summary.sim_time_share(1));
+        assert!(summary.sim_time_share(1) > summary.sim_time_share(0));
+        let shares = summary.sim_time_shares();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    });
+}
+
+/// Priority is strict across levels (all higher-level frames first) and
+/// round-robin inside a level.
+#[test]
+fn priority_serves_levels_strictly_with_round_robin_inside() {
+    let _guard = env_lock();
+    with_threads("1", || {
+        let mut server = RenderServer::new(scene())
+            .with_policy(Priority::new())
+            .with_lanes(2);
+        let mix = |frames| Mix {
+            pipeline: 0,
+            frames,
+            resolution: (16, 12),
+        };
+        server.admit(SessionRequest::new(renderer(0), path_for(0, mix(3))).priority(0));
+        server.admit(SessionRequest::new(renderer(1), path_for(1, mix(2))).priority(5));
+        server.admit(SessionRequest::new(renderer(2), path_for(2, mix(2))).priority(5));
+        let mut order = Vec::new();
+        while let Some(frame) = server.next_frame() {
+            order.push((frame.session, frame.report.index));
+            server.recycle(frame.session, frame.report.image);
+        }
+        assert_eq!(
+            order,
+            vec![(1, 0), (2, 0), (1, 1), (2, 1), (0, 0), (0, 1), (0, 2)],
+            "level 5 round-robins to completion before level 0 runs"
+        );
+    });
+}
+
+/// Batching same-pipeline frames amortizes boundary reconfigurations:
+/// on a 4-session mixed-pipeline workload the coalesced schedule pays
+/// strictly fewer switches than interleaved round-robin, while serving
+/// the exact same frames.
+#[test]
+fn coalescing_pays_strictly_fewer_reconfigurations_than_round_robin() {
+    let _guard = env_lock();
+    with_threads("1", || {
+        // Four sessions, four distinct pipelines — the worst case for an
+        // interleaved schedule (gaussian/hashgrid/mesh boundaries all
+        // switch families).
+        let mixes: Vec<Mix> = [4usize, 0, 3, 1]
+            .iter()
+            .map(|&pipeline| Mix {
+                pipeline,
+                frames: 3,
+                resolution: (24, 16),
+            })
+            .collect();
+        let (_, rr_hashes, rr) = served(&mixes, Box::new(RoundRobin::new()), 2);
+        let (_, co_hashes, co) = served(
+            &mixes,
+            Box::new(RoundRobin::new().coalesce_switches(true)),
+            2,
+        );
+        assert_eq!(rr_hashes, co_hashes, "coalescing must not change frames");
+        assert!(
+            co.boundary_reconfigurations < rr.boundary_reconfigurations,
+            "coalesced {} vs round-robin {} boundary switches",
+            co.boundary_reconfigurations,
+            rr.boundary_reconfigurations
+        );
+        assert!(co.reconfigurations_per_frame() < rr.reconfigurations_per_frame());
+    });
+}
+
+/// Mid-serve admission and early close keep the served stream
+/// bit-identical across thread counts, and admitted sessions' frames
+/// match a standalone session exactly.
+#[test]
+fn mid_serve_churn_is_bit_deterministic_across_thread_counts() {
+    let _guard = env_lock();
+    let churn = |threads: &str| {
+        with_threads(threads, || {
+            let mixes: Vec<Mix> = (0..3)
+                .map(|id| Mix {
+                    pipeline: id,
+                    frames: 6,
+                    resolution: (24, 16),
+                })
+                .collect();
+            let late_mix = Mix {
+                pipeline: 3,
+                frames: 3,
+                resolution: (16, 12),
+            };
+            let mut server = RenderServer::new(scene())
+                .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+                .with_policy(WeightedFair::new())
+                .with_lanes(4);
+            let mut handles = Vec::new();
+            for (id, &mix) in mixes.iter().enumerate() {
+                handles.push(server.admit(request_for(id, mix)));
+            }
+            let mut stream = Vec::new();
+            let mut late = None;
+            while let Some(frame) = server.next_frame() {
+                stream.push((
+                    frame.session,
+                    frame.report.index,
+                    frame_hash(&frame.report.image),
+                ));
+                server.recycle(frame.session, frame.report.image);
+                if stream.len() == 3 {
+                    late = Some(
+                        server.admit(
+                            SessionRequest::new(renderer(late_mix.pipeline), path_for(3, late_mix))
+                                .weight(2)
+                                .label("late joiner"),
+                        ),
+                    );
+                }
+                if stream.len() == 6 {
+                    assert!(server.close(handles[1]), "open session closes");
+                }
+            }
+            let late = late.expect("admitted mid-serve");
+            let summary = server.summary();
+            assert!(summary.is_consistent());
+            assert_eq!(summary.admissions, 1);
+            assert_eq!(summary.closes, 1);
+            assert!(summary.per_session[1].closed_early);
+            assert!(summary.per_session[1].frames < 6, "close cancelled frames");
+            assert_eq!(
+                summary.per_session[late.id()].frames,
+                late_mix.frames,
+                "late session served fully"
+            );
+            // The late session's frames are bit-identical to a
+            // standalone session walking the same path.
+            let mut solo =
+                RenderSession::new(scene(), renderer(late_mix.pipeline), path_for(3, late_mix));
+            let mut solo_hashes = Vec::new();
+            while let Some(frame) = solo.next_frame() {
+                solo_hashes.push(frame_hash(&frame.image));
+                solo.recycle(frame.image);
+            }
+            let served_late: Vec<u64> = stream
+                .iter()
+                .filter(|(s, _, _)| *s == late.id())
+                .map(|&(_, _, h)| h)
+                .collect();
+            assert_eq!(served_late, solo_hashes);
+            (stream, summary)
+        })
+    };
+    assert_eq!(
+        churn("1"),
+        churn("4"),
+        "churn timing must be lane-invariant"
+    );
+}
