@@ -1,6 +1,8 @@
 //! Multi-session serving benchmark: one `RenderServer` sharding mixed-
 //! pipeline camera streams over a single shared baked scene, swept across
-//! session counts *and scheduling policies*.
+//! session counts *and scheduling policies*, with a **deadline
+//! dimension**: part of the mix is deadline-bound, and every row reports
+//! miss rate, worst slack, and tail sim-latency alongside throughput.
 //!
 //! Runs as a criterion harness (`cargo bench --bench serve_hot`; pass
 //! `-- --quick` for a single-shot smoke that still refreshes the JSON)
@@ -10,39 +12,51 @@
 //! ```json
 //! { "configs": [ { "policy": "round_robin", "sessions": 4, "frames": 16,
 //!   "wall_fps": ..., "sim_fps": ..., "reconfigs_per_frame": ...,
-//!   "boundary_reconfigs": ... }, ... ] }
+//!   "deadline_miss_rate": ..., "p99_latency_s": ... }, ... ] }
 //! ```
 //!
 //! Sessions cycle through the pipeline mix below (so neighbouring
 //! schedule slots usually switch renderer families — the worst case for
-//! reconfiguration amortization) and carry staggered weights/priorities
-//! so the fair-share and priority policies have real decisions to make.
-//! The policy sweep covers `round_robin` (1/4/16 sessions, the
-//! interleaved baseline), `weighted_fair`, `priority`, and
-//! `round_robin_coalesced` (4/16 sessions). The harness asserts — and
-//! the committed JSON records — that the coalesced schedule pays
-//! *strictly fewer* reconfigurations per frame than interleaved
-//! round-robin on the mixed 4-session workload. `wall_fps` is host
-//! wall-clock frames per second across the whole schedule; `sim_fps` and
-//! the reconfiguration counters come from the deterministic
-//! `ServerSummary`, so they are host-independent.
+//! reconfiguration amortization) and carry staggered weights/priorities;
+//! every `s % 4 == 2` session (the hash-grid ones) additionally carries
+//! a sim-time deadline whose period is derived from a calibration serve
+//! (two mean frame times per frame), so deadline-aware policies have a
+//! real latency budget to defend. The policy sweep covers `round_robin`
+//! (1/4/16 sessions, the interleaved baseline), `weighted_fair`,
+//! `priority`, `round_robin_coalesced`, `earliest_deadline`, and
+//! `cost_aware` (4/16 sessions). The harness asserts — and the committed
+//! JSON records — that on the mixed 4-session workload the coalesced
+//! schedule pays *strictly fewer* reconfigurations per frame than
+//! interleaved round-robin, and that `cost_aware` pays **no more** than
+//! the fixed coalescer while suffering **strictly less worst slack
+//! loss** on the deadline-bound sessions (it orders batches by urgency
+//! and only extends them while the learned switch saving covers the
+//! induced slack loss). `wall_fps` is host wall-clock frames per second
+//! across the whole schedule; `sim_fps`, the reconfiguration counters,
+//! and all deadline metrics come from the deterministic `ServerSummary`,
+//! so they are host-independent.
 
 use criterion::{black_box, Criterion};
 use std::sync::Arc;
 use uni_bench::HARNESS_DETAIL;
 use uni_core::{Accelerator, AcceleratorConfig};
 use uni_engine::{
-    CameraPath, Priority, RenderServer, RoundRobin, SchedulePolicy, ServerSummary, SessionRequest,
-    WeightedFair,
+    CameraPath, CostAware, EarliestDeadline, Priority, RenderServer, RoundRobin, SchedulePolicy,
+    ServerSummary, SessionRequest, WeightedFair,
 };
 use uni_renderers::{GaussianPipeline, HashGridPipeline, MeshPipeline, MlpPipeline, Renderer};
 use uni_scene::{BakedScene, SceneSpec};
 
 const FRAMES_PER_SESSION: usize = 4;
 const RESOLUTION: (u32, u32) = (96, 96);
+/// Deadline-bound sessions get one frame period of this many mean frame
+/// times (from the calibration serve): tight enough that *when* a
+/// session is served decides its slack, loose enough that an
+/// urgency-ordered schedule can meet it.
+const DEADLINE_PERIOD_FRAMES: f64 = 2.0;
 
 /// `(policy name, session count)` sweep, round-robin baselines first.
-const SWEEP: [(&str, usize); 9] = [
+const SWEEP: [(&str, usize); 13] = [
     ("round_robin", 1),
     ("round_robin", 4),
     ("round_robin", 16),
@@ -52,6 +66,10 @@ const SWEEP: [(&str, usize); 9] = [
     ("priority", 16),
     ("round_robin_coalesced", 4),
     ("round_robin_coalesced", 16),
+    ("earliest_deadline", 4),
+    ("earliest_deadline", 16),
+    ("cost_aware", 4),
+    ("cost_aware", 16),
 ];
 
 fn policy(name: &str) -> Box<dyn SchedulePolicy> {
@@ -60,6 +78,8 @@ fn policy(name: &str) -> Box<dyn SchedulePolicy> {
         "round_robin_coalesced" => Box::new(RoundRobin::new().coalesce_switches(true)),
         "weighted_fair" => Box::new(WeightedFair::new()),
         "priority" => Box::new(Priority::new()),
+        "earliest_deadline" => Box::new(EarliestDeadline::new()),
+        "cost_aware" => Box::new(CostAware::new()),
         other => panic!("unknown policy {other}"),
     }
 }
@@ -78,22 +98,43 @@ fn serve(
     spec: &SceneSpec,
     policy_name: &str,
     sessions: usize,
+    deadline_hz: Option<f64>,
 ) -> ServerSummary {
     let mut server = RenderServer::new(Arc::clone(scene))
         .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
         .with_policy(policy(policy_name));
     for s in 0..sessions {
         let orbit = spec.orbit(RESOLUTION.0, RESOLUTION.1);
-        server.admit(
-            SessionRequest::new(
-                renderer(s),
-                CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, FRAMES_PER_SESSION),
-            )
-            .weight(1 + (s % 3) as u32)
-            .priority((s % 3) as u8),
-        );
+        let mut request = SessionRequest::new(
+            renderer(s),
+            CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, FRAMES_PER_SESSION),
+        )
+        .weight(1 + (s % 3) as u32)
+        .priority((s % 3) as u8);
+        // The deadline dimension: every hash-grid session is
+        // deadline-bound (skipped while the mix is too small to have
+        // one). Identical across policies, so rows compare fairly.
+        if s % 4 == 2 {
+            if let Some(hz) = deadline_hz {
+                request = request.deadline_hz(hz);
+            }
+        }
+        server.admit(request);
     }
     server.run()
+}
+
+/// Per-frame deadline rate for an `n`-session mix: the calibration
+/// serve's mean frame sim-time, stretched to [`DEADLINE_PERIOD_FRAMES`].
+/// Deterministic — derived from the simulated summary, not wall-clock.
+fn deadline_hz_for(scene: &Arc<BakedScene>, spec: &SceneSpec, sessions: usize) -> Option<f64> {
+    if sessions < 3 {
+        return None;
+    }
+    let calibration = serve(scene, spec, "round_robin", sessions, None);
+    let frames = calibration.scheduled_frames.max(1) as f64;
+    let mean_frame_seconds = calibration.total_seconds / frames;
+    Some(1.0 / (DEADLINE_PERIOD_FRAMES * mean_frame_seconds))
 }
 
 fn main() {
@@ -102,13 +143,29 @@ fn main() {
     let scene = Arc::new(spec.bake());
     let threads = uni_parallel::worker_count();
 
+    // One calibration serve per session count pins the deadline rates
+    // the whole sweep shares.
+    let mut session_counts: Vec<usize> = SWEEP.iter().map(|&(_, n)| n).collect();
+    session_counts.sort_unstable();
+    session_counts.dedup();
+    let deadline_hz: Vec<(usize, Option<f64>)> = session_counts
+        .iter()
+        .map(|&n| (n, deadline_hz_for(&scene, &spec, n)))
+        .collect();
+    let hz_for = |sessions: usize| -> Option<f64> {
+        deadline_hz
+            .iter()
+            .find(|&&(n, _)| n == sessions)
+            .and_then(|&(_, hz)| hz)
+    };
+
     // Serving is deterministic, so the summary of the last timed
     // iteration doubles as the reported one — no untimed re-run needed.
     let mut results: Vec<(f64, ServerSummary)> = Vec::new();
     if quick {
         for &(policy_name, sessions) in &SWEEP {
             let start = std::time::Instant::now();
-            let summary = serve(&scene, &spec, policy_name, sessions);
+            let summary = serve(&scene, &spec, policy_name, sessions, hz_for(sessions));
             let ms = start.elapsed().as_secs_f64() * 1e3;
             println!("bench serve_hot/{policy_name}/{sessions} {ms:>12.3} ms (quick)");
             results.push((ms, summary));
@@ -126,6 +183,7 @@ fn main() {
                         black_box(&spec),
                         policy_name,
                         sessions,
+                        hz_for(sessions),
                     ))
                 });
             });
@@ -144,9 +202,11 @@ fn main() {
         }
     }
 
-    // The reconfiguration-aware schedule must beat interleaved
-    // round-robin on the mixed 4-session workload — the whole point of
-    // the coalesce_switches knob. Committed to the JSON below.
+    // The reconfiguration-aware schedules must hold their contracts on
+    // the mixed 4-session workload: the fixed coalescer beats interleaved
+    // round-robin on reconfigs/frame, and cost_aware pays no more than
+    // the fixed coalescer while losing strictly less worst slack on the
+    // deadline-bound session. Committed to the JSON below.
     let find = |p: &str, n: usize| {
         let at = SWEEP
             .iter()
@@ -156,6 +216,7 @@ fn main() {
     };
     let rr4 = find("round_robin", 4);
     let co4 = find("round_robin_coalesced", 4);
+    let ca4 = find("cost_aware", 4);
     assert_eq!(
         rr4.scheduled_frames, co4.scheduled_frames,
         "same workload either way"
@@ -168,6 +229,21 @@ fn main() {
         rr4.boundary_reconfigurations
     );
     assert!(co4.reconfigurations_per_frame() < rr4.reconfigurations_per_frame());
+    assert!(
+        ca4.reconfigurations_per_frame() <= co4.reconfigurations_per_frame(),
+        "cost_aware must not pay more reconfigs/frame than the fixed \
+         coalescer ({} vs {})",
+        ca4.reconfigurations_per_frame(),
+        co4.reconfigurations_per_frame()
+    );
+    let slack_loss = |s: &ServerSummary| -> f64 { (-s.worst_slack().unwrap_or(0.0)).max(0.0) };
+    assert!(
+        slack_loss(ca4) < slack_loss(co4),
+        "cost_aware must lose strictly less worst slack than the fixed \
+         coalescer ({:.3e}s vs {:.3e}s)",
+        slack_loss(ca4),
+        slack_loss(co4)
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -180,14 +256,19 @@ fn main() {
         "  \"frames_per_session\": {FRAMES_PER_SESSION},\n"
     ));
     json.push_str(&format!("  \"scene_detail\": {HARNESS_DETAIL},\n"));
+    json.push_str(&format!(
+        "  \"deadline_period_frames\": {DEADLINE_PERIOD_FRAMES},\n"
+    ));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(
         "  \"note\": \"one RenderServer, mixed gaussian/mesh/hashgrid/mlp sessions (staggered \
-         weights/priorities) sharing one Arc'd baked scene, swept across scheduling policies; \
-         wall_fps is host wall-clock over the whole schedule, sim_fps and reconfiguration \
-         counters come from the deterministic ServerSummary; round_robin_coalesced at 4 \
-         sessions is asserted strictly below round_robin in reconfigs_per_frame\",\n",
+         weights/priorities; every hash-grid session deadline-bound at two calibrated mean frame \
+         times per frame) sharing one Arc'd baked scene, swept across scheduling policies; \
+         wall_fps is host wall-clock over the whole schedule, sim_fps / reconfiguration / \
+         deadline metrics come from the deterministic ServerSummary; asserted at 4 sessions: \
+         round_robin_coalesced < round_robin in reconfigs_per_frame, cost_aware <= \
+         round_robin_coalesced in reconfigs_per_frame with strictly lower worst slack loss\",\n",
     );
     json.push_str("  \"configs\": [\n");
     for (i, (&(policy_name, sessions), (ms, summary))) in SWEEP.iter().zip(&results).enumerate() {
@@ -197,20 +278,28 @@ fn main() {
         assert_eq!(summary.policy, policy_name);
         println!(
             "serve_hot/{policy_name}/{sessions}: {frames} frames, wall {wall_fps:.1} FPS, \
-             sim {:.1} FPS, {:.2} reconfigs/frame",
+             sim {:.1} FPS, {:.2} reconfigs/frame, {:.1}% deadline misses, p99 {:.3} ms",
             summary.mean_fps(),
-            summary.reconfigurations_per_frame()
+            summary.reconfigurations_per_frame(),
+            100.0 * summary.deadline_miss_rate(),
+            summary.p99_sim_latency() * 1e3,
         );
+        let worst_slack = summary
+            .worst_slack()
+            .map_or("null".to_string(), |s| format!("{s:.6}"));
         json.push_str(&format!(
             "    {{ \"policy\": \"{policy_name}\", \"sessions\": {sessions}, \
              \"frames\": {frames}, \"wall_ms\": {ms:.2}, \
              \"wall_fps\": {wall_fps:.2}, \"sim_fps\": {:.2}, \
              \"reconfigs_per_frame\": {:.4}, \"boundary_reconfigs\": {}, \
-             \"boundary_avoided\": {} }}{}\n",
+             \"boundary_avoided\": {}, \"deadline_miss_rate\": {:.4}, \
+             \"worst_slack_s\": {worst_slack}, \"p99_latency_s\": {:.6} }}{}\n",
             summary.mean_fps(),
             summary.reconfigurations_per_frame(),
             summary.boundary_reconfigurations,
             summary.boundary_switches_avoided,
+            summary.deadline_miss_rate(),
+            summary.p99_sim_latency(),
             if i + 1 == SWEEP.len() { "" } else { "," }
         ));
     }

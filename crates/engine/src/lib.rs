@@ -43,10 +43,11 @@ pub mod session;
 pub use path::CameraPath;
 pub use pool::FramePool;
 pub use sched::{
-    Priority, RoundRobin, ScheduleContext, SchedulePolicy, SessionHandle, SessionView, WeightedFair,
+    CostAware, EarliestDeadline, PolicyContext, Priority, RoundRobin, ScheduleContext,
+    SchedulePolicy, SessionHandle, SessionView, WeightedFair,
 };
 pub use server::{RenderServer, ServedFrame, SessionRequest, DEFAULT_LOOKAHEAD};
 pub use session::{FrameReport, RenderSession, StreamSummary};
 // The serving summaries live in `uni_microops::serve`; re-export them so
 // engine consumers get the whole serving surface from one crate.
-pub use uni_microops::{ServerSummary, SessionStats};
+pub use uni_microops::{ServerSummary, SessionStats, SwitchCostModel};

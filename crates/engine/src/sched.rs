@@ -14,8 +14,10 @@
 //! A [`SchedulePolicy`] deterministically picks the next session to
 //! schedule from a snapshot of runnable-session state
 //! ([`SessionView`]s: remaining frames, weight, priority, sim-time
-//! consumed, last-scheduled tick) plus a [`ScheduleContext`] (current
-//! tick, previously scheduled session/pipeline). Three built-ins ship:
+//! consumed, deadline slack, last-scheduled tick) plus a
+//! [`PolicyContext`] (current tick, previously scheduled
+//! session/pipeline, delivered sim-time, and the server's learned
+//! [`SwitchCostModel`]). Five built-ins ship:
 //!
 //! - [`RoundRobin`] — strict cyclic session order, bit-compatible with
 //!   the server's original hard-coded schedule;
@@ -23,17 +25,26 @@
 //!   backlogged session with the least accumulated sim-time per unit
 //!   weight, so sim-time shares track weights within one frame's cost;
 //! - [`Priority`] — strict priority levels (higher [`priority`] wins),
-//!   round-robin within a level.
+//!   round-robin within a level;
+//! - [`EarliestDeadline`] — strict EDF over sim-time deadlines
+//!   ([`crate::SessionRequest::deadline_hz`]): the runnable session
+//!   whose next frame is due soonest always goes first;
+//! - [`CostAware`] — reconfiguration-aware coalescing with a latency
+//!   conscience: extends a same-pipeline batch only while the estimated
+//!   switch saving ([`SwitchCostModel`]) exceeds the worst slack loss
+//!   the extra delay would induce on deadline-bound sessions.
 //!
-//! Every built-in accepts a `coalesce_switches` knob: when the previously
-//! scheduled frame's pipeline still has a runnable session, the policy
-//! keeps scheduling that pipeline (within whatever its base order allows)
-//! to batch same-pipeline frames and amortize boundary reconfigurations —
-//! the reconfiguration-aware scheduling the paper's hybrid figures probe.
+//! The first three built-ins accept a `coalesce_switches` knob: when the
+//! previously scheduled frame's pipeline still has a runnable session,
+//! the policy keeps scheduling that pipeline (within whatever its base
+//! order allows) to batch same-pipeline frames and amortize boundary
+//! reconfigurations — the reconfiguration-aware scheduling the paper's
+//! hybrid figures probe. [`CostAware`] is the *quantitative* version of
+//! that knob.
 //!
 //! [`priority`]: SessionView::priority
 
-use uni_microops::Pipeline;
+use uni_microops::{Pipeline, SwitchCostModel};
 
 /// A typed handle to one serving session of a [`crate::RenderServer`].
 ///
@@ -92,14 +103,34 @@ pub struct SessionView {
     /// `0.0` when the server has no accelerator attached (nothing is
     /// simulated).
     pub sim_seconds: f64,
+    /// Absolute sim-time (seconds on the server's delivered-frame axis)
+    /// the session's next unscheduled frame is due, per its
+    /// [`crate::SessionRequest::deadline_hz`] rate; `None` for
+    /// best-effort sessions.
+    pub deadline: Option<f64>,
+    /// Sim-time slack of the next unscheduled frame: its deadline minus
+    /// the delivered sim-time ([`PolicyContext::now_seconds`]). Negative
+    /// means the frame is already late before it is even scheduled.
+    /// `None` for best-effort sessions.
+    pub slack: Option<f64>,
     /// Tick at which the session was most recently scheduled (`None`
     /// until its first frame is scheduled).
     pub last_scheduled: Option<u64>,
 }
 
 /// Schedule-wide state a policy may condition on.
+///
+/// Everything here is settled *serving* state — a pure function of the
+/// schedule delivered so far, identical at any thread count. Policies
+/// that read the feedback fields ([`now_seconds`], [`switch_costs`], or
+/// [`SessionView::sim_seconds`] / [`SessionView::slack`]) must bound
+/// [`SchedulePolicy::max_in_flight`] to 1 so decisions see fully
+/// delivered accounting.
+///
+/// [`now_seconds`]: PolicyContext::now_seconds
+/// [`switch_costs`]: PolicyContext::switch_costs
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct ScheduleContext {
+pub struct PolicyContext<'a> {
     /// The slot being scheduled: ticks count scheduled frames from 0.
     pub tick: u64,
     /// Session scheduled at the previous tick, if any.
@@ -108,7 +139,19 @@ pub struct ScheduleContext {
     /// mode the accelerator is (logically) left in, which
     /// switch-coalescing policies try to keep serving.
     pub last_pipeline: Option<Pipeline>,
+    /// Cumulative simulated seconds of every *delivered* frame — the
+    /// sim-time "now" that deadlines and slack are measured against.
+    /// Stays `0.0` on accelerator-less servers.
+    pub now_seconds: f64,
+    /// The server's renderer-switch cost estimator, learned from the
+    /// boundary history of the schedule as served (`None` on
+    /// accelerator-less servers — nothing charges boundaries there).
+    pub switch_costs: Option<&'a SwitchCostModel>,
 }
+
+/// Former name of [`PolicyContext`], kept for downstream policies
+/// written against the PR 4 surface.
+pub type ScheduleContext<'a> = PolicyContext<'a>;
 
 /// A deterministic scheduling policy for [`crate::RenderServer`].
 ///
@@ -138,7 +181,7 @@ pub trait SchedulePolicy: Send {
 
     /// Picks the session whose next frame should occupy slot
     /// `ctx.tick`, or `None` if nothing should be scheduled.
-    fn pick(&mut self, ctx: &ScheduleContext, sessions: &[SessionView]) -> Option<usize>;
+    fn pick(&mut self, ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize>;
 
     /// Upper bound on scheduled-but-undelivered frames. The server
     /// dispatches at most `min(max_in_flight, lookahead, lanes)` frames
@@ -155,7 +198,7 @@ impl SchedulePolicy for Box<dyn SchedulePolicy> {
         (**self).name()
     }
 
-    fn pick(&mut self, ctx: &ScheduleContext, sessions: &[SessionView]) -> Option<usize> {
+    fn pick(&mut self, ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
         (**self).pick(ctx, sessions)
     }
 
@@ -174,7 +217,7 @@ impl SchedulePolicy for Box<dyn SchedulePolicy> {
 /// sees the full set and the schedule pays the one unavoidable switch.
 fn coalesce<'a>(
     enabled: bool,
-    ctx: &ScheduleContext,
+    ctx: &PolicyContext<'_>,
     sessions: &'a [SessionView],
     scratch: &'a mut Vec<SessionView>,
 ) -> &'a [SessionView] {
@@ -197,7 +240,7 @@ fn coalesce<'a>(
 /// `ctx.last_session`, wrapping to the lowest id. With views presented in
 /// id order this reproduces the server's original round-robin cursor bit
 /// for bit.
-fn round_robin_pick(ctx: &ScheduleContext, sessions: &[SessionView]) -> Option<usize> {
+fn round_robin_pick(ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
     let after = ctx.last_session.map_or(0, |s| s + 1);
     sessions
         .iter()
@@ -251,7 +294,7 @@ impl SchedulePolicy for RoundRobin {
         }
     }
 
-    fn pick(&mut self, ctx: &ScheduleContext, sessions: &[SessionView]) -> Option<usize> {
+    fn pick(&mut self, ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
         let pool = coalesce(self.coalesce_switches, ctx, sessions, &mut self.scratch);
         round_robin_pick(ctx, pool)
     }
@@ -307,7 +350,7 @@ impl SchedulePolicy for WeightedFair {
         }
     }
 
-    fn pick(&mut self, ctx: &ScheduleContext, sessions: &[SessionView]) -> Option<usize> {
+    fn pick(&mut self, ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
         let pool = coalesce(self.coalesce_switches, ctx, sessions, &mut self.scratch);
         // No sim-time anywhere (accelerator-less server, or nothing
         // delivered yet): fair-share by delivered frames instead.
@@ -379,7 +422,7 @@ impl SchedulePolicy for Priority {
         }
     }
 
-    fn pick(&mut self, ctx: &ScheduleContext, sessions: &[SessionView]) -> Option<usize> {
+    fn pick(&mut self, ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
         let top = sessions.iter().map(|v| v.priority).max()?;
         self.level.clear();
         self.level
@@ -390,6 +433,187 @@ impl SchedulePolicy for Priority {
             &self.level,
             &mut self.scratch,
         ))
+    }
+}
+
+/// Urgency order shared by [`EarliestDeadline`] and [`CostAware`]: the
+/// session whose next frame is due soonest goes first; best-effort
+/// sessions (no deadline) rank behind every deadline-bound one, ordered
+/// among themselves by recency (round-robin). All ties break on the
+/// session id — the deterministic tie-break the EDF contract pins.
+fn earliest_deadline_pick(sessions: &[SessionView]) -> Option<usize> {
+    sessions
+        .iter()
+        .min_by(|a, b| {
+            let due = |v: &SessionView| v.deadline.unwrap_or(f64::INFINITY);
+            due(a)
+                .total_cmp(&due(b))
+                .then_with(|| {
+                    let recency = |v: &SessionView| v.last_scheduled.map_or(0, |t| t + 1);
+                    recency(a).cmp(&recency(b))
+                })
+                .then_with(|| a.session.cmp(&b.session))
+        })
+        .map(|v| v.session)
+}
+
+/// Strict earliest-deadline-first over sim-time deadlines.
+///
+/// Sessions declare a per-frame deadline rate with
+/// [`crate::SessionRequest::deadline_hz`]; the policy always schedules
+/// the runnable session whose next frame is due soonest on the sim-time
+/// axis, deterministic ties broken by recency then session id
+/// ([`SessionHandle::id`]). Best-effort sessions (no deadline) run only
+/// while no deadline-bound session is runnable, round-robin among
+/// themselves.
+///
+/// The policy reads delivered sim-time (deadlines and slack settle only
+/// at delivery), so it caps
+/// [`max_in_flight`](SchedulePolicy::max_in_flight) at 1: every decision
+/// sees completed accounting — the trade the deadline contract requires,
+/// since a decision made on stale slack could invert the EDF order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarliestDeadline;
+
+impl EarliestDeadline {
+    /// Strict EDF, deterministic tie-break on session id.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl SchedulePolicy for EarliestDeadline {
+    fn name(&self) -> &'static str {
+        "earliest_deadline"
+    }
+
+    fn pick(&mut self, _ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
+        earliest_deadline_pick(sessions)
+    }
+
+    fn max_in_flight(&self) -> usize {
+        1
+    }
+}
+
+/// Cost-aware switch coalescing: batch same-pipeline frames *only while
+/// the switching cost saved exceeds the deadline slack destroyed*.
+///
+/// The fixed `coalesce_switches` knob batches unconditionally — great
+/// for reconfiguration-dominated mixes, blind to latency. This policy
+/// prices both sides of the trade each tick, using the server's learned
+/// [`SwitchCostModel`] ([`PolicyContext::switch_costs`]):
+///
+/// - **base order is urgency**: like [`EarliestDeadline`], the most
+///   urgent runnable session is the default pick (best-effort sessions
+///   round-robin behind deadline-bound ones), so batches start with —
+///   and whole batches are ordered by — who is due soonest;
+/// - **extending a batch**: when the urgent pick would leave the current
+///   pipeline while some session of that pipeline is still runnable, the
+///   policy estimates the *switch saving* of staying (cost of the
+///   urgent pick's boundary minus cost of the same-pipeline boundary)
+///   and the *worst induced slack loss* — for every deadline-bound
+///   session outside the batch, how much of the extra delay (one more
+///   batched frame, estimated from the batch session's mean delivered
+///   frame time) lands below zero slack. The batch extends only while
+///   saving exceeds loss.
+///
+/// With no deadline-bound sessions the loss is always zero and the
+/// policy coalesces exactly as hard as the fixed knob — it never pays
+/// *more* reconfigurations than `RoundRobin::coalesce_switches(true)` on
+/// a deadline-free workload. With deadlines, it spends its switch budget
+/// where the cost model says it is cheap and breaks batches where slack
+/// says it must.
+///
+/// Reads sim-time feedback (slack, mean frame cost, learned switch
+/// costs), so [`max_in_flight`](SchedulePolicy::max_in_flight) is 1.
+#[derive(Debug, Clone, Default)]
+pub struct CostAware {
+    batch: Vec<SessionView>,
+}
+
+impl CostAware {
+    /// Cost-aware coalescing over the server's learned switch costs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Expected sim seconds one more frame of `candidate` would occupy
+    /// the accelerator for: the session's mean delivered frame time,
+    /// falling back to the mean over all delivered frames in the views
+    /// (a cold session borrows the workload's typical frame), then 0.
+    fn expected_frame_seconds(candidate: &SessionView, sessions: &[SessionView]) -> f64 {
+        if candidate.delivered > 0 {
+            return candidate.sim_seconds / candidate.delivered as f64;
+        }
+        let (sum, frames) = sessions.iter().fold((0.0, 0usize), |(s, n), v| {
+            (s + v.sim_seconds, n + v.delivered)
+        });
+        if frames > 0 {
+            sum / frames as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl SchedulePolicy for CostAware {
+    fn name(&self) -> &'static str {
+        "cost_aware"
+    }
+
+    fn pick(&mut self, ctx: &PolicyContext<'_>, sessions: &[SessionView]) -> Option<usize> {
+        let urgent = earliest_deadline_pick(sessions)?;
+        let Some(last) = ctx.last_pipeline else {
+            return Some(urgent);
+        };
+        let urgent_view = sessions
+            .iter()
+            .find(|v| v.session == urgent)
+            .expect("picked from sessions");
+        if urgent_view.pipeline == last {
+            // Continuing the batch is also the urgent choice: free win.
+            return Some(urgent);
+        }
+        self.batch.clear();
+        self.batch
+            .extend(sessions.iter().filter(|v| v.pipeline == last).copied());
+        let Some(stay) = earliest_deadline_pick(&self.batch) else {
+            // Current mode has drained: the switch is unavoidable.
+            return Some(urgent);
+        };
+        let stay_view = self
+            .batch
+            .iter()
+            .find(|v| v.session == stay)
+            .expect("picked from batch");
+        // Switch saving of extending the batch one more frame instead of
+        // following the urgent pick out of the current mode.
+        let saving = ctx
+            .switch_costs
+            .map_or(0.0, |m| m.saving(last, last, urgent_view.pipeline));
+        if saving <= 0.0 {
+            return Some(urgent);
+        }
+        // Extending delays every session outside the batch by one more
+        // frame of the batch session; the slack a deadline-bound session
+        // loses is the part of that delay below zero slack.
+        let delay = Self::expected_frame_seconds(stay_view, sessions);
+        let worst_loss = sessions
+            .iter()
+            .filter(|v| v.pipeline != last)
+            .filter_map(|v| v.slack)
+            .map(|slack| (delay - slack).clamp(0.0, delay))
+            .fold(0.0, f64::max);
+        if saving > worst_loss {
+            Some(stay)
+        } else {
+            Some(urgent)
+        }
+    }
+
+    fn max_in_flight(&self) -> usize {
+        1
     }
 }
 
@@ -406,6 +630,8 @@ mod tests {
             priority: 0,
             delivered: 0,
             sim_seconds: 0.0,
+            deadline: None,
+            slack: None,
             last_scheduled: None,
         }
     }
@@ -414,11 +640,12 @@ mod tests {
         tick: u64,
         last_session: Option<usize>,
         last_pipeline: Option<Pipeline>,
-    ) -> ScheduleContext {
-        ScheduleContext {
+    ) -> PolicyContext<'static> {
+        PolicyContext {
             tick,
             last_session,
             last_pipeline,
+            ..PolicyContext::default()
         }
     }
 
@@ -504,6 +731,83 @@ mod tests {
         assert_eq!(p.pick(&ctx(2, Some(2), None), &[low, hi_a, hi_b]), Some(1));
         // Only when the level drains does the lower level run.
         assert_eq!(p.pick(&ctx(3, Some(1), None), &[low]), Some(0));
+    }
+
+    fn deadline_view(session: usize, pipeline: Pipeline, deadline: f64, now: f64) -> SessionView {
+        SessionView {
+            deadline: Some(deadline),
+            slack: Some(deadline - now),
+            ..view(session, pipeline)
+        }
+    }
+
+    #[test]
+    fn earliest_deadline_is_strict_with_id_tie_break() {
+        let mut edf = EarliestDeadline::new();
+        let views = [
+            deadline_view(0, Pipeline::Mesh, 0.5, 0.0),
+            deadline_view(1, Pipeline::Mlp, 0.2, 0.0),
+            view(2, Pipeline::Mesh), // best-effort: behind every deadline
+        ];
+        assert_eq!(edf.pick(&ctx(0, None, None), &views), Some(1));
+        // Equal deadlines and recency: the lower id wins.
+        let tied = [
+            deadline_view(3, Pipeline::Mesh, 0.2, 0.0),
+            deadline_view(1, Pipeline::Mlp, 0.2, 0.0),
+        ];
+        assert_eq!(edf.pick(&ctx(1, None, None), &tied), Some(1));
+        // Only best-effort sessions left: round-robin by recency.
+        let mut a = view(4, Pipeline::Mesh);
+        a.last_scheduled = Some(7);
+        let b = view(5, Pipeline::Mlp);
+        assert_eq!(edf.pick(&ctx(2, Some(4), None), &[a, b]), Some(5));
+        assert_eq!(edf.max_in_flight(), 1, "EDF decides on settled slack");
+    }
+
+    #[test]
+    fn cost_aware_extends_batches_only_while_the_saving_covers_the_slack_loss() {
+        fn in_mesh_mode(model: Option<&SwitchCostModel>) -> PolicyContext<'_> {
+            PolicyContext {
+                tick: 4,
+                last_session: Some(0),
+                last_pipeline: Some(Pipeline::Mesh),
+                now_seconds: 0.0,
+                switch_costs: model,
+            }
+        }
+        let mut ca = CostAware::new();
+        // Batch session (mesh, mode we're in) has delivered frames at 0.4s
+        // each; the urgent pick is an mlp session due soonest.
+        let mut batch = deadline_view(0, Pipeline::Mesh, 10.0, 0.0);
+        batch.delivered = 2;
+        batch.sim_seconds = 0.8;
+        let urgent = deadline_view(1, Pipeline::Mlp, 1.0, 0.0);
+        let mut model = SwitchCostModel::seeded(1.0);
+        // Saving 1.0 (seeded cross cost) vs zero slack loss (urgent has
+        // 1.0s slack, delay is 0.4s): extend the batch.
+        assert_eq!(
+            ca.pick(&in_mesh_mode(Some(&model)), &[batch, urgent]),
+            Some(0)
+        );
+        // Tight slack (0.1s < 0.4s delay -> 0.3s loss) beats a saving
+        // shrunk to 0.2s: the batch breaks in favour of the urgent
+        // session.
+        let tight = deadline_view(1, Pipeline::Mlp, 0.1, 0.0);
+        model.seed_pair(Pipeline::Mesh, Pipeline::Mlp, 0.2);
+        assert_eq!(
+            ca.pick(&in_mesh_mode(Some(&model)), &[batch, tight]),
+            Some(1)
+        );
+        // No cost model (accelerator-less server): nothing to save, so
+        // the urgent order rules.
+        assert_eq!(ca.pick(&in_mesh_mode(None), &[batch, urgent]), Some(1));
+        // When the urgent pick is already in the batch, it just runs.
+        let urgent_mesh = deadline_view(2, Pipeline::Mesh, 0.5, 0.0);
+        assert_eq!(
+            ca.pick(&in_mesh_mode(Some(&model)), &[batch, urgent_mesh]),
+            Some(2)
+        );
+        assert_eq!(ca.max_in_flight(), 1);
     }
 
     #[test]

@@ -42,13 +42,13 @@
 
 use crate::path::CameraPath;
 use crate::pool::FramePool;
-use crate::sched::{RoundRobin, ScheduleContext, SchedulePolicy, SessionHandle, SessionView};
+use crate::sched::{PolicyContext, RoundRobin, SchedulePolicy, SessionHandle, SessionView};
 use crate::session::FrameReport;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use uni_core::{Accelerator, ReplayScratch, SimReport};
 use uni_geometry::{Camera, Image};
-use uni_microops::{BoundaryMeter, Pipeline, ServerSummary, SessionStats, Trace};
+use uni_microops::{BoundaryMeter, Pipeline, ServerSummary, SessionStats, SwitchCostModel, Trace};
 use uni_parallel::{LanePool, Ticket};
 use uni_renderers::Renderer;
 use uni_scene::BakedScene;
@@ -78,18 +78,21 @@ pub struct SessionRequest {
     pub path: CameraPath,
     weight: u32,
     priority: u8,
+    deadline_hz: Option<f64>,
     label: Option<String>,
 }
 
 impl SessionRequest {
     /// Bundles a renderer and a path into a request with default
-    /// scheduling attributes (weight 1, priority 0, no label).
+    /// scheduling attributes (weight 1, priority 0, best-effort — no
+    /// deadline — and no label).
     pub fn new(renderer: Box<dyn Renderer + Send>, path: CameraPath) -> Self {
         Self {
             renderer,
             path,
             weight: 1,
             priority: 0,
+            deadline_hz: None,
             label: None,
         }
     }
@@ -107,6 +110,27 @@ impl SessionRequest {
     /// higher level always go first.
     pub fn priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Declares a per-frame deadline rate in frames per *simulated*
+    /// second (e.g. `30.0` for a 30 FPS stream): frame `i` of the
+    /// session is due `(i + 1) / hz` sim-seconds after the session's
+    /// deadline epoch (serve start; for mid-serve admissions, the
+    /// delivered sim-time at which the session's first frame starts
+    /// service — a delivery-order fact). Consumed by deadline-aware
+    /// policies
+    /// ([`crate::EarliestDeadline`], [`crate::CostAware`]) and by the
+    /// server's miss/slack accounting under *any* policy
+    /// ([`SessionStats::deadline_misses`],
+    /// [`SessionStats::worst_slack`]). Non-finite or non-positive rates
+    /// are ignored (the session stays best-effort).
+    ///
+    /// Deadlines are **sim-time** facts measured against the schedule's
+    /// delivered sim-seconds — never against wall-clock or lane timing —
+    /// so miss counts are bit-identical at any `UNI_RENDER_THREADS`.
+    pub fn deadline_hz(mut self, hz: f64) -> Self {
+        self.deadline_hz = (hz.is_finite() && hz > 0.0).then_some(hz);
         self
     }
 
@@ -133,6 +157,12 @@ pub struct ServedFrame {
     /// previously *scheduled* one (possibly another session's). Hand
     /// `report.image` back via [`RenderServer::recycle`].
     pub report: FrameReport,
+    /// Sim-time slack this frame was delivered with: its deadline minus
+    /// the schedule's cumulative sim-seconds at delivery. Negative means
+    /// the deadline was missed (counted in
+    /// [`SessionStats::deadline_misses`]). `None` for best-effort
+    /// sessions and on accelerator-less servers.
+    pub deadline_slack: Option<f64>,
 }
 
 /// What a worker lane hands back for one scheduled frame.
@@ -177,6 +207,28 @@ struct SessionSlot {
     closed: bool,
     /// Tick of the session's most recently scheduled frame.
     last_scheduled: Option<u64>,
+    /// Per-frame deadline period in sim-seconds (`1 / deadline_hz`);
+    /// `None` for best-effort sessions.
+    period: Option<f64>,
+    /// Sim-time the session's deadline clock started: 0 for sessions
+    /// admitted before serving; for mid-serve admissions, the cumulative
+    /// delivered sim-seconds just before the session's **first delivered
+    /// frame** is charged — a delivery-order fact, so deterministic at
+    /// any thread or lane count. (Anchoring at dispatch-time activation
+    /// instead would read a sim clock that depends on how far lanes ran
+    /// ahead.) Meaningless until [`SessionSlot::epoch_anchored`].
+    deadline_epoch: f64,
+    /// Whether [`SessionSlot::deadline_epoch`] is final. `false` only
+    /// for staged mid-serve admissions that have not delivered a frame
+    /// yet; their provisional epoch is the current delivered sim-time
+    /// (exact for `max_in_flight == 1` policies — the only ones entitled
+    /// to read slack — since their next delivery is the decision at
+    /// hand).
+    epoch_anchored: bool,
+    /// Sim-seconds charged to each delivered frame (execution plus the
+    /// boundary reconfiguration entering it), in delivery order — the
+    /// population the p50/p99 latency stats summarize.
+    latencies: Vec<f64>,
     stats: SessionStats,
 }
 
@@ -185,6 +237,28 @@ impl SessionSlot {
     fn schedulable(&self) -> bool {
         self.active && !self.closed && self.scheduled < self.len
     }
+
+    /// Absolute sim-time deadline of the session's frame `index`
+    /// (`None` for best-effort sessions): the deadline epoch plus
+    /// `index + 1` periods. `provisional_epoch` (the caller's delivered
+    /// sim-time "now") stands in while the real epoch is not anchored
+    /// yet.
+    fn next_deadline(&self, index: usize, provisional_epoch: f64) -> Option<f64> {
+        let epoch = if self.epoch_anchored {
+            self.deadline_epoch
+        } else {
+            provisional_epoch
+        };
+        self.period.map(|p| epoch + (index as f64 + 1.0) * p)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample: the value at
+/// rank `ceil(p/100 * n)` (1-indexed). Deterministic — no interpolation.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// A frame dispatched to a lane, awaiting in-order delivery.
@@ -249,9 +323,14 @@ pub struct RenderServer {
     admissions: u64,
     closes: u64,
     boundary: BoundaryMeter,
+    /// Learned per-pipeline-pair switch cost estimates, fed from the
+    /// boundary meter's history at every delivery; `None` until an
+    /// accelerator is attached (no boundaries are charged without one).
+    switch_costs: Option<SwitchCostModel>,
     total_cycles: u64,
     total_seconds: f64,
     in_frame_reconfigs: u64,
+    deadline_misses: u64,
 }
 
 impl RenderServer {
@@ -279,18 +358,34 @@ impl RenderServer {
             admissions: 0,
             closes: 0,
             boundary: BoundaryMeter::new(),
+            switch_costs: None,
             total_cycles: 0,
             total_seconds: 0.0,
             in_frame_reconfigs: 0,
+            deadline_misses: 0,
         }
     }
 
     /// Additionally traces and simulates every served frame on `accel`
-    /// (one device shared by all sessions), enabling the reconfiguration
-    /// accounting.
+    /// (one device shared by all sessions), enabling the reconfiguration,
+    /// deadline, and switch-cost accounting. The server's
+    /// [`SwitchCostModel`] is seeded from the device's reconfiguration
+    /// window (crossing pipelines presumed to cost one window, staying
+    /// presumed free) and then learns per-pair costs from the boundaries
+    /// the schedule actually pays.
     pub fn with_accelerator(mut self, accel: Accelerator) -> Self {
+        let cfg = accel.config();
+        let reconfig_seconds = cfg.cycles_to_seconds(cfg.reconfig_cycles);
+        self.switch_costs = Some(SwitchCostModel::seeded(reconfig_seconds));
         self.accel = Some(Arc::new(accel));
         self
+    }
+
+    /// The server's renderer-switch cost estimator — the same model
+    /// policies see via [`PolicyContext::switch_costs`]. `None` until an
+    /// accelerator is attached.
+    pub fn switch_costs(&self) -> Option<&SwitchCostModel> {
+        self.switch_costs.as_ref()
     }
 
     /// Replaces the scheduling policy (default: [`RoundRobin`]).
@@ -389,12 +484,14 @@ impl RenderServer {
             path,
             weight,
             priority,
+            deadline_hz,
             label,
         } = request;
         let pipeline = renderer.pipeline();
         let mut stats = SessionStats::new(id, pipeline);
         stats.weight = weight;
         stats.priority = priority;
+        stats.deadline_hz = deadline_hz;
         stats.label = label;
         self.sessions.push(SessionSlot {
             len: path.len(),
@@ -412,6 +509,14 @@ impl RenderServer {
             closed_from: None,
             closed: false,
             last_scheduled: None,
+            period: deadline_hz.map(f64::recip),
+            // Up-front sessions count from sim-time 0; mid-serve
+            // admissions anchor when their first frame is delivered
+            // (see next_frame) — a delivery-order fact, never a
+            // dispatch-progress one.
+            deadline_epoch: 0.0,
+            epoch_anchored: !mid_serve,
+            latencies: Vec::new(),
             stats,
         });
         SessionHandle(id)
@@ -527,13 +632,30 @@ impl RenderServer {
         self.delivered += 1;
 
         let mut boundary = false;
+        let mut deadline_slack = None;
         if let Some(accel) = &self.accel {
             let (first, last) = match &rendered.trace {
                 Some(trace) => (trace.first_op(), trace.last_op()),
                 None => (None, None),
             };
             let slot = &mut self.sessions[session];
+            // A staged mid-serve session anchors its deadline clock the
+            // moment its first frame starts service: the delivered
+            // sim-time *before* this frame is charged. Delivery order is
+            // deterministic, so the epoch is too — unlike the dispatch
+            // moment of the activation slot, which depends on how far
+            // lanes ran ahead.
+            if !slot.epoch_anchored {
+                slot.deadline_epoch = self.total_seconds;
+                slot.epoch_anchored = true;
+            }
             let avoided_before = self.boundary.avoided();
+            let cfg = accel.config();
+            let reconfig_seconds = cfg.cycles_to_seconds(cfg.reconfig_cycles);
+            // Sim-seconds this frame adds to the schedule: boundary
+            // reconfiguration (if paid) plus simulated execution — the
+            // frame's sim latency.
+            let mut frame_seconds = 0.0;
             // Pipeline-aware boundary metering: crossing renderers always
             // reconfigures (the device swaps pipeline configuration);
             // same-renderer boundaries pay only when the micro-operator
@@ -543,24 +665,53 @@ impl RenderServer {
                 // to the aggregate and attribute it to the entering
                 // session.
                 boundary = true;
-                let cfg = accel.config();
                 let cycles = cfg.reconfig_cycles;
-                let seconds = cfg.cycles_to_seconds(cycles);
                 self.total_cycles += cycles;
-                self.total_seconds += seconds;
+                self.total_seconds += reconfig_seconds;
+                frame_seconds += reconfig_seconds;
                 slot.stats.boundary_reconfigurations += 1;
                 slot.stats.cycles += cycles;
-                slot.stats.seconds += seconds;
+                slot.stats.seconds += reconfig_seconds;
             } else if self.boundary.avoided() > avoided_before {
                 slot.stats.boundary_switches_avoided += 1;
+            }
+            // Every crossed boundary — paid or amortized — teaches the
+            // switch-cost model what its ordered pipeline pair costs.
+            if let (Some(event), Some(model)) =
+                (self.boundary.last_boundary(), self.switch_costs.as_mut())
+            {
+                let cost = if event.switched {
+                    reconfig_seconds
+                } else {
+                    0.0
+                };
+                model.observe(event.from, event.to, cost);
             }
             if let Some(sim) = &rendered.sim {
                 self.in_frame_reconfigs += sim.reconfigurations;
                 self.total_cycles += sim.cycles;
                 self.total_seconds += sim.seconds;
+                frame_seconds += sim.seconds;
                 slot.stats.in_frame_reconfigurations += sim.reconfigurations;
                 slot.stats.cycles += sim.cycles;
                 slot.stats.seconds += sim.seconds;
+            }
+            slot.latencies.push(frame_seconds);
+            // Deadline accounting in schedule order: the frame completes
+            // at the schedule's cumulative sim-time, and its slack is
+            // measured against the session's periodic due time. Both are
+            // delivery-order facts — lane timing never enters.
+            if let Some(due) = slot.next_deadline(pending.index, slot.deadline_epoch) {
+                let slack = due - self.total_seconds;
+                deadline_slack = Some(slack);
+                if slack < 0.0 {
+                    slot.stats.deadline_misses += 1;
+                    self.deadline_misses += 1;
+                }
+                slot.stats.worst_slack = Some(match slot.stats.worst_slack {
+                    Some(worst) => worst.min(slack),
+                    None => slack,
+                });
             }
         }
         self.sessions[session].stats.frames += 1;
@@ -576,6 +727,7 @@ impl RenderServer {
                 sim: rendered.sim,
                 boundary_reconfiguration: boundary,
             },
+            deadline_slack,
         })
     }
 
@@ -604,6 +756,7 @@ impl RenderServer {
             policy: self.policy.name().to_string(),
             admissions: self.admissions,
             closes: self.closes,
+            deadline_misses: self.deadline_misses,
             scheduled_frames: self.delivered,
             total_cycles: self.total_cycles,
             total_seconds: self.total_seconds,
@@ -613,11 +766,18 @@ impl RenderServer {
         }
     }
 
-    /// One slot's stats, completed with the pool's allocation counter.
+    /// One slot's stats, completed with the pool's allocation counter
+    /// and the latency percentiles over its delivered frames.
     fn slot_stats(&self, slot: &SessionSlot) -> SessionStats {
         let mut stats = slot.stats.clone();
         stats.framebuffer_allocations =
             slot.state.lock().expect("session state").pool.allocations();
+        if !slot.latencies.is_empty() {
+            let mut sorted = slot.latencies.clone();
+            sorted.sort_by(f64::total_cmp);
+            stats.latency_p50 = percentile(&sorted, 50.0);
+            stats.latency_p99 = percentile(&sorted, 99.0);
+        }
         stats
     }
 
@@ -657,19 +817,25 @@ impl RenderServer {
     /// Snapshot of every schedulable session, in id order — what the
     /// policy decides over.
     fn views(&self) -> Vec<SessionView> {
+        let now = self.total_seconds;
         self.sessions
             .iter()
             .enumerate()
             .filter(|(_, slot)| slot.schedulable())
-            .map(|(id, slot)| SessionView {
-                session: id,
-                pipeline: slot.pipeline,
-                remaining: slot.len - slot.scheduled,
-                weight: slot.stats.weight,
-                priority: slot.stats.priority,
-                delivered: slot.stats.frames,
-                sim_seconds: slot.stats.seconds,
-                last_scheduled: slot.last_scheduled,
+            .map(|(id, slot)| {
+                let deadline = slot.next_deadline(slot.scheduled, now);
+                SessionView {
+                    session: id,
+                    pipeline: slot.pipeline,
+                    remaining: slot.len - slot.scheduled,
+                    weight: slot.stats.weight,
+                    priority: slot.stats.priority,
+                    delivered: slot.stats.frames,
+                    sim_seconds: slot.stats.seconds,
+                    deadline,
+                    slack: deadline.map(|d| d - now),
+                    last_scheduled: slot.last_scheduled,
+                }
             })
             .collect()
     }
@@ -693,10 +859,12 @@ impl RenderServer {
             let pick = if views.is_empty() {
                 None
             } else {
-                let ctx = ScheduleContext {
+                let ctx = PolicyContext {
                     tick: self.ticks,
                     last_session: self.last_session,
                     last_pipeline: self.last_pipeline,
+                    now_seconds: self.total_seconds,
+                    switch_costs: self.switch_costs.as_ref(),
                 };
                 self.policy.pick(&ctx, &views)
             };

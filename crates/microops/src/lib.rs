@@ -35,12 +35,14 @@ pub mod op;
 pub mod pipeline;
 pub mod serve;
 pub mod stats;
+pub mod switch;
 pub mod trace;
 
 pub use cost::CostVector;
 pub use invoke::{Invocation, PrimitiveKind, Workload};
 pub use op::{Dims, IndexFunction, IndexingTask, MemAccessPattern, MicroOp, ReductionTask};
 pub use pipeline::Pipeline;
-pub use serve::{BoundaryMeter, ServerSummary, SessionStats};
+pub use serve::{BoundaryEvent, BoundaryMeter, ServerSummary, SessionStats};
 pub use stats::TraceStats;
+pub use switch::SwitchCostModel;
 pub use trace::Trace;

@@ -23,6 +23,24 @@ use crate::op::MicroOp;
 use crate::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
 
+/// One pipeline-aware schedule boundary a [`BoundaryMeter`] crossed: the
+/// ordered pipeline pair and whether entering `to` reconfigured.
+///
+/// Recorded by [`BoundaryMeter::observe_for`] for **every** real
+/// boundary — paid *and* amortized — because switch-cost estimation
+/// ([`crate::SwitchCostModel`]) needs the pair either way: an amortized
+/// same-renderer boundary is evidence the pair is cheap, exactly as a
+/// paid one is evidence it is expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryEvent {
+    /// Pipeline of the previously scheduled (non-empty) frame.
+    pub from: Pipeline,
+    /// Pipeline of the frame just entered.
+    pub to: Pipeline,
+    /// Whether entering `to` paid a PE-array reconfiguration.
+    pub switched: bool,
+}
+
 /// Counts PE-array mode switches across a sequence of scheduled frames.
 ///
 /// Feed it each scheduled frame's boundary micro-operator families in
@@ -39,6 +57,10 @@ pub struct BoundaryMeter {
     /// Pipeline of the most recent non-empty frame, when the caller
     /// meters pipeline-aware boundaries ([`BoundaryMeter::observe_for`]).
     last_pipeline: Option<Pipeline>,
+    /// The most recent pipeline-aware boundary crossed, pair and verdict
+    /// ([`BoundaryMeter::last_boundary`]) — the history switch-cost
+    /// estimation consumes.
+    last_event: Option<BoundaryEvent>,
     switches: u64,
     avoided: u64,
 }
@@ -70,6 +92,14 @@ impl BoundaryMeter {
             }
             _ => false,
         };
+        if first.is_some() || last.is_some() {
+            // A pipeline-agnostic observation invalidates the pipeline
+            // memory: the frame's renderer is unknown, so a later
+            // `observe_for` must not amortize against (or attribute a
+            // pair to) a stale pipeline from before this frame.
+            self.last_pipeline = None;
+            self.last_event = None;
+        }
         self.last = last.or(self.last);
         switched
     }
@@ -95,21 +125,45 @@ impl BoundaryMeter {
     ) -> bool {
         let switched = match (self.last, first) {
             (Some(prev), Some(first)) => {
-                if prev == first && self.last_pipeline == Some(pipeline) {
-                    self.avoided += 1;
-                    false
-                } else {
+                let paid = !(prev == first && self.last_pipeline == Some(pipeline));
+                if paid {
                     self.switches += 1;
-                    true
+                } else {
+                    self.avoided += 1;
                 }
+                // Record the boundary with its ordered pipeline pair —
+                // amortized same-renderer boundaries included, since the
+                // cost model learns from both outcomes. The pair is
+                // unknowable (and not recorded) when the previous frame
+                // was metered pipeline-agnostically.
+                self.last_event = self.last_pipeline.map(|from| BoundaryEvent {
+                    from,
+                    to: pipeline,
+                    switched: paid,
+                });
+                paid
             }
-            _ => false,
+            _ => {
+                self.last_event = None;
+                false
+            }
         };
         if first.is_some() || last.is_some() {
             self.last_pipeline = Some(pipeline);
         }
         self.last = last.or(self.last);
         switched
+    }
+
+    /// The most recent pipeline-aware boundary crossed by
+    /// [`BoundaryMeter::observe_for`]: its ordered pipeline pair and
+    /// whether it reconfigured. `None` when the last observation was not
+    /// a real boundary (first frame, empty trace, or a pipeline-agnostic
+    /// [`BoundaryMeter::observe`]). Feed it to
+    /// [`crate::SwitchCostModel::observe`] to learn per-pair switch
+    /// costs from the schedule as served.
+    pub fn last_boundary(&self) -> Option<BoundaryEvent> {
+        self.last_event
     }
 
     /// The micro-operator family the most recent non-empty frame ended in.
@@ -151,6 +205,30 @@ pub struct SessionStats {
     /// Whether the session was closed early (cancelled before its path
     /// finished); its counters then cover only the delivered prefix.
     pub closed_early: bool,
+    /// Per-frame deadline rate the session was admitted with (frames per
+    /// simulated second); `None` for best-effort sessions. Deadlines are
+    /// **sim-time** facts: frame `i` of the session is due `(i + 1) /
+    /// deadline_hz` simulated seconds after the session's deadline epoch
+    /// (serve start; for mid-serve admissions, the delivered sim-time at
+    /// which the session's first frame starts service).
+    pub deadline_hz: Option<f64>,
+    /// Delivered frames whose schedule-order completion (cumulative sim
+    /// seconds at delivery) exceeded their deadline. Always 0 for
+    /// best-effort sessions and on accelerator-less servers (nothing is
+    /// simulated, so sim-time never advances).
+    pub deadline_misses: u64,
+    /// The smallest sim-time slack (deadline minus completion, seconds)
+    /// any delivered frame of this session had; negative iff a deadline
+    /// was missed. `None` for best-effort sessions or before the first
+    /// delivery.
+    pub worst_slack: Option<f64>,
+    /// Median per-frame sim latency (seconds charged to one delivered
+    /// frame: its simulated execution plus any boundary reconfiguration
+    /// paid entering it). 0 until something is simulated.
+    pub latency_p50: f64,
+    /// 99th-percentile per-frame sim latency (nearest-rank over the
+    /// session's delivered frames). 0 until something is simulated.
+    pub latency_p99: f64,
     /// Frames of this session the server has delivered.
     pub frames: usize,
     /// Simulated cycles attributed to this session, including the
@@ -182,6 +260,11 @@ impl SessionStats {
             priority: 0,
             label: None,
             closed_early: false,
+            deadline_hz: None,
+            deadline_misses: 0,
+            worst_slack: None,
+            latency_p50: 0.0,
+            latency_p99: 0.0,
             frames: 0,
             cycles: 0,
             seconds: 0.0,
@@ -226,6 +309,11 @@ pub struct ServerSummary {
     pub admissions: u64,
     /// Sessions closed early (cancelled before their paths finished).
     pub closes: u64,
+    /// Deadline misses summed over every deadline-bound session.
+    /// Misses are *schedule-order* facts (cumulative sim-time at
+    /// delivery vs. the frame's sim-time deadline), never lane-timing
+    /// facts — the count is identical at any `UNI_RENDER_THREADS`.
+    pub deadline_misses: u64,
     /// Frames delivered across all sessions, in schedule order.
     pub scheduled_frames: usize,
     /// Simulated cycles across the whole schedule.
@@ -288,6 +376,42 @@ impl ServerSummary {
             .collect()
     }
 
+    /// Deadline misses per delivered frame of the *deadline-bound*
+    /// sessions (best-effort sessions are excluded from the
+    /// denominator); 0 when no session carries a deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let bound: usize = self
+            .per_session
+            .iter()
+            .filter(|s| s.deadline_hz.is_some())
+            .map(|s| s.frames)
+            .sum();
+        if bound == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / bound as f64
+        }
+    }
+
+    /// The worst (smallest) sim-time slack any deadline-bound session's
+    /// frame was delivered with; `None` when no deadline-bound frame has
+    /// been delivered. Negative iff some deadline was missed.
+    pub fn worst_slack(&self) -> Option<f64> {
+        self.per_session
+            .iter()
+            .filter_map(|s| s.worst_slack)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The largest per-session p99 sim latency — the schedule's tail
+    /// latency across sessions; 0 when nothing was simulated.
+    pub fn p99_sim_latency(&self) -> f64 {
+        self.per_session
+            .iter()
+            .map(|s| s.latency_p99)
+            .fold(0.0, f64::max)
+    }
+
     /// Simulated schedule throughput (frames per simulated second); 0
     /// when nothing was simulated.
     pub fn mean_fps(&self) -> f64 {
@@ -319,7 +443,9 @@ impl ServerSummary {
             .map(|s| s.boundary_switches_avoided)
             .sum();
         let seconds: f64 = self.per_session.iter().map(|s| s.seconds).sum();
+        let misses: u64 = self.per_session.iter().map(|s| s.deadline_misses).sum();
         frames == self.scheduled_frames
+            && misses == self.deadline_misses
             && cycles == self.total_cycles
             && in_frame == self.in_frame_reconfigurations
             && boundary == self.boundary_reconfigurations
@@ -368,6 +494,84 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_aware_boundaries_record_their_pair_either_way() {
+        let mut m = BoundaryMeter::new();
+        // First frame: no boundary, no event.
+        m.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        assert_eq!(m.last_boundary(), None);
+        // Amortized same-renderer boundary: the pair is recorded too —
+        // the cost model needs the cheap evidence as much as the
+        // expensive (this history previously went nowhere).
+        m.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        assert_eq!(
+            m.last_boundary(),
+            Some(BoundaryEvent {
+                from: Pipeline::Mesh,
+                to: Pipeline::Mesh,
+                switched: false,
+            })
+        );
+        // Paid cross-renderer boundary.
+        m.observe_for(Pipeline::Mlp, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        assert_eq!(
+            m.last_boundary(),
+            Some(BoundaryEvent {
+                from: Pipeline::Mesh,
+                to: Pipeline::Mlp,
+                switched: true,
+            })
+        );
+        // An empty trace is not a boundary: the event clears but the
+        // pipeline memory survives for the next real boundary.
+        m.observe_for(Pipeline::Mesh, None, None);
+        assert_eq!(m.last_boundary(), None);
+        m.observe_for(Pipeline::Mlp, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        assert_eq!(
+            m.last_boundary(),
+            Some(BoundaryEvent {
+                from: Pipeline::Mlp,
+                to: Pipeline::Mlp,
+                switched: false,
+            })
+        );
+    }
+
+    #[test]
+    fn pipeline_agnostic_observation_invalidates_the_pipeline_memory() {
+        // Regression for the mixed-semantics latent bug: after a
+        // pipeline-agnostic `observe`, the meter must not amortize a
+        // later `observe_for` against the pipeline remembered from
+        // *before* that frame — the interleaved frame's renderer is
+        // unknown, so the pair across it is unknowable.
+        let mut m = BoundaryMeter::new();
+        m.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        m.observe(Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        assert_eq!(m.last_boundary(), None, "agnostic frames clear the event");
+        let switched = m.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        assert!(
+            switched,
+            "unknown prior pipeline must pay the switch, not amortize \
+             against stale memory"
+        );
+        assert_eq!(
+            m.last_boundary(),
+            None,
+            "no pair is attributable across an agnostic frame"
+        );
+        // And the two semantics still agree on a homogeneous stream
+        // driven purely through either entry point (the accounting mixes
+        // pinned by tests/server_accounting.rs rely on this).
+        let mut agnostic = BoundaryMeter::new();
+        let mut aware = BoundaryMeter::new();
+        for _ in 0..4 {
+            agnostic.observe(Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+            aware.observe_for(Pipeline::Mesh, Some(MicroOp::Gemm), Some(MicroOp::Gemm));
+        }
+        assert_eq!(agnostic.switches(), aware.switches());
+        assert_eq!(agnostic.avoided(), aware.avoided());
+    }
+
+    #[test]
     fn meter_skips_empty_frames_without_forgetting_the_mode() {
         let mut m = BoundaryMeter::new();
         m.observe(Some(MicroOp::Sorting), Some(MicroOp::Sorting));
@@ -397,6 +601,7 @@ mod tests {
             policy: "round_robin".to_string(),
             admissions: 1,
             closes: 0,
+            deadline_misses: 0,
             scheduled_frames: 5,
             total_cycles: 150,
             total_seconds: 1.5,

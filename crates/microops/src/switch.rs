@@ -1,0 +1,314 @@
+//! Renderer-switch cost estimation for cost-aware scheduling.
+//!
+//! Uni-Render pays a PE-array reconfiguration whenever two consecutively
+//! scheduled frames straddle renderer (or micro-operator-family)
+//! boundaries — but not every boundary costs the same *in expectation*:
+//! two frames of one pipeline usually chain for free (their seam
+//! families match), while crossing renderers always reconfigures. A
+//! schedule that wants to trade reconfiguration savings against latency
+//! slack therefore needs a *quantitative* estimate of what scheduling
+//! pipeline `B` after pipeline `A` will cost, learned from the
+//! boundaries the serving schedule has actually paid.
+//!
+//! [`SwitchCostModel`] is that estimator: one exponentially weighted
+//! moving average (EWMA) of observed boundary cost per **ordered**
+//! pipeline pair `(from, to)`, fed from [`BoundaryMeter`] history (each
+//! boundary's pair plus whether it reconfigured — see
+//! [`BoundaryMeter::last_boundary`]) and seedable from a static prior
+//! table so estimates are useful before anything is observed. The model
+//! is deterministic: per-pair state means observations of *independent*
+//! pairs commute, and no ambient state (clocks, RNGs) is consulted —
+//! identical observation sequences produce bit-identical estimates.
+//!
+//! [`BoundaryMeter`]: crate::BoundaryMeter
+//! [`BoundaryMeter::last_boundary`]: crate::BoundaryMeter::last_boundary
+
+use crate::pipeline::Pipeline;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default EWMA smoothing factor: each new observation carries a quarter
+/// of the estimate, so the model converges within a handful of
+/// boundaries while staying robust to one-off outliers.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.25;
+
+/// Per-ordered-pair learned state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PairEstimate {
+    /// EWMA of the observed boundary cost in simulated seconds.
+    ewma_seconds: f64,
+    /// Boundaries observed for this pair.
+    observations: u64,
+}
+
+/// EWMA estimator of the simulated-time cost of scheduling one pipeline
+/// directly after another.
+///
+/// Feed it every schedule boundary via [`SwitchCostModel::observe`]
+/// (typically straight from [`BoundaryMeter::last_boundary`]): the cost
+/// is the simulated seconds the boundary charged — the reconfiguration
+/// window when it switched, `0.0` when the seam was amortized away.
+/// [`SwitchCostModel::estimate`] then answers "what will scheduling `to`
+/// right after `from` cost?" — the learned EWMA when the pair has been
+/// observed, the static prior otherwise.
+///
+/// # Determinism
+///
+/// Estimates are pure functions of the per-pair observation sequences:
+/// interleaving observations of *different* pairs in any order yields
+/// bit-identical state (each pair owns its EWMA), and the model never
+/// consults wall-clock time or randomness. Scheduling policies may
+/// therefore condition on it without breaking the serving contract.
+///
+/// [`BoundaryMeter::last_boundary`]: crate::BoundaryMeter::last_boundary
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchCostModel {
+    alpha: f64,
+    /// Static prior for unobserved cross-pipeline pairs (seconds).
+    prior_cross_seconds: f64,
+    /// Static prior for unobserved same-pipeline pairs (seconds).
+    prior_same_seconds: f64,
+    pairs: BTreeMap<(Pipeline, Pipeline), PairEstimate>,
+}
+
+impl Default for SwitchCostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwitchCostModel {
+    /// An unseeded model: every unobserved pair estimates `0.0` until
+    /// boundaries are observed. Prefer
+    /// [`SwitchCostModel::seeded`] when the device's reconfiguration
+    /// window is known — cold estimates of zero make cost-aware
+    /// schedules behave as if switching were free.
+    pub fn new() -> Self {
+        Self {
+            alpha: DEFAULT_EWMA_ALPHA,
+            prior_cross_seconds: 0.0,
+            prior_same_seconds: 0.0,
+            pairs: BTreeMap::new(),
+        }
+    }
+
+    /// A model seeded from the static table the hardware implies:
+    /// crossing pipelines is presumed to cost one full reconfiguration
+    /// window (`reconfig_seconds`), staying on a pipeline is presumed
+    /// free (seam families usually match). Observations then pull each
+    /// pair toward its true expected cost — e.g. a pipeline whose traces
+    /// start and end in different families *does* pay same-pipeline
+    /// boundaries, and its diagonal estimate rises accordingly.
+    pub fn seeded(reconfig_seconds: f64) -> Self {
+        Self {
+            alpha: DEFAULT_EWMA_ALPHA,
+            prior_cross_seconds: reconfig_seconds.max(0.0),
+            prior_same_seconds: 0.0,
+            pairs: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the EWMA smoothing factor (clamped to `(0, 1]`).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = if alpha.is_finite() {
+            alpha.clamp(f64::MIN_POSITIVE, 1.0)
+        } else {
+            DEFAULT_EWMA_ALPHA
+        };
+        self
+    }
+
+    /// Pins one ordered pair's estimate (as if it had been observed
+    /// once) — the escape hatch for callers with better priors than the
+    /// uniform table, e.g. calibrated per-renderer switch costs.
+    pub fn seed_pair(&mut self, from: Pipeline, to: Pipeline, seconds: f64) {
+        self.pairs.insert(
+            (from, to),
+            PairEstimate {
+                ewma_seconds: seconds.max(0.0),
+                observations: 1,
+            },
+        );
+    }
+
+    /// Records one observed schedule boundary: scheduling `to` directly
+    /// after `from` charged `seconds` of simulated time (`0.0` when the
+    /// boundary was amortized away). Updates the ordered pair's EWMA.
+    pub fn observe(&mut self, from: Pipeline, to: Pipeline, seconds: f64) {
+        let seconds = seconds.max(0.0);
+        let entry = self.pairs.entry((from, to));
+        match entry {
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let est = slot.get_mut();
+                est.ewma_seconds += self.alpha * (seconds - est.ewma_seconds);
+                est.observations += 1;
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                // The first observation *replaces* the static prior
+                // rather than blending with it: the prior is a table
+                // default, not evidence.
+                slot.insert(PairEstimate {
+                    ewma_seconds: seconds,
+                    observations: 1,
+                });
+            }
+        }
+    }
+
+    /// Expected simulated seconds a schedule pays to run `to` directly
+    /// after `from`: the learned EWMA when the pair has been observed,
+    /// the static prior (cross vs. same pipeline) otherwise.
+    pub fn estimate(&self, from: Pipeline, to: Pipeline) -> f64 {
+        match self.pairs.get(&(from, to)) {
+            Some(est) => est.ewma_seconds,
+            None if from == to => self.prior_same_seconds,
+            None => self.prior_cross_seconds,
+        }
+    }
+
+    /// Expected *saving* from scheduling `keep` (staying in the current
+    /// mode `from`) instead of `instead`: how much cheaper the kept
+    /// boundary is expected to be. Never negative — a schedule cannot
+    /// save by paying more.
+    pub fn saving(&self, from: Pipeline, keep: Pipeline, instead: Pipeline) -> f64 {
+        (self.estimate(from, instead) - self.estimate(from, keep)).max(0.0)
+    }
+
+    /// Boundaries observed for one ordered pair.
+    pub fn observations(&self, from: Pipeline, to: Pipeline) -> u64 {
+        self.pairs.get(&(from, to)).map_or(0, |e| e.observations)
+    }
+
+    /// Total boundaries observed across all pairs.
+    pub fn total_observations(&self) -> u64 {
+        self.pairs.values().map(|e| e.observations).sum()
+    }
+
+    /// Ordered pairs with at least one observation, in `(from, to)`
+    /// order (deterministic).
+    pub fn observed_pairs(&self) -> impl Iterator<Item = (Pipeline, Pipeline)> + '_ {
+        self.pairs.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_pairs_fall_back_to_the_static_table() {
+        let model = SwitchCostModel::seeded(2e-6);
+        assert_eq!(model.estimate(Pipeline::Mesh, Pipeline::Mlp), 2e-6);
+        assert_eq!(model.estimate(Pipeline::Mesh, Pipeline::Mesh), 0.0);
+        assert_eq!(model.total_observations(), 0);
+        // Unseeded model estimates zero everywhere.
+        let cold = SwitchCostModel::new();
+        assert_eq!(cold.estimate(Pipeline::Mesh, Pipeline::Mlp), 0.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_a_constant_observation() {
+        let mut model = SwitchCostModel::seeded(1.0);
+        for _ in 0..64 {
+            model.observe(Pipeline::HashGrid, Pipeline::HashGrid, 0.5);
+        }
+        let est = model.estimate(Pipeline::HashGrid, Pipeline::HashGrid);
+        assert!(
+            (est - 0.5).abs() < 1e-9,
+            "EWMA must converge to the constant signal, got {est}"
+        );
+        assert_eq!(
+            model.observations(Pipeline::HashGrid, Pipeline::HashGrid),
+            64
+        );
+        // The first observation replaces the prior outright.
+        let mut one = SwitchCostModel::seeded(1.0);
+        one.observe(Pipeline::Mesh, Pipeline::Mlp, 0.25);
+        assert_eq!(one.estimate(Pipeline::Mesh, Pipeline::Mlp), 0.25);
+    }
+
+    #[test]
+    fn ewma_tracks_a_shifting_signal_monotonically() {
+        let mut model = SwitchCostModel::new();
+        model.observe(Pipeline::Mesh, Pipeline::Gaussian3d, 0.0);
+        let mut last = model.estimate(Pipeline::Mesh, Pipeline::Gaussian3d);
+        for _ in 0..16 {
+            model.observe(Pipeline::Mesh, Pipeline::Gaussian3d, 1.0);
+            let now = model.estimate(Pipeline::Mesh, Pipeline::Gaussian3d);
+            assert!(now > last, "estimate must climb toward the new level");
+            assert!(now <= 1.0);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn independent_pair_observations_commute() {
+        // Two interleavings of the same per-pair sequences must produce
+        // bit-identical models: pairs are independent.
+        let a_obs = [
+            (Pipeline::Mesh, Pipeline::Mlp, 1.0e-6),
+            (Pipeline::Mesh, Pipeline::Mlp, 3.0e-6),
+        ];
+        let b_obs = [
+            (Pipeline::Gaussian3d, Pipeline::HashGrid, 2.0e-6),
+            (Pipeline::Gaussian3d, Pipeline::HashGrid, 4.0e-6),
+        ];
+        let feed = |order: &[(Pipeline, Pipeline, f64)]| {
+            let mut model = SwitchCostModel::seeded(9.0e-6);
+            for &(from, to, s) in order {
+                model.observe(from, to, s);
+            }
+            model
+        };
+        let interleaved = feed(&[a_obs[0], b_obs[0], a_obs[1], b_obs[1]]);
+        let blocked = feed(&[b_obs[0], b_obs[1], a_obs[0], a_obs[1]]);
+        assert_eq!(interleaved, blocked);
+        assert_eq!(
+            interleaved
+                .estimate(Pipeline::Mesh, Pipeline::Mlp)
+                .to_bits(),
+            blocked.estimate(Pipeline::Mesh, Pipeline::Mlp).to_bits(),
+            "estimates must match bit for bit"
+        );
+        // Order *within* one pair matters (it is an EWMA) — that is the
+        // boundary of the determinism claim, not a violation of it.
+        let forward = feed(&a_obs);
+        let mut reversed_obs = a_obs;
+        reversed_obs.reverse();
+        let reversed = feed(&reversed_obs);
+        assert_ne!(
+            forward.estimate(Pipeline::Mesh, Pipeline::Mlp),
+            reversed.estimate(Pipeline::Mesh, Pipeline::Mlp)
+        );
+    }
+
+    #[test]
+    fn saving_is_the_clamped_estimate_difference() {
+        let mut model = SwitchCostModel::seeded(5.0e-6);
+        // Staying on Mesh is free, leaving costs the prior.
+        assert_eq!(
+            model.saving(Pipeline::Mesh, Pipeline::Mesh, Pipeline::Mlp),
+            5.0e-6
+        );
+        // Once the diagonal is learned to be expensive, the saving of
+        // staying shrinks — and is clamped at zero when staying costs
+        // *more* than leaving.
+        model.seed_pair(Pipeline::Mesh, Pipeline::Mesh, 8.0e-6);
+        assert_eq!(
+            model.saving(Pipeline::Mesh, Pipeline::Mesh, Pipeline::Mlp),
+            0.0
+        );
+    }
+
+    #[test]
+    fn seed_pair_and_alpha_overrides_apply() {
+        let mut model = SwitchCostModel::new().with_alpha(0.5);
+        model.seed_pair(Pipeline::Mlp, Pipeline::Mesh, 4.0);
+        assert_eq!(model.estimate(Pipeline::Mlp, Pipeline::Mesh), 4.0);
+        assert_eq!(model.observations(Pipeline::Mlp, Pipeline::Mesh), 1);
+        model.observe(Pipeline::Mlp, Pipeline::Mesh, 0.0);
+        assert_eq!(model.estimate(Pipeline::Mlp, Pipeline::Mesh), 2.0);
+        let pairs: Vec<_> = model.observed_pairs().collect();
+        assert_eq!(pairs, vec![(Pipeline::Mlp, Pipeline::Mesh)]);
+    }
+}

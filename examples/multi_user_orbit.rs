@@ -13,6 +13,12 @@
 //! effect at deterministic tick boundaries, so the whole served stream
 //! is bit-reproducible at any `UNI_RENDER_THREADS`.
 //!
+//! Carol additionally streams under a **sim-time deadline**
+//! (`SessionRequest::deadline_hz`): every frame of hers is due on a
+//! fixed period of the accelerator's simulated clock, and the server
+//! counts misses and worst slack per session regardless of the policy —
+//! the example prints her deadline report at the end.
+//!
 //! Delivery is deterministic: the example proves it by re-rendering one
 //! user's stream with a standalone [`RenderSession`] and asserting every
 //! frame is bit-identical.
@@ -26,6 +32,10 @@ use uni_render::prelude::*;
 use uni_render::scene::SceneFlavor;
 
 const FRAMES: usize = 6;
+
+/// Carol's per-frame deadline rate on the *simulated* clock (frames per
+/// sim-second): a 30 FPS latency budget for her hash-grid stream.
+const CAROL_DEADLINE_HZ: f64 = 30.0;
 
 /// Display name, pipeline, resolution, orbit start angle, and
 /// fair-share weight of a user.
@@ -98,16 +108,25 @@ fn main() {
     let mut names = Vec::new();
     let mut handles = Vec::new();
     for (name, renderer, resolution, start, weight) in users() {
-        let handle = server.admit(
-            SessionRequest::new(renderer, path_for(&spec, resolution, start))
-                .weight(weight)
-                .label(name),
-        );
+        let mut request = SessionRequest::new(renderer, path_for(&spec, resolution, start))
+            .weight(weight)
+            .label(name);
+        let deadline_bound = name.starts_with("carol");
+        if deadline_bound {
+            request = request.deadline_hz(CAROL_DEADLINE_HZ);
+        }
+        let handle = server.admit(request);
         names.push(name);
         handles.push(handle);
         println!(
-            "  {handle}: {name} @{}x{} (weight {weight})",
-            resolution.0, resolution.1
+            "  {handle}: {name} @{}x{} (weight {weight}){}",
+            resolution.0,
+            resolution.1,
+            if deadline_bound {
+                format!(" [deadline {CAROL_DEADLINE_HZ} Hz sim]")
+            } else {
+                String::new()
+            }
         );
     }
 
@@ -206,6 +225,26 @@ fn main() {
         .session(handles[4].id())
         .expect("erin admitted mid-serve");
     assert_eq!(erin.frames, FRAMES, "the late joiner is served fully");
+    let carol = summary.session(handles[2].id()).expect("carol served");
+    assert_eq!(carol.deadline_hz, Some(CAROL_DEADLINE_HZ));
+    let carol_worst = carol
+        .worst_slack
+        .expect("deadline accounting engaged for carol");
+    assert_eq!(
+        summary.deadline_misses, carol.deadline_misses,
+        "carol is the only deadline-bound user"
+    );
+    println!(
+        "\nDeadline report ({}): {} of {} frames missed ({:.0}% miss rate), \
+         worst slack {:+.2} ms sim, p50/p99 frame latency {:.2}/{:.2} ms sim",
+        names[carol.session],
+        carol.deadline_misses,
+        carol.frames,
+        100.0 * summary.deadline_miss_rate(),
+        1e3 * carol_worst,
+        1e3 * carol.latency_p50,
+        1e3 * carol.latency_p99,
+    );
     println!(
         "\nSchedule: {} frames, sim {:.1} FPS aggregate, {:.2} reconfigs/frame \
          ({} at boundaries, {} avoided), {} admission / {} close mid-serve",

@@ -1,6 +1,50 @@
 //! Helpers shared across the integration-test binaries.
+//!
+//! Not every binary uses every helper, hence the `dead_code` allowances.
 
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use uni_render::prelude::Image;
+use uni_render::prelude::{
+    GaussianPipeline, HashGridPipeline, LowRankPipeline, MeshPipeline, MixRtPipeline, MlpPipeline,
+    Renderer,
+};
+
+/// Serialization point for tests that mutate the process-wide
+/// `UNI_RENDER_THREADS` variable (or render while another test might).
+#[allow(dead_code)]
+pub fn env_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs `f` under a pinned worker count (caller holds [`env_lock`]).
+#[allow(dead_code)]
+pub fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("UNI_RENDER_THREADS", threads);
+    let result = f();
+    std::env::remove_var("UNI_RENDER_THREADS");
+    result
+}
+
+/// The six pipelines by dense index — the shared session-mix generator
+/// of the serving test harnesses.
+#[allow(dead_code)]
+pub fn renderer(index: usize) -> Box<dyn Renderer + Send> {
+    match index {
+        0 => Box::new(MeshPipeline::default()),
+        1 => Box::new(MlpPipeline::default()),
+        2 => Box::new(LowRankPipeline::default()),
+        3 => Box::new(HashGridPipeline::default()),
+        4 => Box::new(GaussianPipeline::default()),
+        _ => Box::new(MixRtPipeline::default()),
+    }
+}
+
+/// Session resolutions the generated serving mixes cycle through.
+#[allow(dead_code)]
+pub const RESOLUTIONS: [(u32, u32); 3] = [(16, 12), (24, 16), (32, 24)];
 
 /// FNV-1a over the raw little-endian f32 pixel bytes — equal hashes mean
 /// bit-identical frames. Both the serving determinism property test and

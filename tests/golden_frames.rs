@@ -43,6 +43,14 @@ const GOLDEN: [(&str, u64); 6] = [
 /// delivers; re-bless together with `GOLDEN`.
 const GOLDEN_PRIORITY_STREAM: u64 = 0xfe944e12c1e565fa;
 
+/// Checked-in hash of a served schedule under the [`EarliestDeadline`]
+/// policy (same folding as `GOLDEN_PRIORITY_STREAM`): pins the EDF
+/// order over three sessions with staggered sim-time deadline rates —
+/// tightest first, best-effort last — and the frames it delivers.
+/// Deadlines are sim-time facts, so the hash is thread-invariant;
+/// re-bless together with `GOLDEN`.
+const GOLDEN_EDF_STREAM: u64 = 0x2cf87e3e1210b072;
+
 fn golden_frames() -> Vec<(String, u64)> {
     let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);
     let scene = spec.bake();
@@ -57,6 +65,31 @@ fn golden_frames() -> Vec<(String, u64)> {
             (renderer.pipeline().to_string(), fnv1a(&image))
         })
         .collect()
+}
+
+/// The camera path every golden served-stream session walks.
+fn golden_path(spec: &SceneSpec) -> CameraPath {
+    CameraPath::orbit_arc(spec.orbit(GOLDEN_RES.0, GOLDEN_RES.1), GOLDEN_ANGLE, 1.5, 2)
+}
+
+/// Drains a configured server and folds every delivered `(session,
+/// index, frame-hash)` triple into one FNV-1a hash, in delivery order —
+/// the encoding every golden served-stream constant pins.
+fn served_stream_hash(mut server: RenderServer) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fold = |value: u64| {
+        for byte in value.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    while let Some(frame) = server.next_frame() {
+        fold(frame.session as u64);
+        fold(frame.report.index as u64);
+        fold(fnv1a(&frame.report.image));
+        server.recycle(frame.session, frame.report.image);
+    }
+    h
 }
 
 /// Serves the golden scene under the `Priority` policy — three sessions
@@ -74,28 +107,52 @@ fn priority_stream_hash() -> u64 {
         (Box::new(GaussianPipeline::default()), 0),
     ];
     for (renderer, priority) in sessions {
-        server.admit(
-            SessionRequest::new(
-                renderer,
-                CameraPath::orbit_arc(spec.orbit(GOLDEN_RES.0, GOLDEN_RES.1), GOLDEN_ANGLE, 1.5, 2),
-            )
-            .priority(priority),
-        );
+        server.admit(SessionRequest::new(renderer, golden_path(&spec)).priority(priority));
     }
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    let mut fold = |value: u64| {
-        for byte in value.to_le_bytes() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    served_stream_hash(server)
+}
+
+/// Serves the golden scene under the `EarliestDeadline` policy — a
+/// tight-deadline mesh stream, a looser hash-grid stream, and a
+/// best-effort gaussian stream, two frames each — and folds the
+/// delivery stream into one hash. The deadline rates are fixed
+/// constants on the sim-time axis (the accelerator is the paper
+/// config), so the schedule is as pinned as the frames.
+fn edf_stream_hash() -> u64 {
+    let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);
+    let scene = spec.bake();
+    let mut server = RenderServer::new(scene)
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+        .with_policy(EarliestDeadline::new())
+        .with_lanes(2);
+    let sessions: [(Box<dyn Renderer + Send>, Option<f64>); 3] = [
+        (Box::new(MeshPipeline::default()), Some(480.0)),
+        (Box::new(HashGridPipeline::default()), Some(120.0)),
+        (Box::new(GaussianPipeline::default()), None),
+    ];
+    for (renderer, deadline_hz) in sessions {
+        let mut request = SessionRequest::new(renderer, golden_path(&spec));
+        if let Some(hz) = deadline_hz {
+            request = request.deadline_hz(hz);
         }
-    };
-    while let Some(frame) = server.next_frame() {
-        fold(frame.session as u64);
-        fold(frame.report.index as u64);
-        fold(fnv1a(&frame.report.image));
-        server.recycle(frame.session, frame.report.image);
+        server.admit(request);
     }
-    h
+    served_stream_hash(server)
+}
+
+#[test]
+fn earliest_deadline_schedule_matches_its_golden_stream_hash() {
+    let actual = edf_stream_hash();
+    if std::env::var("UNI_RENDER_BLESS").is_ok_and(|v| v == "1") {
+        println!("const GOLDEN_EDF_STREAM: u64 = {actual:#018x};");
+        return;
+    }
+    assert_eq!(
+        actual, GOLDEN_EDF_STREAM,
+        "EarliestDeadline served stream changed (schedule or frames) — if \
+         intentional, re-bless with UNI_RENDER_BLESS=1 cargo test --test \
+         golden_frames -- --nocapture"
+    );
 }
 
 #[test]

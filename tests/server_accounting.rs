@@ -5,7 +5,7 @@
 //! once for its whole stream.
 
 use std::sync::{Arc, OnceLock};
-use uni_render::microops::BoundaryMeter;
+use uni_render::microops::{BoundaryMeter, SwitchCostModel};
 use uni_render::prelude::*;
 
 fn scene() -> Arc<BakedScene> {
@@ -138,6 +138,105 @@ fn same_pipeline_sessions_pay_only_homogeneous_boundaries() {
         assert_eq!(summary.boundary_reconfigurations, 5);
         assert_eq!(summary.boundary_switches_avoided, 0);
     }
+}
+
+/// Regression for the pinned accounting mixes under *both* metering
+/// semantics, and for the latent history bug: the pipeline-aware meter
+/// must record the ordered pipeline pair of **every** real boundary —
+/// amortized same-renderer boundaries included — because switch-cost
+/// estimation consumes both outcomes. (Before this, `observe_for`
+/// recorded the pipeline memory and nothing ever consulted it.)
+#[test]
+fn pipeline_aware_replay_agrees_and_records_every_boundary_pair() {
+    let scene = scene();
+    let replay = |sessions: &[(Box<dyn Renderer + Send>, CameraPath)]| {
+        let mut agnostic = BoundaryMeter::new();
+        let mut aware = BoundaryMeter::new();
+        let mut model = SwitchCostModel::seeded(1.0);
+        let mut events = Vec::new();
+        let mut cursors = vec![0usize; sessions.len()];
+        loop {
+            let mut advanced = false;
+            for (sid, (renderer, path)) in sessions.iter().enumerate() {
+                if cursors[sid] < path.len() {
+                    let trace = renderer.trace(&scene, &path.camera(cursors[sid]));
+                    agnostic.observe(trace.first_op(), trace.last_op());
+                    aware.observe_for(renderer.pipeline(), trace.first_op(), trace.last_op());
+                    if let Some(event) = aware.last_boundary() {
+                        model.observe(event.from, event.to, if event.switched { 1.0 } else { 0.0 });
+                        events.push(event);
+                    }
+                    cursors[sid] += 1;
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        (agnostic, aware, model, events)
+    };
+
+    // Pinned mix 1: three same-pipeline sessions. The two semantics
+    // agree on the counts, and every boundary — paid or amortized —
+    // carries its (hashgrid, hashgrid) pair into the history.
+    let homogeneous: Vec<(Box<dyn Renderer + Send>, CameraPath)> = (0..3)
+        .map(|s| {
+            (
+                Box::new(HashGridPipeline::default()) as Box<dyn Renderer + Send>,
+                orbit_path(s, 2, 24, 16),
+            )
+        })
+        .collect();
+    let (agnostic, aware, model, events) = replay(&homogeneous);
+    assert_eq!(agnostic.switches(), aware.switches());
+    assert_eq!(agnostic.avoided(), aware.avoided());
+    assert_eq!(events.len(), 5, "every boundary after the first records");
+    for event in &events {
+        assert_eq!(event.from, Pipeline::HashGrid);
+        assert_eq!(event.to, Pipeline::HashGrid);
+    }
+    // The cost model learned the diagonal from history: free if the
+    // boundaries amortized, one unit if they all paid.
+    let learned = model.estimate(Pipeline::HashGrid, Pipeline::HashGrid);
+    if aware.switches() == 0 {
+        assert_eq!(learned, 0.0, "amortized history teaches a free diagonal");
+    } else {
+        assert!(learned > 0.0, "paying history teaches a costly diagonal");
+    }
+    assert_eq!(
+        model.observations(Pipeline::HashGrid, Pipeline::HashGrid),
+        5
+    );
+
+    // Pinned mix 2: alternating gaussian/hashgrid. Both semantics agree
+    // (every boundary crosses families) and the history alternates the
+    // two ordered pairs, all switched.
+    let alternating: Vec<(Box<dyn Renderer + Send>, CameraPath)> = vec![
+        (
+            Box::new(GaussianPipeline::default()),
+            orbit_path(0, 3, 24, 16),
+        ),
+        (
+            Box::new(HashGridPipeline::default()),
+            orbit_path(1, 3, 24, 16),
+        ),
+    ];
+    let (agnostic, aware, model, events) = replay(&alternating);
+    assert_eq!(agnostic.switches(), aware.switches());
+    assert_eq!(agnostic.avoided(), aware.avoided());
+    assert_eq!(events.len(), 5);
+    for (i, event) in events.iter().enumerate() {
+        assert!(event.switched, "alternating mismatched families all pay");
+        let (from, to) = if i % 2 == 0 {
+            (Pipeline::Gaussian3d, Pipeline::HashGrid)
+        } else {
+            (Pipeline::HashGrid, Pipeline::Gaussian3d)
+        };
+        assert_eq!((event.from, event.to), (from, to));
+    }
+    assert!(model.estimate(Pipeline::Gaussian3d, Pipeline::HashGrid) > 0.0);
+    assert!(model.estimate(Pipeline::HashGrid, Pipeline::Gaussian3d) > 0.0);
 }
 
 /// Aggregate counters are the sums of the per-session ones, and the

@@ -18,11 +18,11 @@
 //! renders while another test might), so they all serialize on one lock.
 
 use proptest::prelude::*;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 use uni_render::prelude::*;
 
 mod common;
-use common::fnv1a_image as frame_hash;
+use common::{env_lock, fnv1a_image as frame_hash, renderer, with_threads, RESOLUTIONS};
 
 /// Delivery order, per-session frame hashes, and final summary of one
 /// served run.
@@ -30,23 +30,6 @@ type ServedRun = (Vec<(usize, usize)>, Vec<Vec<u64>>, ServerSummary);
 
 /// A fresh-instance constructor for one scheduling policy.
 type PolicyFactory = fn() -> Box<dyn SchedulePolicy>;
-
-/// All tests in this binary serialize here: `UNI_RENDER_THREADS` is
-/// process-wide state.
-fn env_lock() -> MutexGuard<'static, ()> {
-    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-    LOCK.get_or_init(|| Mutex::new(()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Runs `f` under a pinned worker count (caller holds the env lock).
-fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
-    std::env::set_var("UNI_RENDER_THREADS", threads);
-    let result = f();
-    std::env::remove_var("UNI_RENDER_THREADS");
-    result
-}
 
 fn scene() -> Arc<BakedScene> {
     static SCENE: OnceLock<Arc<BakedScene>> = OnceLock::new();
@@ -65,19 +48,6 @@ struct Mix {
     pipeline: usize,
     frames: usize,
     resolution: (u32, u32),
-}
-
-const RESOLUTIONS: [(u32, u32); 3] = [(16, 12), (24, 16), (32, 24)];
-
-fn renderer(index: usize) -> Box<dyn Renderer + Send> {
-    match index {
-        0 => Box::new(MeshPipeline::default()),
-        1 => Box::new(MlpPipeline::default()),
-        2 => Box::new(LowRankPipeline::default()),
-        3 => Box::new(HashGridPipeline::default()),
-        4 => Box::new(GaussianPipeline::default()),
-        _ => Box::new(MixRtPipeline::default()),
-    }
 }
 
 fn path_for(session: usize, mix: Mix) -> CameraPath {
@@ -315,6 +285,88 @@ fn coalescing_pays_strictly_fewer_reconfigurations_than_round_robin() {
             rr.boundary_reconfigurations
         );
         assert!(co.reconfigurations_per_frame() < rr.reconfigurations_per_frame());
+    });
+}
+
+/// Cost-aware coalescing against the fixed `coalesce_switches` knob on
+/// the pinned 4-session mixed-pipeline workload: it pays **no more**
+/// reconfigurations per frame, and it **never worsens the worst slack**
+/// of a deadline-bound session — because it batches by urgency order and
+/// breaks a batch whenever the learned switch saving stops covering the
+/// induced slack loss. (The permutation/thread-invariance proptests for
+/// `CostAware` and `EarliestDeadline` live in `tests/server_deadlines.rs`.)
+#[test]
+fn cost_aware_coalescing_never_pays_more_switches_nor_worse_slack() {
+    let _guard = env_lock();
+    with_threads("1", || {
+        // The coalescing worst case again — four sessions, four distinct
+        // pipelines — with a deadline-bound session buried at id 2, where
+        // the id-ordered fixed coalescer serves it late.
+        let mixes: Vec<Mix> = [4usize, 0, 3, 1]
+            .iter()
+            .map(|&pipeline| Mix {
+                pipeline,
+                frames: 3,
+                resolution: (24, 16),
+            })
+            .collect();
+        // Deadline loose enough that batch scheduling can meet it (the
+        // whole workload is 12 frames), tight enough that *when* the
+        // session is served moves its slack: one period per round of the
+        // total sim time, measured by a calibration serve.
+        let total_seconds = served(&mixes, Box::new(RoundRobin::new()), 2)
+            .2
+            .total_seconds;
+        let deadline_hz = mixes.len() as f64 * mixes[0].frames as f64 / (2.0 * total_seconds);
+        let serve_with_deadline = |policy: Box<dyn SchedulePolicy>| {
+            let mut server = RenderServer::new(scene())
+                .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+                .with_policy(policy)
+                .with_lanes(2);
+            for (id, &mix) in mixes.iter().enumerate() {
+                let mut request = request_for(id, mix);
+                if id == 2 {
+                    request = request.deadline_hz(deadline_hz);
+                }
+                server.admit(request);
+            }
+            let mut hashes: Vec<Vec<u64>> =
+                mixes.iter().map(|m| Vec::with_capacity(m.frames)).collect();
+            while let Some(frame) = server.next_frame() {
+                hashes[frame.session].push(frame_hash(&frame.report.image));
+                server.recycle(frame.session, frame.report.image);
+            }
+            (hashes, server.summary())
+        };
+        let (co_hashes, co) =
+            serve_with_deadline(Box::new(RoundRobin::new().coalesce_switches(true)));
+        let (ca_hashes, ca) = serve_with_deadline(Box::new(CostAware::new()));
+        assert_eq!(ca.policy, "cost_aware");
+        assert_eq!(
+            co_hashes, ca_hashes,
+            "cost awareness must not change the frames"
+        );
+        assert!(
+            ca.reconfigurations_per_frame() <= co.reconfigurations_per_frame(),
+            "cost-aware pays {} reconfigs/frame vs fixed coalescer {}",
+            ca.reconfigurations_per_frame(),
+            co.reconfigurations_per_frame()
+        );
+        let co_worst = co.worst_slack().expect("deadline session served");
+        let ca_worst = ca.worst_slack().expect("deadline session served");
+        assert!(
+            ca_worst >= co_worst,
+            "cost-aware worst slack {ca_worst:.6e} must not fall below the \
+             fixed coalescer's {co_worst:.6e}"
+        );
+        // On this mix urgency ordering actually *improves* the deadline
+        // session's worst slack — the win the serve bench pins.
+        assert!(
+            ca_worst > co_worst,
+            "urgency-ordered batches should serve the deadline session \
+             earlier ({ca_worst:.6e} vs {co_worst:.6e})"
+        );
+        assert_eq!(ca.deadline_misses, 0, "the loose deadline is met");
     });
 }
 
