@@ -83,6 +83,12 @@ fn main() {
         let optimized_ms = ms_of(format!("render_hot/{pipeline}/optimized"));
         let speedup = scalar_ms / optimized_ms.max(1e-9);
         println!("render_hot/{pipeline}: speedup {speedup:.2}x");
+        assert!(
+            speedup >= 1.0,
+            "render_hot/{pipeline}: optimized path regressed below the scalar \
+             seed ({speedup:.3}x) — the production kernels must never lose to \
+             the baseline they are measured against"
+        );
         json.push_str(&format!(
             "    {{ \"pipeline\": \"{pipeline}\", \"scalar_ms\": {scalar_ms:.4}, \
              \"optimized_ms\": {optimized_ms:.4}, \"speedup\": {speedup:.3} }}{}\n",

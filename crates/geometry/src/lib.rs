@@ -32,6 +32,7 @@ pub mod ray;
 pub mod sampling;
 pub mod sh;
 pub mod vec;
+pub mod wide;
 
 pub use aabb::Aabb;
 pub use camera::{Camera, Orbit};
@@ -41,3 +42,4 @@ pub use mat::{FlatMat, Mat3, Mat4};
 pub use ray::Ray;
 pub use sampling::StratifiedSampler;
 pub use vec::{Vec2, Vec3, Vec4};
+pub use wide::{F32x4, F32x8};

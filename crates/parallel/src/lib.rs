@@ -85,6 +85,26 @@ impl LanePool {
         if !is_parallel() || lanes == 1 {
             return Self { lanes: Vec::new() };
         }
+        Self::spawn_lanes(lanes)
+    }
+
+    /// Creates a pool that runs off the calling thread even with a single
+    /// lane, so a submitted job can overlap work the caller keeps doing —
+    /// the shape the render/replay pipelining in `uni-engine` needs (a
+    /// one-lane [`LanePool::new`] would run replay inline and serialize).
+    ///
+    /// Still degenerates to inline execution when threading is
+    /// unavailable (`UNI_RENDER_THREADS=1` or the `threads` feature is
+    /// off), keeping results bit-identical at every thread count.
+    pub fn spawn(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        if !is_parallel() {
+            return Self { lanes: Vec::new() };
+        }
+        Self::spawn_lanes(lanes)
+    }
+
+    fn spawn_lanes(lanes: usize) -> Self {
         let lanes = (0..lanes)
             .map(|i| {
                 let (tx, rx) = mpsc::channel::<LaneJob>();
@@ -206,6 +226,22 @@ pub fn worker_count() -> usize {
 /// Whether the helpers will actually spawn threads.
 pub fn is_parallel() -> bool {
     worker_count() > 1
+}
+
+/// Whether render/replay pipelining defaults on (`UNI_RENDER_OVERLAP`).
+///
+/// On unless the variable is set to `0`, `off`, or `false`. Overlap only
+/// changes *when* work executes — delivered frames, traces, reports, and
+/// all schedule-order accounting are bit-identical either way — so the
+/// knob exists for debugging and for callers that want the seed-era
+/// single-framebuffer streaming behavior back
+/// (`RenderSession::with_overlap(false)` per session, or this env var
+/// globally).
+pub fn overlap_enabled() -> bool {
+    match std::env::var("UNI_RENDER_OVERLAP") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false"),
+        Err(_) => true,
+    }
 }
 
 /// Splits `data` into consecutive chunks of `band_len` elements (the last
@@ -416,6 +452,21 @@ mod tests {
             .collect();
         let results: Vec<u64> = tickets.into_iter().map(Ticket::wait).collect();
         assert_eq!(results, (0..10).map(|t| t * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawned_single_lane_pool_runs_off_thread_when_parallel() {
+        let pool = LanePool::spawn(1);
+        assert_eq!(pool.lanes(), 1);
+        if is_parallel() {
+            assert!(!pool.is_inline(), "spawn(1) must not run inline");
+        } else {
+            assert!(pool.is_inline(), "serial environments stay inline");
+        }
+        let tickets: Vec<Ticket<usize>> =
+            (0..6).map(|i| pool.submit_at(i as u64, move || i * 2)).collect();
+        let results: Vec<usize> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(results, (0..6).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -139,8 +139,9 @@ impl HashGridPipeline {
 
     /// The seed-era scalar reference path: single-threaded, allocating a
     /// fresh sample vector per ray and fresh decoder activations per
-    /// sample. Parity baseline and the "before" side of
-    /// `benches/render_hot.rs`.
+    /// sample, probing and fetching through the uncached per-call
+    /// `ln`/`exp` grid math and the scalar row-dot decoder kernel.
+    /// Parity baseline and the "before" side of `benches/render_hot.rs`.
     pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
         let bg = scene.field().background();
         let mut img = Image::new(camera.width, camera.height, bg);
@@ -165,11 +166,11 @@ impl HashGridPipeline {
                     if acc.saturated() {
                         break;
                     }
-                    if grid.density_probe(ray.at(t)) < 2e-2 {
+                    if grid.density_probe_scalar(ray.at(t)) < 2e-2 {
                         continue;
                     }
-                    grid.fetch(ray.at(t), &mut feats);
-                    let out = decoder.forward(&feats);
+                    grid.fetch_scalar(ray.at(t), &mut feats);
+                    let out = decoder.forward_scalar(&feats);
                     let density = out[0].max(0.0) * PEAK_DENSITY;
                     if density < 1e-2 {
                         continue;

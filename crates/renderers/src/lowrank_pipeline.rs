@@ -155,8 +155,8 @@ impl LowRankPipeline {
 
     /// The seed-era scalar reference path: single-threaded, allocating a
     /// fresh sample vector per ray and fresh deferred-MLP activations per
-    /// covered pixel. Parity baseline and the "before" side of
-    /// `benches/render_hot.rs`.
+    /// covered pixel, decoded with the scalar row-dot kernel. Parity
+    /// baseline and the "before" side of `benches/render_hot.rs`.
     pub fn render_scalar(&self, scene: &BakedScene, camera: &Camera) -> Image {
         let bg = scene.field().background();
         let mut img = Image::new(camera.width, camera.height, bg);
@@ -201,7 +201,7 @@ impl LowRankPipeline {
                 let mut color = acc.finish_premultiplied().0;
                 let alpha = 1.0 - acc.transmittance();
                 if alpha > 1e-3 {
-                    let spec = scene.deferred_mlp().forward(&[
+                    let spec = scene.deferred_mlp().forward_scalar(&[
                         spec_feats[0],
                         spec_feats[1],
                         spec_feats[2],

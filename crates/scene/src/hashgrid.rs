@@ -9,10 +9,26 @@
 //! Grid Indexing micro-operator.
 
 use serde::{Deserialize, Serialize};
-use uni_geometry::{interp, Aabb, Vec3};
+use uni_geometry::{interp, Aabb, F32x4, Vec3};
 
 /// The Instant-NGP hash primes.
 const PRIMES: [u64; 3] = [1, 2_654_435_761, 805_459_861];
+
+/// Precomputed per-level indexing metadata.
+///
+/// `level_resolution` costs an `ln`/`exp` pair per call; the seed paid it
+/// (plus the dense test, another pair) for each of 8 corners on each of
+/// `L` levels on *every* fetch. The values depend only on the config, so
+/// they are computed once in [`HashGrid::new`] and read here ever after —
+/// bit-identical to the seed's per-call math.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct LevelMeta {
+    /// Vertices per axis: `level_resolution(l) + 1` (also the linear
+    /// stride base of dense levels).
+    verts: u32,
+    /// Whether the level is indexed linearly (dense) or hashed.
+    dense: bool,
+}
 
 /// Configuration of a multi-level hash grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -104,22 +120,43 @@ pub struct HashGrid {
     /// One table per level, `table_len × F` floats (dense levels use only
     /// their `resolution³ × F` prefix).
     tables: Vec<Vec<f32>>,
+    /// Per-level resolution/stride/indexing metadata, hoisted out of the
+    /// fetch and probe hot loops.
+    level_meta: Vec<LevelMeta>,
+    /// `table_size() - 1`, the hashed-level slot mask.
+    hash_mask: u64,
+    /// Cached [`HashGrid::finest_dense_level`].
+    finest_dense: u32,
 }
 
 impl HashGrid {
     /// Creates a zero-initialized grid over `bounds`.
     pub fn new(config: HashGridConfig, bounds: Aabb) -> Self {
-        let tables = (0..config.levels)
-            .map(|l| {
-                let r = config.level_resolution(l) as u64 + 1;
+        let level_meta: Vec<LevelMeta> = (0..config.levels)
+            .map(|l| LevelMeta {
+                verts: config.level_resolution(l) + 1,
+                dense: config.level_is_dense(l),
+            })
+            .collect();
+        let tables = level_meta
+            .iter()
+            .map(|m| {
+                let r = u64::from(m.verts);
                 let entries = (r * r * r).min(config.table_size());
                 vec![0.0; (entries * u64::from(config.features_per_entry)) as usize]
             })
             .collect();
+        let finest_dense = (0..config.levels)
+            .rev()
+            .find(|&l| level_meta[l as usize].dense)
+            .unwrap_or(0);
         Self {
             config,
             bounds,
             tables,
+            level_meta,
+            hash_mask: config.table_size() - 1,
+            finest_dense,
         }
     }
 
@@ -136,6 +173,23 @@ impl HashGrid {
     /// Slot index of vertex `(x, y, z)` at level `l`: linear for dense
     /// levels, spatial hash otherwise.
     pub fn slot(&self, l: u32, x: u32, y: u32, z: u32) -> usize {
+        let m = self.level_meta[l as usize];
+        if m.dense {
+            let res = u64::from(m.verts);
+            ((u64::from(z) * res + u64::from(y)) * res + u64::from(x)) as usize
+        } else {
+            let h = u64::from(x).wrapping_mul(PRIMES[0])
+                ^ u64::from(y).wrapping_mul(PRIMES[1])
+                ^ u64::from(z).wrapping_mul(PRIMES[2]);
+            (h & self.hash_mask) as usize
+        }
+    }
+
+    /// Seed-era slot computation: recomputes the level resolution and
+    /// dense test (two `ln`/`exp` pairs) per call, exactly as the seed
+    /// did. Kept so the `*_scalar` baselines keep measuring the seed's
+    /// per-call cost.
+    fn slot_uncached(&self, l: u32, x: u32, y: u32, z: u32) -> usize {
         let res = self.config.level_resolution(l) as u64 + 1;
         if self.config.level_is_dense(l) {
             ((u64::from(z) * res + u64::from(y)) * res + u64::from(x)) as usize
@@ -144,6 +198,49 @@ impl HashGrid {
                 ^ u64::from(y).wrapping_mul(PRIMES[1])
                 ^ u64::from(z).wrapping_mul(PRIMES[2]);
             (h & (self.config.table_size() - 1)) as usize
+        }
+    }
+
+    /// All 8 corner slots of the cell at `(x0, y0, z0)` on level `l` in
+    /// one batch: dense levels are pure stride adds off one linear base,
+    /// hashed levels XOR-combine two precomputed products per axis —
+    /// corner order matches the trilinear weight order (x fastest).
+    #[inline]
+    fn corner_slots(&self, l: usize, x0: u32, y0: u32, z0: u32) -> [usize; 8] {
+        let m = self.level_meta[l];
+        if m.dense {
+            let v = u64::from(m.verts);
+            let base = (u64::from(z0) * v + u64::from(y0)) * v + u64::from(x0);
+            [
+                base,
+                base + 1,
+                base + v,
+                base + v + 1,
+                base + v * v,
+                base + v * v + 1,
+                base + v * v + v,
+                base + v * v + v + 1,
+            ]
+            .map(|s| s as usize)
+        } else {
+            let hx = [
+                u64::from(x0).wrapping_mul(PRIMES[0]),
+                u64::from(x0 + 1).wrapping_mul(PRIMES[0]),
+            ];
+            let hy = [
+                u64::from(y0).wrapping_mul(PRIMES[1]),
+                u64::from(y0 + 1).wrapping_mul(PRIMES[1]),
+            ];
+            let hz = [
+                u64::from(z0).wrapping_mul(PRIMES[2]),
+                u64::from(z0 + 1).wrapping_mul(PRIMES[2]),
+            ];
+            let mut slots = [0usize; 8];
+            for (c, s) in slots.iter_mut().enumerate() {
+                let h = hx[c & 1] ^ hy[(c >> 1) & 1] ^ hz[(c >> 2) & 1];
+                *s = (h & self.hash_mask) as usize;
+            }
+            slots
         }
     }
 
@@ -170,17 +267,39 @@ impl HashGrid {
     /// proxy by fast ray marchers (Instant-NGP keeps an equivalent
     /// occupancy grid next to its hash tables).
     pub fn finest_dense_level(&self) -> u32 {
-        (0..self.config.levels)
-            .rev()
-            .find(|&l| self.config.level_is_dense(l))
-            .unwrap_or(0)
+        self.finest_dense
     }
 
     /// Cheap occupancy probe: trilinear density (channel 0) of the finest
     /// dense level only — one level instead of `L`, one channel instead of
-    /// `F`.
+    /// `F`. Corner slots come in one stride-add batch off the cached
+    /// level metadata; the accumulation order matches the seed exactly.
     pub fn density_probe(&self, world: Vec3) -> f32 {
-        let l = self.finest_dense_level();
+        let l = self.finest_dense as usize;
+        let u = self.bounds.normalize_point(world).clamp(0.0, 1.0);
+        let verts = self.level_meta[l].verts;
+        let cx = interp::cell_coord(u.x, verts);
+        let cy = interp::cell_coord(u.y, verts);
+        let cz = interp::cell_coord(u.z, verts);
+        let w = interp::trilinear_weights(cx.frac, cy.frac, cz.frac);
+        let slots = self.corner_slots(l, cx.base as u32, cy.base as u32, cz.base as u32);
+        let table = &self.tables[l];
+        let f = self.config.features_per_entry as usize;
+        let mut acc = 0.0;
+        for (&slot, &wc) in slots.iter().zip(&w) {
+            acc += wc * table[slot * f];
+        }
+        acc
+    }
+
+    /// Seed-era probe: rediscovers the finest dense level and recomputes
+    /// per-corner slots through the uncached `ln`/`exp` path on every
+    /// call — the baseline `render_scalar` measures against.
+    pub fn density_probe_scalar(&self, world: Vec3) -> f32 {
+        let l = (0..self.config.levels)
+            .rev()
+            .find(|&l| self.config.level_is_dense(l))
+            .unwrap_or(0);
         let u = self.bounds.normalize_point(world).clamp(0.0, 1.0);
         let res = self.config.level_resolution(l) + 1;
         let cx = interp::cell_coord(u.x, res);
@@ -188,12 +307,14 @@ impl HashGrid {
         let cz = interp::cell_coord(u.z, res);
         let w = interp::trilinear_weights(cx.frac, cy.frac, cz.frac);
         let (x0, y0, z0) = (cx.base as u32, cy.base as u32, cz.base as u32);
+        let f = self.config.features_per_entry as usize;
         let mut acc = 0.0;
         for (corner, &wc) in w.iter().enumerate() {
             let x = x0 + (corner as u32 & 1);
             let y = y0 + ((corner as u32 >> 1) & 1);
             let z = z0 + ((corner as u32 >> 2) & 1);
-            acc += wc * self.read_vertex(l, x, y, z)[0];
+            let slot = self.slot_uncached(l, x, y, z) * f;
+            acc += wc * self.tables[l as usize][slot];
         }
         acc
     }
@@ -202,10 +323,60 @@ impl HashGrid {
     /// world-space point: the hash-indexing step of Fig. 5. Fills `out`
     /// (length `L × F`).
     ///
+    /// Per level, the 8 corner slots are computed in one batch from the
+    /// cached metadata and all `F = 4` feature channels interpolate in
+    /// one wide op per corner. Corner order and per-channel accumulation
+    /// order are the seed's, so the result is bit-identical to
+    /// [`HashGrid::fetch_scalar`].
+    ///
     /// # Panics
     ///
     /// Panics if `out.len() != feature_dim()`.
     pub fn fetch(&self, world: Vec3, out: &mut [f32]) {
+        assert_eq!(
+            out.len(),
+            self.config.feature_dim() as usize,
+            "output width mismatch"
+        );
+        let u = self.bounds.normalize_point(world).clamp(0.0, 1.0);
+        let f = self.config.features_per_entry as usize;
+        for (l, m) in self.level_meta.iter().enumerate() {
+            let cx = interp::cell_coord(u.x, m.verts);
+            let cy = interp::cell_coord(u.y, m.verts);
+            let cz = interp::cell_coord(u.z, m.verts);
+            let w = interp::trilinear_weights(cx.frac, cy.frac, cz.frac);
+            let slots = self.corner_slots(l, cx.base as u32, cy.base as u32, cz.base as u32);
+            let table = &self.tables[l];
+            let dst = &mut out[l * f..(l + 1) * f];
+            if f == 4 {
+                // One 4-lane multiply-accumulate per corner; lane-wise
+                // ops keep each channel's scalar add chain intact.
+                let mut acc = F32x4::ZERO;
+                for (&slot, &wc) in slots.iter().zip(&w) {
+                    acc = F32x4::load(&table[slot * 4..slot * 4 + 4])
+                        .mul_add(F32x4::splat(wc), acc);
+                }
+                acc.store(dst);
+            } else {
+                dst.fill(0.0);
+                for (&slot, &wc) in slots.iter().zip(&w) {
+                    let feats = &table[slot * f..(slot + 1) * f];
+                    for (d, &v) in dst.iter_mut().zip(feats) {
+                        *d += wc * v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seed-era fetch: per-call `ln`/`exp` level resolutions and one
+    /// corner at a time — the baseline `render_scalar` measures against.
+    /// Bit-identical to [`HashGrid::fetch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != feature_dim()`.
+    pub fn fetch_scalar(&self, world: Vec3, out: &mut [f32]) {
         assert_eq!(
             out.len(),
             self.config.feature_dim() as usize,
@@ -226,7 +397,8 @@ impl HashGrid {
                 let x = x0 + (corner as u32 & 1);
                 let y = y0 + ((corner as u32 >> 1) & 1);
                 let z = z0 + ((corner as u32 >> 2) & 1);
-                let feats = self.read_vertex(l, x, y, z);
+                let slot = self.slot_uncached(l, x, y, z) * f;
+                let feats = &self.tables[l as usize][slot..slot + f];
                 for (d, &v) in dst.iter_mut().zip(feats) {
                     *d += wc * v;
                 }
@@ -363,6 +535,91 @@ mod tests {
         // `storage::hash_grid_bytes`.
         let mb = c.storage_bytes() as f64 / 1e6;
         assert!(mb > 30.0 && mb < 120.0, "{mb} MB");
+    }
+
+    /// Populates every level of a grid with deterministic junk so parity
+    /// tests see non-trivial values on both dense and hashed levels.
+    fn filled_grid(config: HashGridConfig) -> HashGrid {
+        let mut g = HashGrid::new(config, Aabb::cube(1.0));
+        let f = config.features_per_entry as usize;
+        for l in 0..config.levels {
+            let res = (config.level_resolution(l) + 1).min(9);
+            for z in 0..res {
+                for y in 0..res {
+                    for x in 0..res {
+                        let feats: Vec<f32> = (0..f)
+                            .map(|c| ((x * 7 + y * 3 + z * 5 + c as u32 * 11 + l) % 13) as f32 * 0.17 - 0.5)
+                            .collect();
+                        g.write_vertex(l, x, y, z, &feats);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The cached-metadata fetch/probe are bit-identical to the seed-era
+    /// scalar twins (same corner order, same accumulation chains), on the
+    /// default F=4 wide path and on a general-F config.
+    #[test]
+    fn cached_fetch_and_probe_match_scalar_bit_for_bit() {
+        for config in [
+            HashGridConfig::tiny(),
+            HashGridConfig {
+                levels: 3,
+                features_per_entry: 2,
+                log2_table_size: 8,
+                base_resolution: 2,
+                max_resolution: 32,
+            },
+        ] {
+            let g = filled_grid(config);
+            let mut fast = vec![0.0f32; config.feature_dim() as usize];
+            let mut slow = vec![0.0f32; config.feature_dim() as usize];
+            for p in [
+                Vec3::new(0.13, -0.41, 0.77),
+                Vec3::new(-0.99, 0.5, 0.01),
+                Vec3::splat(0.0),
+                Vec3::splat(5.0), // clamped
+            ] {
+                g.fetch(p, &mut fast);
+                g.fetch_scalar(p, &mut slow);
+                for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "F={} feature {i} at {p:?}",
+                        config.features_per_entry
+                    );
+                }
+                assert_eq!(
+                    g.density_probe(p).to_bits(),
+                    g.density_probe_scalar(p).to_bits(),
+                    "probe at {p:?}"
+                );
+            }
+        }
+    }
+
+    /// The cached finest dense level and slot metadata agree with the
+    /// uncached config math they were hoisted from.
+    #[test]
+    fn cached_metadata_matches_config_math() {
+        for config in [HashGridConfig::default(), HashGridConfig::tiny()] {
+            let g = HashGrid::new(config, Aabb::cube(1.0));
+            assert_eq!(
+                g.finest_dense_level(),
+                (0..config.levels)
+                    .rev()
+                    .find(|&l| config.level_is_dense(l))
+                    .unwrap_or(0)
+            );
+            for l in 0..config.levels {
+                for &(x, y, z) in &[(0u32, 0u32, 0u32), (1, 2, 3), (5, 0, 7)] {
+                    assert_eq!(g.slot(l, x, y, z), g.slot_uncached(l, x, y, z), "level {l}");
+                }
+            }
+        }
     }
 
     proptest! {

@@ -212,8 +212,17 @@ impl KiloNerfGrid {
 
     /// Queries density and color at a world point (`None` in empty cells —
     /// the occupancy skip).
+    ///
+    /// Seed-era reference path: allocates per query and runs the scalar
+    /// row-dot MLP kernel, so the `render_scalar` baselines keep
+    /// measuring the seed's cost. Hot paths use
+    /// [`KiloNerfGrid::query_scratch`], which runs the wide kernel.
     pub fn query(&self, world: Vec3) -> Option<KiloNerfSample> {
-        self.query_scratch(world, &mut KiloNerfScratch::default())
+        let mlp_idx = self.mlp_index_at(world)?;
+        let local = self.local_coords(world);
+        let encoded = self.encoding.encode(local);
+        let out = self.mlps[mlp_idx as usize].forward_scalar(&encoded);
+        Some(self.sample_from(&out))
     }
 
     /// Like [`KiloNerfGrid::query`], but encoding and MLP activations go
@@ -224,20 +233,29 @@ impl KiloNerfGrid {
         scratch: &mut KiloNerfScratch,
     ) -> Option<KiloNerfSample> {
         let mlp_idx = self.mlp_index_at(world)?;
-        let u = self.bounds.normalize_point(world);
-        let n = self.resolution as f32;
-        let local =
-            Vec3::new((u.x * n).fract(), (u.y * n).fract(), (u.z * n).fract()) * 2.0 - Vec3::ONE;
+        let local = self.local_coords(world);
         self.encoding.encode_into(local, &mut scratch.encoded);
         let out = self.mlps[mlp_idx as usize].forward_scratch(&scratch.encoded, &mut scratch.mlp);
-        Some(KiloNerfSample {
+        Some(self.sample_from(out))
+    }
+
+    /// Cell-local coordinates in `[-1, 1]` for a world point.
+    fn local_coords(&self, world: Vec3) -> Vec3 {
+        let u = self.bounds.normalize_point(world);
+        let n = self.resolution as f32;
+        Vec3::new((u.x * n).fract(), (u.y * n).fract(), (u.z * n).fract()) * 2.0 - Vec3::ONE
+    }
+
+    /// Density/color from a raw 4-wide network output.
+    fn sample_from(&self, out: &[f32]) -> KiloNerfSample {
+        KiloNerfSample {
             density: out[0].max(0.0) * self.peak_density,
             color: Rgb::new(
                 out[1].clamp(0.0, 1.0),
                 out[2].clamp(0.0, 1.0),
                 out[3].clamp(0.0, 1.0),
             ),
-        })
+        }
     }
 }
 

@@ -15,8 +15,9 @@
 //! per-sample decoding allocates nothing.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use uni_geometry::sampling::XorShift64;
-use uni_geometry::{FlatMat, Vec3};
+use uni_geometry::{F32x8, FlatMat, Vec3};
 
 /// Activation function applied after a dense layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,14 +60,64 @@ impl Activation {
     }
 }
 
+/// Layer weights repacked into 8-output column panels for the wide GEMM
+/// microkernel.
+///
+/// Panel `p` covers outputs `8p..8p+8` and stores, for each input `i`,
+/// the eight weights `W[8p + lane][i]` contiguously — so one broadcast
+/// of `x[i]` multiplies against one aligned 8-lane load and eight output
+/// neurons accumulate per inner-loop step. Outputs past `out_dim` are
+/// zero-padded; the tail store masks them off.
+#[derive(Debug, Clone, Default)]
+struct PackedPanels {
+    /// `panels * in_dim * 8` weights, panel-major then input-major.
+    weights: Vec<f32>,
+    /// Biases padded to `panels * 8`.
+    biases: Vec<f32>,
+}
+
+impl PackedPanels {
+    fn pack(weights: &FlatMat, biases: &[f32]) -> Self {
+        let (out_dim, in_dim) = (weights.rows(), weights.cols());
+        let panels = out_dim.div_ceil(8);
+        let mut packed = vec![0.0f32; panels * in_dim * 8];
+        for (o, _) in biases.iter().enumerate() {
+            let row = weights.row(o);
+            let (panel, lane) = (o / 8, o % 8);
+            let base = panel * in_dim * 8;
+            for (i, &w) in row.iter().enumerate() {
+                packed[base + i * 8 + lane] = w;
+            }
+        }
+        let mut padded = vec![0.0f32; panels * 8];
+        padded[..out_dim].copy_from_slice(biases);
+        Self {
+            weights: packed,
+            biases: padded,
+        }
+    }
+}
+
 /// One dense layer: `y = act(W x + b)` with `W` a row-major
 /// `out_dim × in_dim` [`FlatMat`] (row `o` holds the weights into output
 /// `o`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Layer {
     weights: FlatMat,
     biases: Vec<f32>,
     activation: Activation,
+    /// Lazily packed panel cache for the wide kernel; invalidated by
+    /// [`Layer::weights_mut`]. Derived from `weights`/`biases`, so it is
+    /// excluded from equality.
+    packed: OnceLock<PackedPanels>,
+}
+
+impl PartialEq for Layer {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights
+            && self.biases == other.biases
+            && self.activation == other.activation
+    }
 }
 
 impl Layer {
@@ -85,6 +136,7 @@ impl Layer {
             weights,
             biases: vec![0.0; out_dim],
             activation,
+            packed: OnceLock::new(),
         }
     }
 
@@ -114,16 +166,101 @@ impl Layer {
     }
 
     /// Mutable weight access for constructed (hand-baked) decoders.
+    ///
+    /// Invalidates the packed panel cache: the next wide forward repacks
+    /// from the updated weights.
     pub fn weights_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        self.packed.take();
         (self.weights.as_mut_slice(), &mut self.biases)
     }
 
-    /// Computes the layer into a preallocated slice of width `out_dim`.
-    ///
-    /// The dot product runs on four independent accumulators so the FP
-    /// pipeline isn't serialized on one add chain (Rust won't reassociate
-    /// float reductions on its own).
+    /// Computes the layer into a preallocated slice of width `out_dim`
+    /// with the production kernel (8-wide GEMM panels under the `simd`
+    /// feature, the seed-era row-dot otherwise).
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.in_dim(), "input width mismatch");
+        assert_eq!(out.len(), self.out_dim(), "output width mismatch");
+        self.forward_slice(x, out);
+    }
+
+    /// Computes the layer with the seed-era scalar row-dot kernel — the
+    /// reference the wide kernel is parity-tested against, and the
+    /// baseline the `render_scalar` paths keep for honest speedups.
+    pub fn forward_into_scalar(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.in_dim(), "input width mismatch");
+        assert_eq!(out.len(), self.out_dim(), "output width mismatch");
+        self.forward_slice_scalar(x, out);
+    }
+
+    #[cfg(feature = "simd")]
     fn forward_slice(&self, x: &[f32], out: &mut [f32]) {
+        self.forward_slice_packed(x, out);
+    }
+
+    #[cfg(not(feature = "simd"))]
+    fn forward_slice(&self, x: &[f32], out: &mut [f32]) {
+        self.forward_slice_scalar(x, out);
+    }
+
+    /// 8-wide GEMM microkernel: eight output neurons accumulate per
+    /// inner-loop step from one broadcast input against one packed panel
+    /// column, on four independent accumulator registers (the mul→add
+    /// chain latency hides behind four in-flight columns per iteration);
+    /// the activation is applied vector-wide. The reduction order is
+    /// fixed (accumulators combined pairwise once at the end), so
+    /// results are bit-stable across runs and across
+    /// `UNI_RENDER_THREADS`.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    fn forward_slice_packed(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim());
+        debug_assert_eq!(out.len(), self.out_dim());
+        let packed = self
+            .packed
+            .get_or_init(|| PackedPanels::pack(&self.weights, &self.biases));
+        let in_dim = x.len();
+        let panels = packed.biases.len() / 8;
+        for p in 0..panels {
+            let panel = &packed.weights[p * in_dim * 8..(p + 1) * in_dim * 8];
+            let mut acc0 = F32x8::ZERO;
+            let mut acc1 = F32x8::ZERO;
+            let mut acc2 = F32x8::ZERO;
+            let mut acc3 = F32x8::ZERO;
+            // Zipped chunks keep the input broadcast bounds-check-free,
+            // so the loop body is pure vector loads and arithmetic.
+            let mut quads = panel.chunks_exact(32);
+            let mut inputs = x.chunks_exact(4);
+            for (quad, x4) in (&mut quads).zip(&mut inputs) {
+                acc0 = F32x8::load(&quad[..8]).mul_add(F32x8::splat(x4[0]), acc0);
+                acc1 = F32x8::load(&quad[8..16]).mul_add(F32x8::splat(x4[1]), acc1);
+                acc2 = F32x8::load(&quad[16..24]).mul_add(F32x8::splat(x4[2]), acc2);
+                acc3 = F32x8::load(&quad[24..32]).mul_add(F32x8::splat(x4[3]), acc3);
+            }
+            // Up to three tail columns; straight-line reassignments keep
+            // the accumulators in registers (no `&mut` through a match).
+            let tail = quads.remainder();
+            let xt = inputs.remainder();
+            if !xt.is_empty() {
+                acc0 = F32x8::load(&tail[..8]).mul_add(F32x8::splat(xt[0]), acc0);
+            }
+            if xt.len() >= 2 {
+                acc1 = F32x8::load(&tail[8..16]).mul_add(F32x8::splat(xt[1]), acc1);
+            }
+            if xt.len() >= 3 {
+                acc2 = F32x8::load(&tail[16..24]).mul_add(F32x8::splat(xt[2]), acc2);
+            }
+            let pre = F32x8::load(&packed.biases[p * 8..]) + ((acc0 + acc1) + (acc2 + acc3));
+            let act = match self.activation {
+                Activation::Linear => pre,
+                Activation::Relu => pre.relu(),
+                Activation::Sigmoid => pre.map(|v| 1.0 / (1.0 + (-v).exp())),
+            };
+            act.store_prefix(&mut out[p * 8..]);
+        }
+    }
+
+    /// The seed-era kernel: one row-dot per output on four independent
+    /// accumulators.
+    fn forward_slice_scalar(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.in_dim());
         debug_assert_eq!(out.len(), self.out_dim());
         let head = x.len() & !3;
@@ -250,6 +387,38 @@ impl Mlp {
             scratch.next.clear();
             scratch.next.resize(layer.out_dim(), 0.0);
             layer.forward_slice(&scratch.cur, &mut scratch.next);
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        }
+        &scratch.cur
+    }
+
+    /// Forward pass through the seed-era scalar kernel.
+    ///
+    /// The `render_scalar` reference paths use this so the committed
+    /// speedup baselines keep measuring the seed's row-dot code, and the
+    /// parity suite compares the wide kernel against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward_scalar(&self, x: &[f32]) -> Vec<f32> {
+        let mut scratch = MlpScratch::default();
+        self.forward_scratch_scalar(x, &mut scratch).to_vec()
+    }
+
+    /// Scalar-kernel twin of [`Mlp::forward_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward_scratch_scalar<'s>(&self, x: &[f32], scratch: &'s mut MlpScratch) -> &'s [f32] {
+        assert_eq!(x.len(), self.in_dim(), "input width mismatch");
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(x);
+        for layer in &self.layers {
+            scratch.next.clear();
+            scratch.next.resize(layer.out_dim(), 0.0);
+            layer.forward_slice_scalar(&scratch.cur, &mut scratch.next);
             std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
         &scratch.cur
@@ -680,5 +849,92 @@ mod tests {
     fn weight_bytes_are_two_per_param() {
         let mlp = Mlp::new(&[4, 4], Activation::Relu, Activation::Linear, &mut rng());
         assert_eq!(mlp.weight_bytes(), (4 * 4 + 4) as u64 * 2);
+    }
+
+    /// The 8-wide packed kernel agrees with the seed-era row-dot within
+    /// 1e-5 and is bit-stable across repeated runs, at widths that are
+    /// not multiples of 8 (odd in_dim exercises the broadcast tail, odd
+    /// out_dim the masked panel store).
+    #[test]
+    fn packed_kernel_matches_scalar_for_awkward_shapes() {
+        let mut r = rng();
+        for &(in_dim, out_dim) in &[
+            (1usize, 1usize),
+            (3, 7),
+            (8, 8),
+            (5, 9),
+            (39, 16),
+            (13, 24),
+            (64, 4),
+            (17, 31),
+        ] {
+            for act in [Activation::Linear, Activation::Relu, Activation::Sigmoid] {
+                let layer = Layer::random(in_dim, out_dim, act, &mut r);
+                let x: Vec<f32> = (0..in_dim).map(|k| (k as f32 * 0.37 - 1.1).sin()).collect();
+                let mut wide = vec![0.0f32; out_dim];
+                let mut again = vec![0.0f32; out_dim];
+                let mut scalar = vec![0.0f32; out_dim];
+                layer.forward_slice_packed(&x, &mut wide);
+                layer.forward_slice_packed(&x, &mut again);
+                layer.forward_slice_scalar(&x, &mut scalar);
+                for (o, (w, s)) in wide.iter().zip(&scalar).enumerate() {
+                    assert!(
+                        (w - s).abs() < 1e-5,
+                        "{in_dim}x{out_dim} {act:?} output {o}: wide {w} vs scalar {s}"
+                    );
+                    assert_eq!(
+                        w.to_bits(),
+                        again[o].to_bits(),
+                        "{in_dim}x{out_dim} {act:?} output {o}: wide kernel must be bit-stable"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Editing weights through `weights_mut` drops the packed panels, so
+    /// the next wide forward sees the new parameters.
+    #[test]
+    fn weights_mut_invalidates_the_packed_panels() {
+        let mut layer = Layer::random(4, 9, Activation::Linear, &mut rng());
+        let x = [0.5f32, -1.0, 0.25, 2.0];
+        let mut before = vec![0.0f32; 9];
+        layer.forward_slice_packed(&x, &mut before);
+        {
+            let (w, b) = layer.weights_mut();
+            for wi in w.iter_mut() {
+                *wi += 1.0;
+            }
+            b[0] = 3.0;
+        }
+        let mut after = vec![0.0f32; 9];
+        let mut expected = vec![0.0f32; 9];
+        layer.forward_slice_packed(&x, &mut after);
+        layer.forward_slice_scalar(&x, &mut expected);
+        assert_ne!(before, after, "stale panels would reproduce the old output");
+        for (o, (a, e)) in after.iter().zip(&expected).enumerate() {
+            assert!((a - e).abs() < 1e-5, "output {o}: {a} vs {e} after repack");
+        }
+    }
+
+    /// The scalar twin of `forward_scratch` runs the seed-era kernel end
+    /// to end and stays within parity tolerance of the production path.
+    #[test]
+    fn forward_scratch_scalar_matches_production_within_tolerance() {
+        let mlp = Mlp::new(
+            &[7, 19, 5],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng(),
+        );
+        let x: Vec<f32> = (0..7).map(|k| 0.2 * k as f32 - 0.6).collect();
+        let mut scratch = MlpScratch::default();
+        let prod = mlp.forward_scratch(&x, &mut scratch).to_vec();
+        let mut scratch2 = MlpScratch::default();
+        let scalar = mlp.forward_scratch_scalar(&x, &mut scratch2).to_vec();
+        assert_eq!(scalar, mlp.forward_scalar(&x));
+        for (p, s) in prod.iter().zip(&scalar) {
+            assert!((p - s).abs() < 1e-5, "{p} vs {s}");
+        }
     }
 }

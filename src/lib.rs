@@ -28,7 +28,11 @@
 //! image plus the frame's micro-operator trace and simulated accelerator
 //! report. Recycling each frame's buffer keeps the stream allocation-free
 //! after the first frame; the end-of-stream summary reports throughput
-//! and the reconfigurations amortized across frame boundaries.
+//! and the reconfigurations amortized across frame boundaries. With an
+//! accelerator attached the session pipelines by default — frame `N+1`
+//! renders while frame `N`'s dataflow replay simulates — which double
+//! buffers (two framebuffer allocations, not one) without changing a
+//! single delivered bit.
 //!
 //! ```
 //! use uni_render::prelude::*;
@@ -49,7 +53,9 @@
 //! }
 //! let summary = session.summary();
 //! assert_eq!(summary.frames, 4);
-//! assert_eq!(summary.framebuffer_allocations, 1);
+//! // Render/replay pipelining double-buffers; `with_overlap(false)`
+//! // (or UNI_RENDER_OVERLAP=0) restores the single-buffer stream.
+//! assert_eq!(summary.framebuffer_allocations, 2);
 //! assert!(summary.mean_fps() > 0.0);
 //! ```
 //!

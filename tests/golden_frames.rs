@@ -27,10 +27,17 @@ const GOLDEN_ANGLE: f32 = 0.8;
 const GOLDEN_RES: (u32, u32) = (64, 64);
 
 /// Checked-in frame hashes, in `all_renderers()` (Tab. I + hybrid) order.
+///
+/// Re-blessed once when the MLP forward pass moved to the 8-wide packed
+/// gemm microkernel: its fixed panel-reduction order reassociates the
+/// dot-product sums, which shifts training (and therefore every baked
+/// MLP-bearing representation) by float-rounding amounts. The gaussian
+/// frame — no MLP anywhere in its bake or render — was unchanged,
+/// pinning the blast radius to exactly the reassociated kernel.
 const GOLDEN: [(&str, u64); 6] = [
-    ("mesh", 0x4583dafba7973c39),
-    ("mlp", 0x80bc7b87e9e04c55),
-    ("lowrank", 0x7de76394114cf04e),
+    ("mesh", 0x50aeef21408d5d1d),
+    ("mlp", 0xbaa00b14f58ce1e6),
+    ("lowrank", 0xd4aa9fa28d8d2587),
     ("hashgrid", 0xd072d3fa0ada7edf),
     ("gaussian", 0x3daad2f67e9fd6e7),
     ("mixrt", 0x70dfaa914076b3bb),
@@ -41,7 +48,7 @@ const GOLDEN: [(&str, u64); 6] = [
 /// frame-hash)` triple in delivery order. Pins both the policy's
 /// schedule (strict levels, round-robin within) and the frames it
 /// delivers; re-bless together with `GOLDEN`.
-const GOLDEN_PRIORITY_STREAM: u64 = 0xfe944e12c1e565fa;
+const GOLDEN_PRIORITY_STREAM: u64 = 0xa042f556408f4926;
 
 /// Checked-in hash of a served schedule under the [`EarliestDeadline`]
 /// policy (same folding as `GOLDEN_PRIORITY_STREAM`): pins the EDF
@@ -49,7 +56,7 @@ const GOLDEN_PRIORITY_STREAM: u64 = 0xfe944e12c1e565fa;
 /// tightest first, best-effort last — and the frames it delivers.
 /// Deadlines are sim-time facts, so the hash is thread-invariant;
 /// re-bless together with `GOLDEN`.
-const GOLDEN_EDF_STREAM: u64 = 0x2cf87e3e1210b072;
+const GOLDEN_EDF_STREAM: u64 = 0x6457e00dcf626652;
 
 fn golden_frames() -> Vec<(String, u64)> {
     let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);

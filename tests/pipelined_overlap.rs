@@ -1,0 +1,115 @@
+//! Regression tests for render/replay pipelining: with overlap on, a
+//! [`RenderSession`] renders frame `N + 1` while frame `N`'s dataflow
+//! replay simulates on a dedicated lane, and a [`RenderServer`] splits
+//! every scheduled frame into a render stage and a replay stage on
+//! separate lane pools. Neither form of overlap may change a single
+//! delivered bit: delivery and accounting are schedule-order facts, so
+//! streams with overlap on must be identical — frames, traces, reports,
+//! and summaries — to the same streams with overlap off, at every lane
+//! and thread count. CI runs this file at `UNI_RENDER_THREADS=1` and `4`.
+
+use std::sync::{Arc, OnceLock};
+use uni_render::prelude::*;
+
+fn scene() -> &'static Arc<BakedScene> {
+    static SCENE: OnceLock<Arc<BakedScene>> = OnceLock::new();
+    SCENE.get_or_init(|| Arc::new(SceneSpec::demo("overlap", 321).with_detail(0.03).bake()))
+}
+
+fn orbit_path(frames: usize, w: u32, h: u32) -> CameraPath {
+    CameraPath::orbit(scene().spec().orbit(w, h), frames)
+}
+
+/// Everything observable about one delivered session frame.
+type SessionFrame = (usize, Image, u64, u64, bool);
+
+fn stream_session(overlap: bool) -> (Vec<SessionFrame>, StreamSummary) {
+    let mut session = RenderSession::new(
+        Arc::clone(scene()),
+        Box::new(GaussianPipeline::default()),
+        orbit_path(5, 48, 36),
+    )
+    .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+    .with_overlap(overlap);
+    let mut frames = Vec::new();
+    while let Some(frame) = session.next_frame() {
+        let sim = frame.sim.as_ref().expect("simulated");
+        frames.push((
+            frame.index,
+            frame.image.clone(),
+            sim.cycles,
+            sim.reconfigurations,
+            frame.boundary_reconfiguration,
+        ));
+        session.recycle(frame.image);
+    }
+    (frames, session.summary())
+}
+
+#[test]
+fn overlapped_session_stream_is_bit_identical_to_serial() {
+    let (on_frames, on_summary) = stream_session(true);
+    let (off_frames, off_summary) = stream_session(false);
+    assert_eq!(on_frames, off_frames, "delivered frames must not change");
+    // Every summary fact matches except the framebuffer count: the
+    // pipelined stream intentionally double-buffers (one frame in hand,
+    // one prefetched), the serial stream stays single-buffered.
+    let mut on_normalized = on_summary;
+    on_normalized.framebuffer_allocations = off_summary.framebuffer_allocations;
+    assert_eq!(on_normalized, off_summary, "accounting must not change");
+    assert_eq!(off_summary.framebuffer_allocations, 1);
+    assert_eq!(on_summary.framebuffer_allocations, 2);
+}
+
+/// Everything observable about one served frame.
+type ServedRecord = (usize, usize, Image, u64, bool, Option<u64>);
+
+fn serve(overlap: bool, lanes: usize) -> (Vec<ServedRecord>, ServerSummary) {
+    let mut server = RenderServer::new(Arc::clone(scene()))
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+        .with_lanes(lanes)
+        .with_overlap(overlap)
+        .with_policy(EarliestDeadline::new());
+    server.admit(
+        SessionRequest::new(Box::new(MeshPipeline::default()), orbit_path(3, 40, 30))
+            .deadline_hz(30.0),
+    );
+    server.admit(
+        SessionRequest::new(Box::new(MlpPipeline::default()), orbit_path(3, 24, 18))
+            .deadline_hz(60.0),
+    );
+    server.admit(SessionRequest::new(
+        Box::new(GaussianPipeline::default()),
+        orbit_path(3, 40, 30),
+    ));
+    let mut frames = Vec::new();
+    while let Some(frame) = server.next_frame() {
+        let sim = frame.report.sim.as_ref().expect("simulated");
+        frames.push((
+            frame.session,
+            frame.report.index,
+            frame.report.image.clone(),
+            sim.cycles,
+            frame.report.boundary_reconfiguration,
+            // Slack is an f64 sim-time fact; compare exact bits.
+            frame.deadline_slack.map(f64::to_bits),
+        ));
+        server.recycle(frame.session, frame.report.image);
+    }
+    (frames, server.summary())
+}
+
+#[test]
+fn overlapped_server_is_bit_identical_to_serial_at_one_lane() {
+    assert_eq!(serve(true, 1), serve(false, 1));
+}
+
+#[test]
+fn overlapped_server_is_bit_identical_to_serial_at_four_lanes() {
+    assert_eq!(serve(true, 4), serve(false, 4));
+}
+
+#[test]
+fn overlapped_server_is_lane_count_invariant() {
+    assert_eq!(serve(true, 1), serve(true, 4));
+}

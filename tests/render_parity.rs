@@ -8,8 +8,11 @@
 
 use proptest::prelude::*;
 use std::sync::OnceLock;
+use uni_render::geometry::sampling::XorShift64;
 use uni_render::prelude::*;
 use uni_render::renderers::gaussian_pipeline::{depth_key, sort_pairs_by_tile_and_depth};
+use uni_render::scene::nn::Layer;
+use uni_render::scene::Activation;
 
 fn scene() -> &'static BakedScene {
     static SCENE: OnceLock<BakedScene> = OnceLock::new();
@@ -204,5 +207,47 @@ proptest! {
     #[test]
     fn prop_depth_key_orders_like_total_cmp(a in -1000f32..1000.0, b in -1000f32..1000.0) {
         prop_assert_eq!(depth_key(a).cmp(&depth_key(b)), a.total_cmp(&b));
+    }
+
+    /// The wide (8-output panel) gemm microkernel agrees with the
+    /// seed-era scalar row dot within 1e-5 for arbitrary layer shapes —
+    /// crucially including widths that are *not* multiples of the 8-lane
+    /// panel, where the kernel's tail masking and odd-`in_dim` remainder
+    /// column both engage — and is bit-stable across repeated runs (the
+    /// reduction order is fixed, so two evaluations of the same layer on
+    /// the same input produce identical bits).
+    #[test]
+    fn prop_wide_gemm_matches_scalar_dot_for_random_shapes(
+        in_dim in 1usize..48,
+        out_dim in 1usize..48,
+        act in 0u8..3,
+        seed in 1u64..1_000_000,
+    ) {
+        let activation = match act {
+            0 => Activation::Linear,
+            1 => Activation::Relu,
+            _ => Activation::Sigmoid,
+        };
+        let mut rng = XorShift64::new(seed);
+        let layer = Layer::random(in_dim, out_dim, activation, &mut rng);
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.next_f32() * 4.0 - 2.0).collect();
+
+        let mut wide = vec![0.0f32; out_dim];
+        let mut scalar = vec![0.0f32; out_dim];
+        layer.forward_into(&x, &mut wide);
+        layer.forward_into_scalar(&x, &mut scalar);
+        for (o, (a, b)) in wide.iter().zip(&scalar).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-5,
+                "({in_dim}x{out_dim}) output {o}: wide {a} vs scalar {b}"
+            );
+        }
+
+        let mut again = vec![0.0f32; out_dim];
+        layer.forward_into(&x, &mut again);
+        let first: Vec<u32> = wide.iter().map(|v| v.to_bits()).collect();
+        let second: Vec<u32> = again.iter().map(|v| v.to_bits()).collect();
+        // Bit-stability across repeated runs of the wide kernel.
+        prop_assert_eq!(first, second);
     }
 }
