@@ -36,6 +36,7 @@ pub struct CycleResult<T> {
 /// # Panics
 ///
 /// Panics if the matrix shapes do not match the array.
+// uni-lint: hot
 pub fn systolic_gemm(weights: &FlatMat, inputs: &FlatMat) -> CycleResult<FlatMat> {
     let rows = weights.rows();
     assert!(rows > 0, "empty weight matrix");

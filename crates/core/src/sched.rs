@@ -214,49 +214,22 @@ impl Accelerator {
         }
     }
 
-    /// Simulates many traces in parallel worker threads.
+    /// Simulates many traces in parallel worker threads
+    /// ([`uni_parallel::par_indices`], so the worker count honors
+    /// `UNI_RENDER_THREADS` like every other parallel path).
     ///
-    /// Each worker reuses one [`ReplayScratch`] across every trace it
-    /// claims, so the batch replay performs no per-frame mapping
-    /// allocations.
+    /// Each worker thread reuses one [`ReplayScratch`] across every
+    /// trace it claims, so the batch replay performs no per-frame
+    /// mapping allocations; reports come back in trace order regardless
+    /// of which worker ran which index.
     pub fn simulate_many(&self, traces: &[Trace]) -> Vec<SimReport> {
-        if traces.len() <= 1 {
-            let mut scratch = ReplayScratch::default();
-            return traces
-                .iter()
-                .map(|t| self.simulate_with_scratch(t, &mut scratch))
-                .collect();
+        std::thread_local! {
+            static SCRATCH: std::cell::RefCell<ReplayScratch> =
+                std::cell::RefCell::new(ReplayScratch::default());
         }
-        let n_workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(traces.len());
-        let results: Vec<std::sync::Mutex<Option<SimReport>>> =
-            traces.iter().map(|_| std::sync::Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|| {
-                    let mut scratch = ReplayScratch::default();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= traces.len() {
-                            break;
-                        }
-                        let report = self.simulate_with_scratch(&traces[i], &mut scratch);
-                        *results[i].lock().expect("result slot poisoned") = Some(report);
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|r| {
-                r.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every trace simulated")
-            })
-            .collect()
+        uni_parallel::par_indices(traces.len(), |i| {
+            SCRATCH.with(|s| self.simulate_with_scratch(&traces[i], &mut s.borrow_mut()))
+        })
     }
 }
 

@@ -279,7 +279,11 @@ impl RenderSession {
         self.staged = self.stage_frame();
         let (trace, sim) = cur.ticket.wait();
         // Delivery-order accounting, identical to the serial path.
-        let accel = Arc::clone(self.accel.as_ref().expect("overlap requires an accelerator"));
+        let accel = Arc::clone(
+            self.accel
+                .as_ref()
+                .expect("overlap requires an accelerator"),
+        );
         let boundary = self.account_frame(accel.config(), &trace, &sim);
         self.frames_done += 1;
         Some(FrameReport {
@@ -304,7 +308,11 @@ impl RenderSession {
         let mut image = self.pool.acquire_for(camera.width, camera.height);
         self.renderer.render_into(&self.scene, &camera, &mut image);
         let trace = self.renderer.trace(&self.scene, &camera);
-        let accel = Arc::clone(self.accel.as_ref().expect("overlap requires an accelerator"));
+        let accel = Arc::clone(
+            self.accel
+                .as_ref()
+                .expect("overlap requires an accelerator"),
+        );
         let replay = Arc::clone(&self.replay);
         let lane = self
             .replay_lane

@@ -1,0 +1,6 @@
+// Suppression fixture: an allow without a reason must itself be a
+// denied finding, and must suppress nothing.
+pub fn sort_depths(depths: &mut [f32]) {
+    // uni-lint: allow(R3)
+    depths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

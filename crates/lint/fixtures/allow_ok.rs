@@ -1,0 +1,5 @@
+// Suppression fixture: a violation under a reasoned, audited allow.
+pub fn sort_depths(depths: &mut [f32]) {
+    // uni-lint: allow(R3, seed-faithful baseline keeps the seed comparator)
+    depths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

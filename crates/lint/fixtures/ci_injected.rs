@@ -1,0 +1,6 @@
+// CI negative fixture: `cargo run -p uni-lint -- --deny-all
+// crates/lint/fixtures/ci_injected.rs` must exit non-zero. R3 is
+// path-independent, so this fails no matter where the file is mounted.
+pub fn order(a: f32, b: f32) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}

@@ -1,0 +1,4 @@
+// R1 fixture: nested Vec in a hot crate (linted as crates/scene/src/*).
+pub struct Bins {
+    pub per_tile: Vec<Vec<u32>>,
+}

@@ -1,0 +1,5 @@
+// R1 fixture: the flat layout the rule asks for.
+pub struct Bins {
+    pub data: Vec<u32>,
+    pub offsets: Vec<usize>,
+}

@@ -1,0 +1,4 @@
+// R2 fixture: raw thread spawn outside uni-parallel.
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

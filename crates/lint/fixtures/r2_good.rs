@@ -1,0 +1,4 @@
+// R2 fixture: parallelism through the sanctioned primitives.
+pub fn fan_out(data: &mut [f32]) {
+    uni_parallel::par_bands(data, 16, |_band, _chunk| {});
+}

@@ -1,0 +1,4 @@
+// R3 fixture: partial float order.
+pub fn sort_depths(depths: &mut [f32]) {
+    depths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

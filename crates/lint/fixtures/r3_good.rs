@@ -1,0 +1,4 @@
+// R3 fixture: total float order.
+pub fn sort_depths(depths: &mut [f32]) {
+    depths.sort_by(f32::total_cmp);
+}

@@ -1,0 +1,4 @@
+// R4 fixture: wall clock in a scheduler (linted as a sched.rs).
+pub fn frame_deadline() -> std::time::Instant {
+    Instant::now()
+}

@@ -1,0 +1,4 @@
+// R4 fixture: schedule-order accounting (ticks, not clocks).
+pub fn frame_deadline(tick: u64, budget: u64) -> u64 {
+    tick + budget
+}

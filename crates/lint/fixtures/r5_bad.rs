@@ -1,0 +1,7 @@
+// R5 fixture: unordered container in a delivery path (linted as
+// crates/engine/src/*).
+use std::collections::HashMap;
+
+pub struct Accounting {
+    pub per_session: HashMap<u64, u64>,
+}

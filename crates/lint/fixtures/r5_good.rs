@@ -1,0 +1,6 @@
+// R5 fixture: deterministic iteration order.
+use std::collections::BTreeMap;
+
+pub struct Accounting {
+    pub per_session: BTreeMap<u64, u64>,
+}

@@ -1,0 +1,7 @@
+// R6 fixture: interior mutability inside a SchedulePolicy impl.
+impl SchedulePolicy for Sticky {
+    fn pick(&self) -> usize {
+        let memo = RefCell::new(0usize);
+        *memo.borrow()
+    }
+}

@@ -1,0 +1,7 @@
+// R6 fixture: a pure policy — every decision is a function of its
+// arguments.
+impl SchedulePolicy for Sticky {
+    fn pick(&self, views: &[SessionView]) -> usize {
+        views.iter().map(|v| v.delivered).sum::<u64>() as usize % views.len().max(1)
+    }
+}

@@ -1,0 +1,6 @@
+// R7 fixture: allocation inside a hot-marked function.
+// uni-lint: hot
+pub fn render_rows(out: &mut [f32]) {
+    let staged: Vec<f32> = out.iter().map(|v| v * 2.0).collect();
+    out.copy_from_slice(&staged);
+}

@@ -1,0 +1,7 @@
+// R7 fixture: the hot loop writes in place through borrowed buffers.
+// uni-lint: hot
+pub fn render_rows(out: &mut [f32]) {
+    for v in out.iter_mut() {
+        *v *= 2.0;
+    }
+}

@@ -1,0 +1,469 @@
+//! A hand-rolled Rust surface lexer for the lint pass.
+//!
+//! This is deliberately **not** a full Rust parser: the rules only need a
+//! token stream with comments, string/char literals, and attributes
+//! stripped (so `"Instant-NGP"` in a doc string can never trip the
+//! wall-clock rule), plus the `// uni-lint: ...` directives those
+//! comments carry. Every token remembers its `line:col` so diagnostics
+//! point at source, and the stream preserves enough structure (`::`
+//! merged, braces kept) for the context tracker in [`crate::rules`] to
+//! follow `mod`/`impl`/`fn` nesting.
+
+/// One surviving token: an identifier, number, lifetime, or single piece
+/// of punctuation (`::` is merged into one token).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// A `// uni-lint: ...` control comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `// uni-lint: hot` — the next `fn` is a hot inner loop; R7 denies
+    /// allocation inside it.
+    Hot { line: u32 },
+    /// `// uni-lint: allow(RULE, reason)` — suppresses `RULE` on this
+    /// line and the next. The reason is mandatory.
+    Allow {
+        line: u32,
+        rule: String,
+        reason: String,
+    },
+    /// A `uni-lint:` comment the lexer could not parse (unknown verb,
+    /// missing reason, bad parens). Always a diagnostic: a suppression
+    /// that silently fails to parse would un-suppress nothing and
+    /// enforce nothing.
+    Malformed { line: u32, message: String },
+}
+
+impl Directive {
+    pub fn line(&self) -> u32 {
+        match self {
+            Directive::Hot { line }
+            | Directive::Allow { line, .. }
+            | Directive::Malformed { line, .. } => *line,
+        }
+    }
+}
+
+/// Lexer output: the stripped token stream plus every directive found in
+/// the stripped comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub directives: Vec<Directive>,
+}
+
+/// The marker directives start with (after `//` / `/*` and whitespace).
+const MARKER: &str = "uni-lint:";
+
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.lifetime_or_char(),
+                '#' => self.attribute_or_hash(line, col),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push("::", line, col);
+                }
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(&c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, text: &str, line: u32, col: u32) {
+        self.out.tokens.push(Tok {
+            text: text.to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut body = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            body.push(c);
+            self.bump();
+        }
+        self.directive_from_comment(&body, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut body = String::new();
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                body.push(c);
+                self.bump();
+            }
+        }
+        self.directive_from_comment(&body, line);
+    }
+
+    /// Parses a directive out of a stripped comment body, if the marker
+    /// is present.
+    fn directive_from_comment(&mut self, body: &str, line: u32) {
+        // Tolerate doc-comment leaders and padding: `/// uni-lint: hot`.
+        let trimmed = body.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        let Some(rest) = trimmed.strip_prefix(MARKER) else {
+            return;
+        };
+        let rest = rest.trim();
+        let directive = if rest == "hot" {
+            Directive::Hot { line }
+        } else if let Some(args) = rest.strip_prefix("allow") {
+            parse_allow(args.trim(), line)
+        } else {
+            Directive::Malformed {
+                line,
+                message: format!(
+                    "unknown uni-lint directive {rest:?} (expected `hot` or `allow(RULE, reason)`)"
+                ),
+            }
+        };
+        self.out.directives.push(directive);
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening '"'
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `r"..."` / `r#"..."#` / `b"..."` / `br##"..."##` — called when an
+    /// identifier turned out to be a raw/byte string prefix.
+    fn raw_string(&mut self, hashes: usize) {
+        for _ in 0..hashes {
+            self.bump(); // '#'
+        }
+        self.bump(); // '"'
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    fn lifetime_or_char(&mut self) {
+        self.bump(); // '\''
+        match self.peek(0) {
+            // Escape sequence: definitely a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char (or '{' of \u{...})
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // `'a` (lifetime) vs `'a'` (char literal): a closing
+                // quote right after one ident char decides.
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                } else {
+                    // Lifetime: consume the ident, emit nothing (rules
+                    // never match lifetimes).
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Any other single-char literal.
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Strips `#[...]` / `#![...]` outer and inner attributes (string
+    /// aware, bracket balanced); a bare `#` is kept as punctuation.
+    fn attribute_or_hash(&mut self, line: u32, col: u32) {
+        let bang = usize::from(self.peek(1) == Some('!'));
+        if self.peek(1 + bang) != Some('[') {
+            self.bump();
+            self.push("#", line, col);
+            return;
+        }
+        self.bump(); // '#'
+        if bang == 1 {
+            self.bump(); // '!'
+        }
+        self.bump(); // '['
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek(0) {
+                Some('[') => {
+                    depth += 1;
+                    self.bump();
+                }
+                Some(']') => {
+                    depth -= 1;
+                    self.bump();
+                }
+                Some('"') => self.string_literal(),
+                Some('\'') => self.lifetime_or_char(),
+                Some(_) => {
+                    self.bump();
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn ident_or_prefixed_string(&mut self, line: u32, col: u32) {
+        let mut ident = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                ident.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Raw / byte string prefixes: the "identifier" was `r`, `b`,
+        // `br`, or `rb` glued to a string opener.
+        if matches!(ident.as_str(), "r" | "b" | "br" | "rb") {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                if hashes == 0 && ident == "b" {
+                    self.string_literal();
+                } else {
+                    self.raw_string(hashes);
+                }
+                return;
+            }
+            if ident == "b" && self.peek(0) == Some('\'') {
+                self.lifetime_or_char();
+                return;
+            }
+        }
+        self.push(&ident, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` continues the number; `0..n` and `1.method()` do
+                // not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(&text, line, col);
+    }
+}
+
+/// Parses the argument list of `allow(RULE, reason...)`.
+fn parse_allow(args: &str, line: u32) -> Directive {
+    let Some(inner) = args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) else {
+        return Directive::Malformed {
+            line,
+            message: "malformed allow directive: expected `allow(RULE, reason)`".to_string(),
+        };
+    };
+    let (rule, reason) = match inner.split_once(',') {
+        Some((rule, reason)) => (rule.trim(), reason.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return Directive::Malformed {
+            line,
+            message: "allow directive names no rule: expected `allow(RULE, reason)`".to_string(),
+        };
+    }
+    if reason.is_empty() {
+        return Directive::Malformed {
+            line,
+            message: format!(
+                "allow({rule}) has no reason — suppressions must say why: `allow({rule}, because ...)`"
+            ),
+        };
+    }
+    Directive::Allow {
+        line,
+        rule: rule.to_ascii_uppercase(),
+        reason: reason.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_strings_and_attributes() {
+        let src = r##"
+            // Instant in a comment
+            /* HashMap in /* a nested */ block */
+            #[derive(Serialize)]
+            fn f() { let s = "Instant-NGP"; let r = r#"SystemTime"#; }
+        "##;
+        let toks = texts(src);
+        assert!(!toks.contains(&"Instant".to_string()));
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(!toks.contains(&"Serialize".to_string()));
+        assert!(!toks.contains(&"SystemTime".to_string()));
+        assert!(toks.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn merges_path_separators_and_keeps_positions() {
+        let lexed = lex("a::b");
+        let t: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["a", "::", "b"]);
+        assert_eq!(lexed.tokens[1].line, 1);
+        assert_eq!(lexed.tokens[1].col, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = texts("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(toks.contains(&"str".to_string()));
+        assert!(!toks.contains(&"x'".to_string()));
+        // The brace structure survives the char literals.
+        assert_eq!(toks.iter().filter(|t| t.as_str() == "{").count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.as_str() == "}").count(), 1);
+    }
+
+    #[test]
+    fn parses_hot_and_allow_directives() {
+        let lexed = lex("// uni-lint: hot\nfn f() {}\n// uni-lint: allow(R1, seed baseline)\n");
+        assert_eq!(lexed.directives.len(), 2);
+        assert_eq!(lexed.directives[0], Directive::Hot { line: 1 });
+        assert_eq!(
+            lexed.directives[1],
+            Directive::Allow {
+                line: 3,
+                rule: "R1".to_string(),
+                reason: "seed baseline".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let lexed =
+            lex("// uni-lint: allow(R3)\n// uni-lint: allow(R3,)\n// uni-lint: frobnicate\n");
+        assert_eq!(lexed.directives.len(), 3);
+        for d in &lexed.directives {
+            assert!(matches!(d, Directive::Malformed { .. }), "{d:?}");
+        }
+    }
+}

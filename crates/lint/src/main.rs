@@ -1,0 +1,96 @@
+//! CLI for `uni-lint`.
+//!
+//! ```text
+//! uni-lint [--deny-all] [--json] [--allow RULE]... [--root DIR] [PATH]...
+//! ```
+//!
+//! With no `PATH`s the whole workspace is scanned (the directory holding
+//! the workspace `Cargo.toml`, found by walking up from the cwd; `--root`
+//! overrides). Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use uni_lint::{render_json, render_text, rules, run, Config};
+
+fn main() -> ExitCode {
+    let mut config = Config::default();
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => config.deny_all = true,
+            "--json" => json = true,
+            "--allow" => match args.next() {
+                Some(rule) if rules::rule_by_id(&rule).is_some() => {
+                    config.allowed_rules.insert(rule.to_ascii_uppercase());
+                }
+                Some(rule) => return usage(&format!("unknown rule {rule:?}")),
+                None => return usage("--allow needs a rule id (R1..R7)"),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--rules" => {
+                for r in &rules::RULES {
+                    println!("{}  {:<24} {}", r.id, r.name, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "uni-lint [--deny-all] [--json] [--allow RULE]... [--root DIR] [PATH]...\n\
+                     Machine-enforces the workspace determinism & hot-path contracts (see --rules)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag {arg:?}")),
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+
+    let root = root.unwrap_or_else(workspace_root);
+    match run(&root, &paths, &config) {
+        Ok(report) => {
+            if json {
+                print!("{}", render_json(&report));
+            } else {
+                print!("{}", render_text(&report));
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("uni-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("uni-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+/// Nearest ancestor of the cwd whose `Cargo.toml` declares a
+/// `[workspace]`; falls back to the cwd.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixture self-tests: every rule must fire on its known-bad fixture
+//! and stay silent on the known-good twin, suppression must demand a
+//! reason and leave an audit trail, and the JSON report shape must not
+//! drift. Fixtures live in `crates/lint/fixtures/` — excluded from
+//! directory walks (the corpus must not lint the workspace red) but
+//! lintable when passed explicitly, which the CI negative step relies
+//! on.
+
+use std::path::Path;
+use uni_lint::{analyze_source, render_json, Config, Report};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path:?}: {e}"))
+}
+
+/// Lints a fixture under a virtual workspace path (which drives rule
+/// scoping), exactly as `analyze_source` would see a real file.
+fn lint_as(virtual_path: &str, name: &str) -> Report {
+    let mut report = Report::default();
+    analyze_source(
+        virtual_path,
+        &fixture(name),
+        &Config::default(),
+        &mut report,
+    );
+    report
+}
+
+#[test]
+fn every_rule_fires_on_bad_and_stays_silent_on_good() {
+    let cases = [
+        ("R1", "crates/scene/src/fixture.rs"),
+        ("R2", "crates/engine/src/fixture.rs"),
+        ("R3", "crates/engine/src/fixture.rs"),
+        ("R4", "crates/engine/src/sched.rs"),
+        ("R5", "crates/engine/src/fixture.rs"),
+        ("R6", "crates/engine/src/fixture.rs"),
+        ("R7", "crates/renderers/src/fixture.rs"),
+    ];
+    for (rule, vpath) in cases {
+        let stem = rule.to_ascii_lowercase();
+        let bad = lint_as(vpath, &format!("{stem}_bad.rs"));
+        assert!(
+            bad.diagnostics.iter().any(|d| d.rule == rule && d.denied),
+            "{rule}: bad fixture must produce a denied {rule} finding, got {:?}",
+            bad.diagnostics
+        );
+        let good = lint_as(vpath, &format!("{stem}_good.rs"));
+        assert!(
+            good.is_clean() && good.diagnostics.is_empty(),
+            "{rule}: good fixture must lint clean, got {:?}",
+            good.diagnostics
+        );
+    }
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_is_audited() {
+    let report = lint_as("crates/engine/src/fixture.rs", "allow_ok.rs");
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    assert_eq!(report.allows_used.len(), 1, "the suppression is counted");
+    assert_eq!(report.allows_used[0].rule, "R3");
+    assert!(
+        report.allows_used[0].reason.contains("seed"),
+        "the audit trail carries the reason verbatim"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_rejected_and_suppresses_nothing() {
+    let report = lint_as("crates/engine/src/fixture.rs", "allow_missing_reason.rs");
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "LINT" && d.denied),
+        "a reasonless allow is itself a denied finding: {:?}",
+        report.diagnostics
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "R3" && d.denied),
+        "and the violation it sat on still fires: {:?}",
+        report.diagnostics
+    );
+    assert!(report.allows_used.is_empty());
+}
+
+#[test]
+fn fixture_corpus_is_excluded_from_directory_walks() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = uni_lint::collect_files(root).expect("walk the lint crate");
+    assert!(
+        files
+            .iter()
+            .all(|f| !f.components().any(|c| c.as_os_str() == "fixtures")),
+        "fixtures must never lint the workspace red: {files:?}"
+    );
+    assert!(
+        files
+            .iter()
+            .any(|f| f.file_name().is_some_and(|n| n == "lib.rs")),
+        "the walk still finds real sources"
+    );
+}
+
+#[test]
+fn injected_fixture_fails_when_passed_explicitly() {
+    // The CI negative step runs exactly this file through the binary; the
+    // library-level contract is that it produces a denied finding.
+    let report = lint_as("crates/lint/fixtures/ci_injected.rs", "ci_injected.rs");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn json_snapshot_of_the_injected_fixture() {
+    let report = lint_as("ci_injected.rs", "ci_injected.rs");
+    let json = render_json(&report);
+    let expected = "{\n  \"version\": 1,\n  \"diagnostics\": [\n    {\"rule\": \"R3\", \"path\": \"ci_injected.rs\", \"line\": 5, \"col\": 7, \"denied\": true, \"message\": \"partial_cmp orders floats partially (NaN breaks determinism): use f32::total_cmp / f64::total_cmp (found `partial_cmp`)\"}\n  ],\n  \"allows\": [\n  ],\n  \"summary\": {\"files\": 1, \"findings\": 1, \"denied\": 1, \"allows_used\": 0}\n}\n";
+    assert_eq!(json, expected);
+}

@@ -31,8 +31,26 @@ pub struct Ticket<R> {
 enum TicketInner<R> {
     /// The job already ran on the submitting thread (inline pool).
     Ready(R),
-    /// The job runs on a lane; the result arrives on this channel.
-    Pending(mpsc::Receiver<R>),
+    /// The job runs on a lane; the result (or the job's panic payload)
+    /// arrives on this channel, tagged with where the job was placed so
+    /// a failure names its lane and — for [`LanePool::submit_at`] — the
+    /// schedule tick that put it there.
+    Pending {
+        rx: mpsc::Receiver<Result<R, String>>,
+        lane: usize,
+        tick: Option<u64>,
+    },
+}
+
+/// Renders a caught panic payload for re-raising with provenance.
+fn panic_payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl<R> Ticket<R> {
@@ -41,11 +59,34 @@ impl<R> Ticket<R> {
     /// # Panics
     ///
     /// Panics if the job itself panicked on its lane (the lane survives;
-    /// the ticket carries the failure).
+    /// the ticket carries the failure). The message names the lane the
+    /// job ran on, the schedule tick that placed it there (for
+    /// [`LanePool::submit_at`] submissions), and the original panic
+    /// payload, so a failing frame in a many-lane server is attributable
+    /// from the panic alone. Inline pools run jobs at submit time on the
+    /// calling thread, where the original panic propagates directly.
     pub fn wait(self) -> R {
         match self.inner {
             TicketInner::Ready(r) => r,
-            TicketInner::Pending(rx) => rx.recv().expect("lane job panicked"),
+            TicketInner::Pending { rx, lane, tick } => match rx.recv() {
+                Ok(Ok(r)) => r,
+                Ok(Err(payload)) => match tick {
+                    Some(t) => {
+                        panic!("job on lane {lane} (scheduled tick {t}) panicked: {payload}")
+                    }
+                    None => panic!("job on lane {lane} panicked: {payload}"),
+                },
+                Err(_) => match tick {
+                    Some(t) => panic!(
+                        "job on lane {lane} (scheduled tick {t}) was lost: \
+                         the lane dropped the result channel without reporting"
+                    ),
+                    None => panic!(
+                        "job on lane {lane} was lost: \
+                         the lane dropped the result channel without reporting"
+                    ),
+                },
+            },
         }
     }
 }
@@ -113,10 +154,13 @@ impl LanePool {
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             // A panicking job must not take the lane down
-                            // with it: catch the unwind so later jobs on
-                            // this lane still run. The failure surfaces at
-                            // the job's own `Ticket::wait` (its result
-                            // sender is dropped without sending).
+                            // with it: the submit wrapper catches the
+                            // unwind and ships the payload through the
+                            // ticket channel, so later jobs on this lane
+                            // still run and the failure surfaces — with
+                            // lane/tick provenance — at the job's own
+                            // `Ticket::wait`. This outer catch is a
+                            // backstop for panics outside that wrapper.
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                     })
@@ -147,24 +191,38 @@ impl LanePool {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
+        self.submit_inner(lane, None, job)
+    }
+
+    fn submit_inner<R, F>(&self, lane: usize, tick: Option<u64>, job: F) -> Ticket<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
         if self.lanes.is_empty() {
             return Ticket {
                 inner: TicketInner::Ready(job()),
             };
         }
-        let lane = &self.lanes[lane % self.lanes.len()];
+        let lane = lane % self.lanes.len();
         let (tx, rx) = mpsc::channel();
-        lane.tx
+        self.lanes[lane]
+            .tx
             .as_ref()
             .expect("lane open while pool is alive")
             .send(Box::new(move || {
-                // Receiver may be dropped (caller abandoned the ticket) —
+                // Catch the job's unwind so its panic payload travels
+                // through the ticket (re-raised with lane/tick provenance
+                // at `wait`) instead of dying with the channel. Receiver
+                // may be dropped (caller abandoned the ticket) —
                 // discarding the result is fine then.
-                let _ = tx.send(job());
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                    .map_err(|p| panic_payload_text(p.as_ref()));
+                let _ = tx.send(result);
             }))
             .expect("lane worker alive while pool is alive");
         Ticket {
-            inner: TicketInner::Pending(rx),
+            inner: TicketInner::Pending { rx, lane, tick },
         }
     }
 
@@ -179,7 +237,7 @@ impl LanePool {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        self.submit((tick % self.lanes() as u64) as usize, job)
+        self.submit_inner((tick % self.lanes() as u64) as usize, Some(tick), job)
     }
 }
 
@@ -201,10 +259,28 @@ impl Drop for LanePool {
 /// One band's work slot: the chunk a worker claims (exactly once).
 type BandCell<'a, T> = std::sync::Mutex<Option<&'a mut [T]>>;
 
+/// Process-wide worker-count pin; `0` means "no pin, consult the
+/// environment". See [`set_worker_count`].
+static WORKER_PIN: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins [`worker_count`] process-wide, bypassing `UNI_RENDER_THREADS`.
+///
+/// `None` restores environment-driven detection. Returns the previous
+/// pin so scoped callers can restore it. Two reasons to pin instead of
+/// setting the variable: mutating the environment is unsound in a
+/// threaded process, and reading it back allocates — a pinned count
+/// keeps [`worker_count`] off the allocator entirely, which the
+/// zero-steady-state-allocation harness measures per frame.
+pub fn set_worker_count(workers: Option<usize>) -> Option<usize> {
+    let raw = workers.map_or(0, |n| n.max(1));
+    let prev = WORKER_PIN.swap(raw, Ordering::SeqCst);
+    (prev != 0).then_some(prev)
+}
+
 /// Worker count the band helpers will use.
 ///
-/// `UNI_RENDER_THREADS` overrides detection; without the `threads` feature
-/// this is always 1.
+/// A [`set_worker_count`] pin wins; otherwise `UNI_RENDER_THREADS`
+/// overrides detection. Without the `threads` feature this is always 1.
 pub fn worker_count() -> usize {
     #[cfg(not(feature = "threads"))]
     {
@@ -212,6 +288,10 @@ pub fn worker_count() -> usize {
     }
     #[cfg(feature = "threads")]
     {
+        let pinned = WORKER_PIN.load(Ordering::SeqCst);
+        if pinned != 0 {
+            return pinned;
+        }
         if let Ok(v) = std::env::var("UNI_RENDER_THREADS") {
             if let Ok(n) = v.trim().parse::<usize>() {
                 return n.max(1);
@@ -294,6 +374,49 @@ where
     })
 }
 
+/// [`par_bands`] folded in band order: `merge(acc, band_result)` over
+/// every band, starting from `init`.
+///
+/// Callers that only need an aggregate (stats merged across bands) use
+/// this instead of collecting per-band results. With one worker the
+/// whole call runs on the calling thread without touching the allocator
+/// — the backbone of the zero-steady-state-allocation contract. With
+/// more workers the per-band results are still merged in band order, so
+/// any merge (associative or not) yields results bit-identical to the
+/// serial path.
+///
+/// # Panics
+///
+/// Panics if `band_len == 0` while `data` is nonempty, or if a worker
+/// panics (the panic is propagated).
+pub fn par_bands_fold<T, R, A, F, M>(
+    data: &mut [T],
+    band_len: usize,
+    init: A,
+    f: F,
+    mut merge: M,
+) -> A
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+    M: FnMut(A, R) -> A,
+{
+    if data.is_empty() {
+        return init;
+    }
+    assert!(band_len > 0, "band_len must be positive");
+    let n_bands = data.len().div_ceil(band_len);
+    if worker_count().min(n_bands) <= 1 {
+        let mut acc = init;
+        for (i, chunk) in data.chunks_mut(band_len).enumerate() {
+            acc = merge(acc, f(i, chunk));
+        }
+        return acc;
+    }
+    par_bands(data, band_len, f).into_iter().fold(init, merge)
+}
+
 /// Runs `f(index)` for every index in `0..n`, returning results in order.
 /// The read-only sibling of [`par_bands`] for fan-out over shared state.
 pub fn par_indices<R, F>(n: usize, f: F) -> Vec<R>
@@ -353,6 +476,38 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fold_matches_collected_bands() {
+        let mut a: Vec<u32> = (0..103).collect();
+        let mut b = a.clone();
+        let collected: u64 = par_bands(&mut a, 10, |i, chunk| {
+            i as u64 + chunk.iter().map(|&v| u64::from(v)).sum::<u64>()
+        })
+        .iter()
+        .sum();
+        let folded = par_bands_fold(
+            &mut b,
+            10,
+            0u64,
+            |i, chunk| i as u64 + chunk.iter().map(|&v| u64::from(v)).sum::<u64>(),
+            |acc, r| acc + r,
+        );
+        assert_eq!(folded, collected);
+        assert_eq!(
+            par_bands_fold(&mut [0u8; 0], 4, 7usize, |_, _| 1, |a, r| a + r),
+            7
+        );
+    }
+
+    #[test]
+    fn worker_pin_overrides_environment() {
+        let prev = set_worker_count(Some(3));
+        #[cfg(feature = "threads")]
+        assert_eq!(worker_count(), 3);
+        let restored = set_worker_count(prev);
+        assert_eq!(restored, Some(3));
+    }
 
     #[test]
     fn bands_cover_every_element_once() {
@@ -463,10 +618,30 @@ mod tests {
         } else {
             assert!(pool.is_inline(), "serial environments stay inline");
         }
-        let tickets: Vec<Ticket<usize>> =
-            (0..6).map(|i| pool.submit_at(i as u64, move || i * 2)).collect();
+        let tickets: Vec<Ticket<usize>> = (0..6)
+            .map(|i| pool.submit_at(i as u64, move || i * 2))
+            .collect();
         let results: Vec<usize> = tickets.into_iter().map(Ticket::wait).collect();
         assert_eq!(results, (0..6).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_message_carries_lane_and_tick_provenance() {
+        // spawn_lanes directly: bypasses the inline fallback so the
+        // off-thread provenance path is exercised even when the test
+        // environment itself is single-threaded.
+        let pool = LanePool::spawn_lanes(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.submit_at(7, || panic!("splat buffer overflow")).wait()
+        }))
+        .expect_err("the job panic must surface at wait");
+        let msg = panic_payload_text(caught.as_ref());
+        assert!(msg.contains("lane 1"), "names the lane (7 % 2): {msg}");
+        assert!(msg.contains("tick 7"), "names the schedule slot: {msg}");
+        assert!(
+            msg.contains("splat buffer overflow"),
+            "carries the original payload: {msg}"
+        );
     }
 
     #[test]

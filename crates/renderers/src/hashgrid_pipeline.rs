@@ -40,6 +40,7 @@ impl HashStats {
 impl HashGridPipeline {
     /// Renders the scanlines starting at row `y0` into `chunk` (whole
     /// rows, row-major), using the caller's ray scratch arena.
+    // uni-lint: hot
     fn render_rows(
         &self,
         scene: &BakedScene,
@@ -119,22 +120,26 @@ impl HashGridPipeline {
         target.resize(camera.width, camera.height, bg);
         let width = camera.width as usize;
         let band_len = crate::scratch::BAND_ROWS as usize * width;
-        let per_band = uni_parallel::par_bands(target.pixels_mut(), band_len, |band, chunk| {
-            crate::scratch::with_ray_scratch(|rs| {
-                self.render_rows(
-                    scene,
-                    camera,
-                    band as u32 * crate::scratch::BAND_ROWS,
-                    chunk,
-                    rs,
-                )
-            })
-        });
-        let mut stats = HashStats::default();
-        for s in per_band {
-            stats.merge(s);
-        }
-        stats
+        uni_parallel::par_bands_fold(
+            target.pixels_mut(),
+            band_len,
+            HashStats::default(),
+            |band, chunk| {
+                crate::scratch::with_ray_scratch(|rs| {
+                    self.render_rows(
+                        scene,
+                        camera,
+                        band as u32 * crate::scratch::BAND_ROWS,
+                        chunk,
+                        rs,
+                    )
+                })
+            },
+            |mut acc, s| {
+                acc.merge(s);
+                acc
+            },
+        )
     }
 
     /// The seed-era scalar reference path: single-threaded, allocating a

@@ -89,18 +89,21 @@ impl Renderer for MixRtPipeline {
     fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
         let bg = scene.field().background();
         target.resize(camera.width, camera.height, bg);
-        let (hits, _) = rasterize(scene.mesh(), camera);
         let width = camera.width as usize;
         let band_rows = crate::scratch::BAND_ROWS;
-        uni_parallel::par_bands(
-            target.pixels_mut(),
-            band_rows as usize * width,
-            |band, chunk| {
-                crate::scratch::with_ray_scratch(|rs| {
-                    self.shade_rows(scene, camera, &hits, band as u32 * band_rows, chunk, rs);
-                });
-            },
-        );
+        crate::scratch::with_raster_scratch(|raster| {
+            crate::mesh_pipeline::rasterize_into(scene.mesh(), camera, raster);
+            let hits = &raster.zbuf;
+            uni_parallel::par_bands(
+                target.pixels_mut(),
+                band_rows as usize * width,
+                |band, chunk| {
+                    crate::scratch::with_ray_scratch(|rs| {
+                        self.shade_rows(scene, camera, hits, band as u32 * band_rows, chunk, rs);
+                    });
+                },
+            );
+        });
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {

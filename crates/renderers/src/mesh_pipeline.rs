@@ -126,33 +126,54 @@ fn rasterize_rows(
 }
 
 /// Rasterizes the mesh into a per-pixel hit buffer with exact work
-/// counts, processing bands of rows in parallel.
+/// counts, processing bands of rows in parallel. Allocates fresh
+/// buffers; the frame paths reuse a [`crate::scratch::RasterScratch`]
+/// through [`rasterize_into`] instead.
 pub(crate) fn rasterize(
     mesh: &TriangleMesh,
     camera: &Camera,
 ) -> (Vec<Option<PixelHitPublic>>, RasterStats) {
+    let mut rs = crate::scratch::RasterScratch::default();
+    let stats = rasterize_into(mesh, camera, &mut rs);
+    (rs.zbuf, stats)
+}
+
+/// [`rasterize`] into caller-owned buffers: `rs.zbuf` holds the hit
+/// buffer on return, and both it and the projected-vertex cache reuse
+/// their capacity across frames.
+pub(crate) fn rasterize_into(
+    mesh: &TriangleMesh,
+    camera: &Camera,
+    rs: &mut crate::scratch::RasterScratch,
+) -> RasterStats {
     let (w, h) = (camera.width as usize, camera.height as usize);
-    let mut zbuf: Vec<Option<PixelHitPublic>> = vec![None; w * h];
+    let crate::scratch::RasterScratch { zbuf, projected } = rs;
+    zbuf.clear();
+    zbuf.resize(w * h, None);
 
     // Space conversion: project every vertex once, shared by all bands.
-    let projected: Vec<Option<(Vec2, f32)>> = mesh
-        .positions
-        .iter()
-        .map(|&p| camera.project_to_screen(p).map(|(s, _, d)| (s, d)))
-        .collect();
+    projected.clear();
+    projected.extend(
+        mesh.positions
+            .iter()
+            .map(|&p| camera.project_to_screen(p).map(|(s, _, d)| (s, d))),
+    );
 
     let band_rows = crate::scratch::BAND_ROWS as usize;
-    let per_band = uni_parallel::par_bands(&mut zbuf, band_rows * w, |band, chunk| {
-        rasterize_rows(mesh, &projected, w, h, band * band_rows, chunk)
-    });
-    let mut stats = RasterStats {
-        vertices_projected: mesh.vertex_count() as u64,
-        ..RasterStats::default()
-    };
-    for s in per_band {
-        stats.merge(s);
-    }
-    (zbuf, stats)
+    let projected = &*projected;
+    uni_parallel::par_bands_fold(
+        zbuf,
+        band_rows * w,
+        RasterStats {
+            vertices_projected: mesh.vertex_count() as u64,
+            ..RasterStats::default()
+        },
+        |band, chunk| rasterize_rows(mesh, projected, w, h, band * band_rows, chunk),
+        |mut acc, s| {
+            acc.merge(s);
+            acc
+        },
+    )
 }
 
 /// Single-threaded whole-frame rasterization (parity/bench baseline for
@@ -271,8 +292,10 @@ impl Renderer for MeshPipeline {
     }
 
     fn render_into(&self, scene: &BakedScene, camera: &Camera, target: &mut Image) {
-        let (hits, _) = rasterize(scene.mesh(), camera);
-        self.shade_into(scene, camera, &hits, target);
+        crate::scratch::with_raster_scratch(|rs| {
+            rasterize_into(scene.mesh(), camera, rs);
+            self.shade_into(scene, camera, &rs.zbuf, target);
+        });
     }
 
     fn trace(&self, scene: &BakedScene, camera: &Camera) -> Trace {

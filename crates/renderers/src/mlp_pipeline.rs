@@ -57,6 +57,7 @@ impl MlpPipeline {
     /// rows, row-major), using the caller's ray scratch arena. The band
     /// loop for the parallel path and, over the full image, the scalar
     /// reference.
+    // uni-lint: hot
     fn render_rows(
         &self,
         scene: &BakedScene,
@@ -116,22 +117,26 @@ impl MlpPipeline {
         target.resize(camera.width, camera.height, field_bg);
         let width = camera.width as usize;
         let band_len = crate::scratch::BAND_ROWS as usize * width;
-        let per_band = uni_parallel::par_bands(target.pixels_mut(), band_len, |band, chunk| {
-            crate::scratch::with_ray_scratch(|rs| {
-                self.render_rows(
-                    scene,
-                    camera,
-                    band as u32 * crate::scratch::BAND_ROWS,
-                    chunk,
-                    rs,
-                )
-            })
-        });
-        let mut stats = VolumeStats::default();
-        for s in per_band {
-            stats.merge(s);
-        }
-        stats
+        uni_parallel::par_bands_fold(
+            target.pixels_mut(),
+            band_len,
+            VolumeStats::default(),
+            |band, chunk| {
+                crate::scratch::with_ray_scratch(|rs| {
+                    self.render_rows(
+                        scene,
+                        camera,
+                        band as u32 * crate::scratch::BAND_ROWS,
+                        chunk,
+                        rs,
+                    )
+                })
+            },
+            |mut acc, s| {
+                acc.merge(s);
+                acc
+            },
+        )
     }
 
     /// The seed-era scalar reference path: single-threaded, allocating a

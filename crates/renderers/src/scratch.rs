@@ -35,8 +35,22 @@ pub(crate) struct RayScratch {
     pub kilo: KiloNerfScratch,
 }
 
+/// Reusable whole-frame rasterization buffers (mesh + hybrid pipelines).
+///
+/// Consulted once per frame on the orchestrating thread (not per band),
+/// so the Z-buffer and the projected-vertex cache stop being per-frame
+/// allocations once their capacities settle.
+#[derive(Debug, Default)]
+pub(crate) struct RasterScratch {
+    /// Per-pixel nearest-hit buffer, row-major.
+    pub zbuf: Vec<Option<crate::mesh_pipeline::PixelHitPublic>>,
+    /// Per-vertex projected screen position + depth.
+    pub projected: Vec<Option<(uni_geometry::Vec2, f32)>>,
+}
+
 thread_local! {
     static RAY: RefCell<RayScratch> = RefCell::new(RayScratch::default());
+    static RASTER: RefCell<RasterScratch> = RefCell::new(RasterScratch::default());
     static PROBE_TARGET: RefCell<uni_geometry::Image> =
         RefCell::new(uni_geometry::Image::empty());
 }
@@ -44,6 +58,11 @@ thread_local! {
 /// Runs `f` with this thread's ray scratch.
 pub(crate) fn with_ray_scratch<R>(f: impl FnOnce(&mut RayScratch) -> R) -> R {
     RAY.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's rasterization scratch.
+pub(crate) fn with_raster_scratch<R>(f: impl FnOnce(&mut RasterScratch) -> R) -> R {
+    RASTER.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// Runs `f` with this thread's reusable probe render target. `trace`

@@ -28,6 +28,10 @@ struct LevelMeta {
     verts: u32,
     /// Whether the level is indexed linearly (dense) or hashed.
     dense: bool,
+    /// This level's segment in the flat feature buffer:
+    /// `tables[start..start + len]`.
+    start: usize,
+    len: usize,
 }
 
 /// Configuration of a multi-level hash grid.
@@ -117,9 +121,11 @@ impl HashGridConfig {
 pub struct HashGrid {
     config: HashGridConfig,
     bounds: Aabb,
-    /// One table per level, `table_len × F` floats (dense levels use only
-    /// their `resolution³ × F` prefix).
-    tables: Vec<Vec<f32>>,
+    /// Every level's feature table in **one** flat allocation; level `l`
+    /// owns the `level_meta[l].start..+len` segment (`table_len × F`
+    /// floats each — dense levels use only their `resolution³ × F`
+    /// prefix).
+    tables: Vec<f32>,
     /// Per-level resolution/stride/indexing metadata, hoisted out of the
     /// fetch and probe hot loops.
     level_meta: Vec<LevelMeta>,
@@ -132,20 +138,24 @@ pub struct HashGrid {
 impl HashGrid {
     /// Creates a zero-initialized grid over `bounds`.
     pub fn new(config: HashGridConfig, bounds: Aabb) -> Self {
+        let mut start = 0usize;
         let level_meta: Vec<LevelMeta> = (0..config.levels)
-            .map(|l| LevelMeta {
-                verts: config.level_resolution(l) + 1,
-                dense: config.level_is_dense(l),
-            })
-            .collect();
-        let tables = level_meta
-            .iter()
-            .map(|m| {
-                let r = u64::from(m.verts);
+            .map(|l| {
+                let verts = config.level_resolution(l) + 1;
+                let r = u64::from(verts);
                 let entries = (r * r * r).min(config.table_size());
-                vec![0.0; (entries * u64::from(config.features_per_entry)) as usize]
+                let len = (entries * u64::from(config.features_per_entry)) as usize;
+                let meta = LevelMeta {
+                    verts,
+                    dense: config.level_is_dense(l),
+                    start,
+                    len,
+                };
+                start += len;
+                meta
             })
             .collect();
+        let tables = vec![0.0; start];
         let finest_dense = (0..config.levels)
             .rev()
             .find(|&l| level_meta[l as usize].dense)
@@ -168,6 +178,18 @@ impl HashGrid {
     /// The bounded domain.
     pub fn bounds(&self) -> Aabb {
         self.bounds
+    }
+
+    /// Level `l`'s segment of the flat feature buffer.
+    fn table(&self, l: usize) -> &[f32] {
+        let m = &self.level_meta[l];
+        &self.tables[m.start..m.start + m.len]
+    }
+
+    /// Mutable view of level `l`'s segment (baking).
+    fn table_mut(&mut self, l: usize) -> &mut [f32] {
+        let m = &self.level_meta[l];
+        &mut self.tables[m.start..m.start + m.len]
     }
 
     /// Slot index of vertex `(x, y, z)` at level `l`: linear for dense
@@ -253,14 +275,14 @@ impl HashGrid {
         let f = self.config.features_per_entry as usize;
         assert_eq!(features.len(), f, "feature width mismatch");
         let slot = self.slot(l, x, y, z) * f;
-        self.tables[l as usize][slot..slot + f].copy_from_slice(features);
+        self.table_mut(l as usize)[slot..slot + f].copy_from_slice(features);
     }
 
     /// Reads the features of vertex `(x, y, z)` at level `l`.
     pub fn read_vertex(&self, l: u32, x: u32, y: u32, z: u32) -> &[f32] {
         let f = self.config.features_per_entry as usize;
         let slot = self.slot(l, x, y, z) * f;
-        &self.tables[l as usize][slot..slot + f]
+        &self.table(l as usize)[slot..slot + f]
     }
 
     /// The finest dense (collision-free) level, used as the occupancy
@@ -274,6 +296,7 @@ impl HashGrid {
     /// dense level only — one level instead of `L`, one channel instead of
     /// `F`. Corner slots come in one stride-add batch off the cached
     /// level metadata; the accumulation order matches the seed exactly.
+    // uni-lint: hot
     pub fn density_probe(&self, world: Vec3) -> f32 {
         let l = self.finest_dense as usize;
         let u = self.bounds.normalize_point(world).clamp(0.0, 1.0);
@@ -283,7 +306,7 @@ impl HashGrid {
         let cz = interp::cell_coord(u.z, verts);
         let w = interp::trilinear_weights(cx.frac, cy.frac, cz.frac);
         let slots = self.corner_slots(l, cx.base as u32, cy.base as u32, cz.base as u32);
-        let table = &self.tables[l];
+        let table = self.table(l);
         let f = self.config.features_per_entry as usize;
         let mut acc = 0.0;
         for (&slot, &wc) in slots.iter().zip(&w) {
@@ -314,7 +337,7 @@ impl HashGrid {
             let y = y0 + ((corner as u32 >> 1) & 1);
             let z = z0 + ((corner as u32 >> 2) & 1);
             let slot = self.slot_uncached(l, x, y, z) * f;
-            acc += wc * self.tables[l as usize][slot];
+            acc += wc * self.table(l as usize)[slot];
         }
         acc
     }
@@ -332,6 +355,7 @@ impl HashGrid {
     /// # Panics
     ///
     /// Panics if `out.len() != feature_dim()`.
+    // uni-lint: hot
     pub fn fetch(&self, world: Vec3, out: &mut [f32]) {
         assert_eq!(
             out.len(),
@@ -346,15 +370,15 @@ impl HashGrid {
             let cz = interp::cell_coord(u.z, m.verts);
             let w = interp::trilinear_weights(cx.frac, cy.frac, cz.frac);
             let slots = self.corner_slots(l, cx.base as u32, cy.base as u32, cz.base as u32);
-            let table = &self.tables[l];
+            let table = self.table(l);
             let dst = &mut out[l * f..(l + 1) * f];
             if f == 4 {
                 // One 4-lane multiply-accumulate per corner; lane-wise
                 // ops keep each channel's scalar add chain intact.
                 let mut acc = F32x4::ZERO;
                 for (&slot, &wc) in slots.iter().zip(&w) {
-                    acc = F32x4::load(&table[slot * 4..slot * 4 + 4])
-                        .mul_add(F32x4::splat(wc), acc);
+                    acc =
+                        F32x4::load(&table[slot * 4..slot * 4 + 4]).mul_add(F32x4::splat(wc), acc);
                 }
                 acc.store(dst);
             } else {
@@ -398,7 +422,7 @@ impl HashGrid {
                 let y = y0 + ((corner as u32 >> 1) & 1);
                 let z = z0 + ((corner as u32 >> 2) & 1);
                 let slot = self.slot_uncached(l, x, y, z) * f;
-                let feats = &self.tables[l as usize][slot..slot + f];
+                let feats = &self.table(l as usize)[slot..slot + f];
                 for (d, &v) in dst.iter_mut().zip(feats) {
                     *d += wc * v;
                 }
@@ -443,7 +467,7 @@ mod tests {
             let res = g.config().level_resolution(l) + 1;
             for &(x, y, z) in &[(0, 0, 0), (res - 1, res - 1, res - 1), (1, 2, 3)] {
                 let s = g.slot(l, x.min(res - 1), y.min(res - 1), z.min(res - 1));
-                assert!(s < g.tables[l as usize].len() / 4);
+                assert!(s < g.table(l as usize).len() / 4);
             }
         }
     }
@@ -548,7 +572,10 @@ mod tests {
                 for y in 0..res {
                     for x in 0..res {
                         let feats: Vec<f32> = (0..f)
-                            .map(|c| ((x * 7 + y * 3 + z * 5 + c as u32 * 11 + l) % 13) as f32 * 0.17 - 0.5)
+                            .map(|c| {
+                                ((x * 7 + y * 3 + z * 5 + c as u32 * 11 + l) % 13) as f32 * 0.17
+                                    - 0.5
+                            })
                             .collect();
                         g.write_vertex(l, x, y, z, &feats);
                     }

@@ -91,6 +91,32 @@ impl Texture2d {
     /// Panics if `out.len()` differs from the channel count.
     pub fn sample_bilinear(&self, uv: Vec2, out: &mut [f32]) {
         assert_eq!(out.len() as u32, self.channels, "output width mismatch");
+        let (corners, w) = self.bilinear_corners(uv);
+        for (c, o) in out.iter_mut().enumerate() {
+            *o = corners.iter().zip(&w).map(|(t, wi)| t[c] * wi).sum();
+        }
+    }
+
+    /// Like [`Texture2d::sample_bilinear`], but *adds* the fetched
+    /// features onto `out` instead of overwriting it — the channel-wise
+    /// aggregation step of decomposed-grid indexing, without a caller-side
+    /// staging buffer. The per-channel corner sum is computed exactly as
+    /// in `sample_bilinear`, so `accumulate == sample-then-add` bit for
+    /// bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the channel count.
+    pub fn accumulate_bilinear(&self, uv: Vec2, out: &mut [f32]) {
+        assert_eq!(out.len() as u32, self.channels, "output width mismatch");
+        let (corners, w) = self.bilinear_corners(uv);
+        for (c, o) in out.iter_mut().enumerate() {
+            *o += corners.iter().zip(&w).map(|(t, wi)| t[c] * wi).sum::<f32>();
+        }
+    }
+
+    /// The four texels and bilinear weights around `uv`.
+    fn bilinear_corners(&self, uv: Vec2) -> ([&[f32]; 4], [f32; 4]) {
         let cx = interp::cell_coord(uv.x, self.width.max(2));
         let cy = interp::cell_coord(uv.y, self.height.max(2));
         let w = interp::bilinear_weights(cx.frac, cy.frac);
@@ -101,9 +127,7 @@ impl Texture2d {
             self.texel(x0, y0 + 1),
             self.texel(x0 + 1, y0 + 1),
         ];
-        for (c, o) in out.iter_mut().enumerate() {
-            *o = corners.iter().zip(&w).map(|(t, wi)| t[c] * wi).sum();
-        }
+        (corners, w)
     }
 }
 

@@ -210,6 +210,7 @@ impl Layer {
     /// fixed (accumulators combined pairwise once at the end), so
     /// results are bit-stable across runs and across
     /// `UNI_RENDER_THREADS`.
+    // uni-lint: hot
     #[cfg_attr(not(feature = "simd"), allow(dead_code))]
     fn forward_slice_packed(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.in_dim());
@@ -260,6 +261,7 @@ impl Layer {
 
     /// The seed-era kernel: one row-dot per output on four independent
     /// accumulators.
+    // uni-lint: hot
     fn forward_slice_scalar(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.in_dim());
         debug_assert_eq!(out.len(), self.out_dim());
@@ -460,11 +462,49 @@ impl ActivationArena {
     }
 }
 
+/// Per-layer bias-shaped `f32` segments in **one** flat allocation —
+/// the jagged companion to the `FlatMat` weight blocks (layers have
+/// different widths, so this is offsets-into-a-buffer rather than a
+/// dense matrix; nested `Vec<Vec<f32>>` is barred from the hot crates).
+#[derive(Debug, Clone, Default)]
+struct LayerSegments {
+    data: Vec<f32>,
+    /// `offsets[i]..offsets[i + 1]` is layer `i`'s segment.
+    offsets: Vec<usize>,
+}
+
+impl LayerSegments {
+    /// One zeroed segment of `out_dim` floats per layer of `mlp`.
+    fn bias_shaped(mlp: &Mlp) -> Self {
+        let mut offsets = Vec::with_capacity(mlp.layers.len() + 1);
+        offsets.push(0usize);
+        for l in &mlp.layers {
+            offsets.push(offsets.last().copied().unwrap_or(0) + l.out_dim());
+        }
+        Self {
+            data: vec![0.0; offsets.last().copied().unwrap_or(0)],
+            offsets,
+        }
+    }
+
+    fn seg(&self, i: usize) -> &[f32] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    fn seg_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+}
+
 /// Per-layer gradients matching an [`Mlp`]'s parameters.
 #[derive(Debug, Clone, Default)]
 struct Gradients {
     weights: Vec<FlatMat>,
-    biases: Vec<Vec<f32>>,
+    biases: LayerSegments,
 }
 
 impl Gradients {
@@ -475,7 +515,7 @@ impl Gradients {
                 .iter()
                 .map(|l| FlatMat::zeros(l.out_dim(), l.in_dim()))
                 .collect(),
-            biases: mlp.layers.iter().map(|l| vec![0.0; l.out_dim()]).collect(),
+            biases: LayerSegments::bias_shaped(mlp),
         }
     }
 
@@ -483,9 +523,7 @@ impl Gradients {
         for w in &mut self.weights {
             w.fill(0.0);
         }
-        for b in &mut self.biases {
-            b.fill(0.0);
-        }
+        self.biases.fill(0.0);
     }
 }
 
@@ -499,8 +537,8 @@ pub struct AdamTrainer {
     step: u64,
     m_w: Vec<FlatMat>,
     v_w: Vec<FlatMat>,
-    m_b: Vec<Vec<f32>>,
-    v_b: Vec<Vec<f32>>,
+    m_b: LayerSegments,
+    v_b: LayerSegments,
     // Reused across steps so steady-state training is allocation-free.
     grads: Gradients,
     arena: ActivationArena,
@@ -517,8 +555,6 @@ impl AdamTrainer {
                 .map(|l| FlatMat::zeros(l.out_dim(), l.in_dim()))
                 .collect()
         };
-        let bias_shaped =
-            || -> Vec<Vec<f32>> { mlp.layers.iter().map(|l| vec![0.0; l.out_dim()]).collect() };
         Self {
             lr,
             beta1: 0.9,
@@ -527,8 +563,8 @@ impl AdamTrainer {
             step: 0,
             m_w: weight_shaped(),
             v_w: weight_shaped(),
-            m_b: bias_shaped(),
-            v_b: bias_shaped(),
+            m_b: LayerSegments::bias_shaped(mlp),
+            v_b: LayerSegments::bias_shaped(mlp),
             grads: Gradients::zeros_like(mlp),
             arena: ActivationArena::default(),
             delta: Vec::new(),
@@ -576,7 +612,7 @@ impl AdamTrainer {
                 }
                 // Accumulate parameter grads and propagate.
                 let gw = &mut self.grads.weights[li];
-                let gb = &mut self.grads.biases[li];
+                let gb = self.grads.biases.seg_mut(li);
                 self.prev_delta.clear();
                 self.prev_delta.resize(layer.in_dim(), 0.0);
                 for (o, gb_o) in gb.iter_mut().enumerate() {
@@ -610,10 +646,13 @@ impl AdamTrainer {
                 let v_hat = self.v_w[li].as_slice()[i] / bc2;
                 *wi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
+            let gb = self.grads.biases.seg(li);
+            let mb = self.m_b.seg_mut(li);
+            let vb = self.v_b.seg_mut(li);
             for (i, bi) in b.iter_mut().enumerate() {
-                let g = self.grads.biases[li][i];
-                let m = &mut self.m_b[li][i];
-                let v = &mut self.v_b[li][i];
+                let g = gb[i];
+                let m = &mut mb[i];
+                let v = &mut vb[i];
                 *m = self.beta1 * *m + (1.0 - self.beta1) * g;
                 *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
                 *bi -= self.lr * (*m / bc1) / ((*v / bc2).sqrt() + self.eps);

@@ -167,18 +167,15 @@ impl Triplane {
     /// # Panics
     ///
     /// Panics if `out.len()` differs from the channel count.
+    // uni-lint: hot
     pub fn fetch(&self, world: Vec3, out: &mut [f32]) {
         let c = self.config.channels as usize;
         assert_eq!(out.len(), c, "output width mismatch");
         let u = self.bounds.normalize_point(world).clamp(0.0, 1.0);
         out.fill(0.0);
-        let mut tmp = vec![0f32; c];
         for axis in PlaneAxis::ALL {
             let uv = axis.project(u);
-            self.planes[axis as usize].sample_bilinear(uv, &mut tmp);
-            for (o, &v) in out.iter_mut().zip(&tmp) {
-                *o += v;
-            }
+            self.planes[axis as usize].accumulate_bilinear(uv, out);
         }
         // Low-res grid, trilinear.
         let res = self.config.grid_resolution;

@@ -68,6 +68,7 @@ pub use uni_core as accel;
 pub use uni_engine as engine;
 pub use uni_geometry as geometry;
 pub use uni_microops as microops;
+pub use uni_parallel as parallel;
 pub use uni_renderers as renderers;
 pub use uni_scene as scene;
 

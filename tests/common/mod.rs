@@ -2,6 +2,8 @@
 //!
 //! Not every binary uses every helper, hence the `dead_code` allowances.
 
+pub mod alloc;
+
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use uni_render::prelude::Image;
 use uni_render::prelude::{
@@ -20,10 +22,17 @@ pub fn env_lock() -> MutexGuard<'static, ()> {
 }
 
 /// Runs `f` under a pinned worker count (caller holds [`env_lock`]).
+///
+/// Pins through [`uni_render::parallel::set_worker_count`] — so
+/// `worker_count()` stays off the allocator inside `f`, which the
+/// steady-state allocation harness measures — and mirrors the pin into
+/// `UNI_RENDER_THREADS` for anything that re-reads the environment.
 #[allow(dead_code)]
 pub fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
     std::env::set_var("UNI_RENDER_THREADS", threads);
+    let prev = uni_render::parallel::set_worker_count(threads.trim().parse().ok());
     let result = f();
+    uni_render::parallel::set_worker_count(prev);
     std::env::remove_var("UNI_RENDER_THREADS");
     result
 }
@@ -50,6 +59,7 @@ pub const RESOLUTIONS: [(u32, u32); 3] = [(16, 12), (24, 16), (32, 24)];
 /// bit-identical frames. Both the serving determinism property test and
 /// the golden-frame harness pin output through this one definition, so
 /// "bit-identical" cannot drift between them.
+#[allow(dead_code)]
 pub fn fnv1a_image(image: &Image) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for px in image.pixels() {
