@@ -41,8 +41,8 @@ use std::sync::Arc;
 use uni_bench::HARNESS_DETAIL;
 use uni_core::{Accelerator, AcceleratorConfig};
 use uni_engine::{
-    CameraPath, CostAware, EarliestDeadline, Priority, RenderServer, RoundRobin, SchedulePolicy,
-    ServerSummary, SessionRequest, WeightedFair,
+    AdmissionControl, CameraPath, CostAware, DegradePolicy, EarliestDeadline, Priority,
+    RenderServer, RoundRobin, SchedulePolicy, ServerSummary, SessionRequest, WeightedFair,
 };
 use uni_renderers::{GaussianPipeline, HashGridPipeline, MeshPipeline, MlpPipeline, Renderer};
 use uni_scene::{BakedScene, SceneSpec};
@@ -54,6 +54,18 @@ const RESOLUTION: (u32, u32) = (96, 96);
 /// session is served decides its slack, loose enough that an
 /// urgency-ordered schedule can meet it.
 const DEADLINE_PERIOD_FRAMES: f64 = 2.0;
+
+/// The overload row: this many sessions *offered* through
+/// [`RenderServer::try_admit`], every one deadline-bound at
+/// [`OVERLOAD_PERIOD_FRAMES`] calibrated mean frame times per frame —
+/// far more load than the budget fits, so the admission controller must
+/// refuse or queue most of it. The committed contract: the sessions it
+/// *does* admit miss fewer than [`OVERLOAD_MISS_RATE_LIMIT`] of their
+/// deadlines.
+const OVERLOAD_OFFERED: usize = 16;
+const OVERLOAD_FRAMES: usize = 8;
+const OVERLOAD_PERIOD_FRAMES: f64 = 6.0;
+const OVERLOAD_MISS_RATE_LIMIT: f64 = 0.05;
 
 /// `(policy name, session count)` sweep, round-robin baselines first.
 const SWEEP: [(&str, usize); 13] = [
@@ -137,6 +149,56 @@ fn deadline_hz_for(scene: &Arc<BakedScene>, spec: &SceneSpec, sessions: usize) -
     Some(1.0 / (DEADLINE_PERIOD_FRAMES * mean_frame_seconds))
 }
 
+fn overload_request(spec: &SceneSpec, s: usize, deadline_hz: Option<f64>) -> SessionRequest {
+    let orbit = spec.orbit(RESOLUTION.0, RESOLUTION.1);
+    let mut request = SessionRequest::new(
+        renderer(s),
+        CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, OVERLOAD_FRAMES),
+    )
+    .weight(1 + (s % 3) as u32)
+    .priority((s % 3) as u8);
+    if let Some(hz) = deadline_hz {
+        request = request.deadline_hz(hz);
+    }
+    request
+}
+
+/// Mean frame sim-time of the overload mix, from a deadline-free
+/// calibration serve over a feasible-sized slice of it — the admission
+/// controller's `frame_cost_prior` and the source of the deadline rate.
+fn overload_frame_seconds(scene: &Arc<BakedScene>, spec: &SceneSpec) -> f64 {
+    let mut server = RenderServer::new(Arc::clone(scene))
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()));
+    for s in 0..4 {
+        server.admit(overload_request(spec, s, None));
+    }
+    let summary = server.run();
+    summary.total_seconds / summary.scheduled_frames.max(1) as f64
+}
+
+/// The overload row: offers [`OVERLOAD_OFFERED`] deadline-bound sessions
+/// through `try_admit` against a calibrated admission controller, serves
+/// the admitted/queued survivors under EDF with graceful degradation
+/// armed, and returns the summary (which carries the refusal, queueing,
+/// skip, degradation, and shed accounting).
+fn serve_overload(scene: &Arc<BakedScene>, spec: &SceneSpec, frame_seconds: f64) -> ServerSummary {
+    let hz = 1.0 / (OVERLOAD_PERIOD_FRAMES * frame_seconds);
+    let mut server = RenderServer::new(Arc::clone(scene))
+        .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+        .with_policy(EarliestDeadline::new())
+        .with_admission_control(
+            AdmissionControl::new()
+                .frame_cost_prior(frame_seconds)
+                .headroom(1.1)
+                .max_queued(2),
+        )
+        .with_degradation(DegradePolicy::new());
+    for s in 0..OVERLOAD_OFFERED {
+        let _ = server.try_admit(overload_request(spec, s, Some(hz)));
+    }
+    server.run()
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let spec = SceneSpec::demo("serve-hot", 2025).with_detail(HARNESS_DETAIL);
@@ -159,9 +221,12 @@ fn main() {
             .and_then(|&(_, hz)| hz)
     };
 
+    let overload_prior = overload_frame_seconds(&scene, &spec);
+
     // Serving is deterministic, so the summary of the last timed
     // iteration doubles as the reported one — no untimed re-run needed.
     let mut results: Vec<(f64, ServerSummary)> = Vec::new();
+    let overload: (f64, ServerSummary);
     if quick {
         for &(policy_name, sessions) in &SWEEP {
             let start = std::time::Instant::now();
@@ -170,6 +235,11 @@ fn main() {
             println!("bench serve_hot/{policy_name}/{sessions} {ms:>12.3} ms (quick)");
             results.push((ms, summary));
         }
+        let start = std::time::Instant::now();
+        let summary = serve_overload(&scene, &spec, overload_prior);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!("bench serve_hot/admission/{OVERLOAD_OFFERED} {ms:>12.3} ms (quick)");
+        overload = (ms, summary);
     } else {
         let mut criterion = Criterion::default();
         let mut group = criterion.benchmark_group("serve_hot");
@@ -189,17 +259,33 @@ fn main() {
             });
             summaries.push(last.expect("bench ran at least once"));
         }
+        let mut last_overload = None;
+        group.bench_function(format!("admission/{OVERLOAD_OFFERED}"), |b| {
+            b.iter(|| {
+                last_overload = Some(serve_overload(
+                    black_box(&scene),
+                    black_box(&spec),
+                    overload_prior,
+                ))
+            });
+        });
         group.finish();
-        for (&(policy_name, sessions), summary) in SWEEP.iter().zip(summaries) {
-            let id = format!("serve_hot/{policy_name}/{sessions}");
-            let ms = criterion
+        let ms_of = |id: &str| {
+            criterion
                 .measurements()
                 .iter()
                 .find(|m| m.id == id)
                 .map(|m| m.secs_per_iter * 1e3)
-                .expect("benchmark ran");
+                .expect("benchmark ran")
+        };
+        for (&(policy_name, sessions), summary) in SWEEP.iter().zip(summaries) {
+            let ms = ms_of(&format!("serve_hot/{policy_name}/{sessions}"));
             results.push((ms, summary));
         }
+        overload = (
+            ms_of(&format!("serve_hot/admission/{OVERLOAD_OFFERED}")),
+            last_overload.expect("bench ran at least once"),
+        );
     }
 
     // The reconfiguration-aware schedules must hold their contracts on
@@ -245,6 +331,32 @@ fn main() {
         slack_loss(co4)
     );
 
+    // The overload contract: the admission controller turned away real
+    // load (refusals and/or queueing happened), and what it admitted it
+    // served — the admitted sessions' deadline miss rate stays under the
+    // committed limit.
+    let ov = &overload.1;
+    assert!(ov.is_consistent(), "overload accounting must sum");
+    assert!(
+        ov.refusals > 0,
+        "{OVERLOAD_OFFERED} hopeless offered sessions must produce refusals"
+    );
+    assert!(
+        ov.queued_admissions > 0,
+        "the drain queue must absorb part of the overload"
+    );
+    assert!(
+        ov.per_session.len() < OVERLOAD_OFFERED,
+        "admission control admitted the whole overload"
+    );
+    assert!(
+        ov.deadline_miss_rate() < OVERLOAD_MISS_RATE_LIMIT,
+        "admitted sessions must miss < {:.0}% of deadlines (got {:.2}% over {} frames)",
+        100.0 * OVERLOAD_MISS_RATE_LIMIT,
+        100.0 * ov.deadline_miss_rate(),
+        ov.scheduled_frames
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"serve_hot\",\n");
@@ -268,20 +380,25 @@ fn main() {
          wall_fps is host wall-clock over the whole schedule, sim_fps / reconfiguration / \
          deadline metrics come from the deterministic ServerSummary; asserted at 4 sessions: \
          round_robin_coalesced < round_robin in reconfigs_per_frame, cost_aware <= \
-         round_robin_coalesced in reconfigs_per_frame with strictly lower worst slack loss\",\n",
+         round_robin_coalesced in reconfigs_per_frame with strictly lower worst slack loss; the \
+         admission row offers 16 all-deadline-bound sessions through try_admit (headroom 1.1, \
+         calibrated frame-cost prior, queue depth 2) with graceful degradation armed, and asserts \
+         refusals > 0, queueing > 0, and admitted deadline_miss_rate < 0.05\",\n",
     );
     json.push_str("  \"configs\": [\n");
-    for (i, (&(policy_name, sessions), (ms, summary))) in SWEEP.iter().zip(&results).enumerate() {
+    for (&(policy_name, sessions), (ms, summary)) in SWEEP.iter().zip(&results) {
         let frames = summary.scheduled_frames;
         let wall_fps = frames as f64 / (ms / 1e3);
         assert!(summary.is_consistent(), "server accounting must sum");
         assert_eq!(summary.policy, policy_name);
         println!(
             "serve_hot/{policy_name}/{sessions}: {frames} frames, wall {wall_fps:.1} FPS, \
-             sim {:.1} FPS, {:.2} reconfigs/frame, {:.1}% deadline misses, p99 {:.3} ms",
+             sim {:.1} FPS, {:.2} reconfigs/frame, {:.1}% deadline misses, p50 {:.3} ms, \
+             p99 {:.3} ms",
             summary.mean_fps(),
             summary.reconfigurations_per_frame(),
             100.0 * summary.deadline_miss_rate(),
+            summary.p50_sim_latency() * 1e3,
             summary.p99_sim_latency() * 1e3,
         );
         let worst_slack = summary
@@ -293,14 +410,60 @@ fn main() {
              \"wall_fps\": {wall_fps:.2}, \"sim_fps\": {:.2}, \
              \"reconfigs_per_frame\": {:.4}, \"boundary_reconfigs\": {}, \
              \"boundary_avoided\": {}, \"deadline_miss_rate\": {:.4}, \
-             \"worst_slack_s\": {worst_slack}, \"p99_latency_s\": {:.6} }}{}\n",
+             \"worst_slack_s\": {worst_slack}, \"p50_latency_s\": {:.6}, \
+             \"p99_latency_s\": {:.6} }},\n",
             summary.mean_fps(),
             summary.reconfigurations_per_frame(),
             summary.boundary_reconfigurations,
             summary.boundary_switches_avoided,
             summary.deadline_miss_rate(),
+            summary.p50_sim_latency(),
             summary.p99_sim_latency(),
-            if i + 1 == SWEEP.len() { "" } else { "," }
+        ));
+    }
+    {
+        let (ms, summary) = &overload;
+        let frames = summary.scheduled_frames;
+        let wall_fps = frames as f64 / (ms / 1e3);
+        println!(
+            "serve_hot/admission/{OVERLOAD_OFFERED}: {} admitted ({} queued, {} refused), \
+             {frames} frames ({} skipped, {} degraded, {} shed), wall {wall_fps:.1} FPS, \
+             sim {:.1} FPS, {:.1}% deadline misses, p50 {:.3} ms, p99 {:.3} ms",
+            summary.per_session.len(),
+            summary.queued_admissions,
+            summary.refusals,
+            summary.frames_skipped,
+            summary.degraded_frames,
+            summary.shed_sessions,
+            summary.mean_fps(),
+            100.0 * summary.deadline_miss_rate(),
+            summary.p50_sim_latency() * 1e3,
+            summary.p99_sim_latency() * 1e3,
+        );
+        let worst_slack = summary
+            .worst_slack()
+            .map_or("null".to_string(), |s| format!("{s:.6}"));
+        json.push_str(&format!(
+            "    {{ \"policy\": \"admission_earliest_deadline\", \
+             \"sessions\": {}, \"offered_sessions\": {OVERLOAD_OFFERED}, \
+             \"refused_sessions\": {}, \"queued_sessions\": {}, \
+             \"frames\": {frames}, \"frames_skipped\": {}, \
+             \"degraded_frames\": {}, \"shed_sessions\": {}, \
+             \"wall_ms\": {ms:.2}, \"wall_fps\": {wall_fps:.2}, \
+             \"sim_fps\": {:.2}, \"reconfigs_per_frame\": {:.4}, \
+             \"deadline_miss_rate\": {:.4}, \"worst_slack_s\": {worst_slack}, \
+             \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6} }}\n",
+            summary.per_session.len(),
+            summary.refusals,
+            summary.queued_admissions,
+            summary.frames_skipped,
+            summary.degraded_frames,
+            summary.shed_sessions,
+            summary.mean_fps(),
+            summary.reconfigurations_per_frame(),
+            summary.deadline_miss_rate(),
+            summary.p50_sim_latency(),
+            summary.p99_sim_latency(),
         ));
     }
     json.push_str("  ]\n}\n");

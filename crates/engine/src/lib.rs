@@ -43,11 +43,14 @@ pub mod session;
 pub use path::CameraPath;
 pub use pool::FramePool;
 pub use sched::{
-    CostAware, EarliestDeadline, PolicyContext, Priority, RoundRobin, ScheduleContext,
+    CostAware, EarliestDeadline, LoadView, PolicyContext, Priority, RoundRobin, ScheduleContext,
     SchedulePolicy, SessionHandle, SessionView, WeightedFair,
 };
-pub use server::{RenderServer, ServedFrame, SessionRequest, DEFAULT_LOOKAHEAD};
+pub use server::{
+    AdmissionControl, AdmitDecision, DegradePolicy, RenderServer, ServedFrame, SessionRequest,
+    DEFAULT_LOOKAHEAD,
+};
 pub use session::{FrameReport, RenderSession, StreamSummary};
 // The serving summaries live in `uni_microops::serve`; re-export them so
 // engine consumers get the whole serving surface from one crate.
-pub use uni_microops::{ServerSummary, SessionStats, SwitchCostModel};
+pub use uni_microops::{percentile, ServerSummary, SessionStats, SwitchCostModel};

@@ -13,6 +13,7 @@ use uni_geometry::Image;
 pub struct FramePool {
     free: Vec<Image>,
     allocations: u64,
+    peak_pixels: usize,
 }
 
 impl FramePool {
@@ -53,6 +54,7 @@ impl FramePool {
     /// frame at that size for free.
     pub fn acquire_for(&mut self, width: u32, height: u32) -> Image {
         let needed = (width as usize) * (height as usize);
+        self.peak_pixels = self.peak_pixels.max(needed);
         match self.free.pop() {
             Some(img) => {
                 if img.capacity() < needed {
@@ -82,6 +84,15 @@ impl FramePool {
     /// Number of buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.free.len()
+    }
+
+    /// The largest frame (in pixels) ever requested through
+    /// [`FramePool::acquire_for`]. Lets a caller verify that a stream
+    /// served under resolution degradation really rendered smaller
+    /// frames (a shrunken request leaves the peak untouched; only
+    /// native-size frames raise it).
+    pub fn peak_pixels(&self) -> usize {
+        self.peak_pixels
     }
 }
 

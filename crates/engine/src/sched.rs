@@ -147,6 +147,40 @@ pub struct PolicyContext<'a> {
     /// boundary history of the schedule as served (`None` on
     /// accelerator-less servers — nothing charges boundaries there).
     pub switch_costs: Option<&'a SwitchCostModel>,
+    /// Aggregate feasibility view of the admitted load — the same
+    /// numbers admission control conditions on, recomputed at each
+    /// delivered frame so policies can react to developing overload.
+    /// All fields are schedule-order facts.
+    pub load: LoadView,
+}
+
+/// Aggregate load/feasibility facts exposed to policies and admission
+/// control: how much work one scheduling round over the live sessions is
+/// predicted to take, against the tightest deadline period it must fit.
+/// Derived exclusively from settled (delivered) accounting plus the
+/// switch-cost model — never from lane timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LoadView {
+    /// Sessions currently schedulable (admitted, active, not drained).
+    pub live_sessions: usize,
+    /// How many of those carry a `deadline_hz`.
+    pub deadline_bound: usize,
+    /// Predicted sim seconds of one round-robin visit over the live
+    /// sessions: the sum of per-session mean frame costs (priors where
+    /// unobserved) plus the round's switch overhead.
+    pub predicted_round_seconds: f64,
+    /// The tightest deadline period (seconds per frame) of any live
+    /// deadline-bound session; `None` when every session is best-effort.
+    pub min_period: Option<f64>,
+}
+
+impl LoadView {
+    /// Predicted slack of the tightest deadline against one round:
+    /// `min_period - predicted_round_seconds`. `None` when no session is
+    /// deadline-bound; negative means a round is predicted not to fit.
+    pub fn predicted_slack(&self) -> Option<f64> {
+        self.min_period.map(|p| p - self.predicted_round_seconds)
+    }
 }
 
 /// Former name of [`PolicyContext`], kept for downstream policies
@@ -773,6 +807,7 @@ mod tests {
                 last_pipeline: Some(Pipeline::Mesh),
                 now_seconds: 0.0,
                 switch_costs: model,
+                load: LoadView::default(),
             }
         }
         let mut ca = CostAware::new();

@@ -42,13 +42,17 @@
 
 use crate::path::CameraPath;
 use crate::pool::FramePool;
-use crate::sched::{PolicyContext, RoundRobin, SchedulePolicy, SessionHandle, SessionView};
+use crate::sched::{
+    LoadView, PolicyContext, RoundRobin, SchedulePolicy, SessionHandle, SessionView,
+};
 use crate::session::FrameReport;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use uni_core::{Accelerator, ReplayScratch, SimReport};
 use uni_geometry::{Camera, Image};
-use uni_microops::{BoundaryMeter, Pipeline, ServerSummary, SessionStats, SwitchCostModel, Trace};
+use uni_microops::{
+    percentile, BoundaryMeter, Pipeline, ServerSummary, SessionStats, SwitchCostModel, Trace,
+};
 use uni_parallel::{LanePool, Ticket};
 use uni_renderers::Renderer;
 use uni_scene::BakedScene;
@@ -163,6 +167,11 @@ pub struct ServedFrame {
     /// [`SessionStats::deadline_misses`]). `None` for best-effort
     /// sessions and on accelerator-less servers.
     pub deadline_slack: Option<f64>,
+    /// Resolution halvings this frame was rendered at (0 = native; `k`
+    /// = each image dimension divided by `2^k`). Non-zero only under an
+    /// active [`DegradePolicy`]; such frames count in
+    /// [`SessionStats::degraded_frames`].
+    pub resolution_shift: u32,
 }
 
 /// What a worker lane hands back for one scheduled frame.
@@ -238,6 +247,22 @@ struct SessionSlot {
     /// boundary reconfiguration entering it), in delivery order — the
     /// population the p50/p99 latency stats summarize.
     latencies: Vec<f64>,
+    /// Resolution halvings applied to frames dispatched from now on
+    /// (0 = native). Changed only by [`SessionSlot::staged_shift`]
+    /// activating, so the shift a given schedule slot renders at is
+    /// lane-invariant.
+    res_shift: u32,
+    /// A staged resolution change: `(activation slot, new shift)`,
+    /// applied under the same delivered-count rule as staged churn.
+    staged_shift: Option<(usize, u32)>,
+    /// A staged frame skip: `(activation slot, frames to skip)`.
+    staged_skip: Option<(usize, usize)>,
+    /// Skips activated but not yet consumed by the dispatcher.
+    skips_pending: usize,
+    /// Consecutive delivered frames that missed their deadline.
+    miss_streak: u32,
+    /// Consecutive delivered frames that met their deadline.
+    meet_streak: u32,
     stats: SessionStats,
 }
 
@@ -262,18 +287,223 @@ impl SessionSlot {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted sample: the value at
-/// rank `ceil(p/100 * n)` (1-indexed). Deterministic — no interpolation.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+/// What the admission controller decided about one
+/// [`SessionRequest`] handed to [`RenderServer::try_admit`].
+///
+/// Decisions are a pure function of settled (delivered) accounting, the
+/// switch-cost model, and the [`AdmissionControl`] knobs — never of lane
+/// timing — so the decision stream is bit-identical at any
+/// `UNI_RENDER_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitDecision {
+    /// Predicted feasible against the current load: the session joined
+    /// the schedule under the normal [`RenderServer::admit`] rules.
+    Admitted(SessionHandle),
+    /// Predicted infeasible *now* but feasible once part of the current
+    /// load drains: the session was staged to join at delivered-frame
+    /// slot `activates_at` (a schedule-order estimate of that drain; if
+    /// the schedule drains earlier the session joins at the drain point
+    /// instead of waiting).
+    Queued {
+        /// Handle of the queued session.
+        handle: SessionHandle,
+        /// Delivered-frame slot the session is staged to activate at.
+        activates_at: usize,
+    },
+    /// Predicted infeasible even after the entire current load drains
+    /// (or the queue is full): the request was dropped — no session
+    /// exists for it.
+    Refused {
+        /// The predicted per-round slack of the tightest deadline had
+        /// the request been admitted against the current load
+        /// (negative: by how many sim-seconds a scheduling round would
+        /// overrun the period).
+        predicted_slack: f64,
+    },
+}
+
+impl AdmitDecision {
+    /// The session handle, unless the request was refused.
+    pub fn handle(&self) -> Option<SessionHandle> {
+        match self {
+            Self::Admitted(handle) => Some(*handle),
+            Self::Queued { handle, .. } => Some(*handle),
+            Self::Refused { .. } => None,
+        }
+    }
+}
+
+/// Feasibility knobs for [`RenderServer::try_admit`].
+///
+/// The controller predicts the sim-seconds of one scheduling round over
+/// the live sessions plus the candidate — per-session mean frame cost
+/// (the [`AdmissionControl::frame_cost_prior`] where a session has no
+/// delivered history) plus the [`SwitchCostModel::round_cost`] of the
+/// round's pipeline sequence — and admits only if `headroom × round`
+/// fits inside every live deadline period and the candidate's own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionControl {
+    /// Safety multiplier on the predicted round (≥ 1 reserves margin
+    /// for estimation error; clamped to ≥ 0). Default `1.0`.
+    pub headroom: f64,
+    /// Assumed mean frame cost (sim-seconds) for sessions with no
+    /// delivered frames yet — including every candidate. Default `0.0`
+    /// (optimistic: unknown sessions are presumed free).
+    pub frame_cost_prior: f64,
+    /// Most sessions allowed to wait in the queued (staged,
+    /// delayed-activation) state at once. Default `1`.
+    pub max_queued: usize,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        Self {
+            headroom: 1.0,
+            frame_cost_prior: 0.0,
+            max_queued: 1,
+        }
+    }
+}
+
+impl AdmissionControl {
+    /// Default knobs (headroom 1.0, zero prior, queue depth 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the safety multiplier on the predicted round.
+    pub fn headroom(mut self, headroom: f64) -> Self {
+        self.headroom = if headroom.is_finite() {
+            headroom.max(0.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Sets the assumed mean frame cost for history-less sessions.
+    pub fn frame_cost_prior(mut self, seconds: f64) -> Self {
+        self.frame_cost_prior = if seconds.is_finite() {
+            seconds.max(0.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Sets the queued-session bound.
+    pub fn max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+}
+
+/// Graceful-degradation knobs for overload that develops *mid-serve*,
+/// consumed by [`RenderServer::with_degradation`].
+///
+/// All three degraded modes are decided at frame **delivery** (a
+/// schedule-order moment) and staged to take effect at the same
+/// deterministic slot rule as mid-serve churn (delivered count +
+/// dispatch window), so every degraded stream stays bit-identical at any
+/// `UNI_RENDER_THREADS`:
+///
+/// - **Resolution scaling** — after
+///   [`DegradePolicy::degrade_after_misses`] consecutive misses a
+///   session's frames render at half linear resolution per step (the
+///   camera's pixel grid halves; view/projection are untouched, so the
+///   frustum is identical and only sampling density drops), up to
+///   [`DegradePolicy::max_resolution_shift`] halvings; after
+///   [`DegradePolicy::recover_after_meets`] consecutive met deadlines
+///   one step is restored.
+/// - **Frame skipping** — a frame delivered more than
+///   [`DegradePolicy::skip_when_late_periods`] periods late stages one
+///   explicit skip: the session's next undispatched frame is dropped
+///   (never rendered, never delivered) and accounted in
+///   [`SessionStats::frames_skipped`], advancing the session's deadline
+///   ladder by one period.
+/// - **Shedding** — a session still missing
+///   [`DegradePolicy::shed_after_misses`] deadlines in a row at maximum
+///   degradation sheds the lowest-(priority, weight) live session
+///   (ties: the youngest), staging a close exactly like
+///   [`RenderServer::close`] and marking the victim
+///   [`SessionStats::shed`]. The last live session is never shed — it
+///   degrades but keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradePolicy {
+    /// Most resolution halvings a session can accumulate. Default `2`
+    /// (down to quarter linear resolution).
+    pub max_resolution_shift: u32,
+    /// Consecutive missed deadlines before staging one more halving.
+    /// Default `2`.
+    pub degrade_after_misses: u32,
+    /// Consecutive met deadlines before restoring one halving.
+    /// Default `4`.
+    pub recover_after_meets: u32,
+    /// How many periods late a delivery must be to stage a frame skip.
+    /// Default `2.0`.
+    pub skip_when_late_periods: f64,
+    /// Consecutive misses *at maximum resolution degradation* before
+    /// shedding a victim session; `0` disables shedding. Default `6`.
+    pub shed_after_misses: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            max_resolution_shift: 2,
+            degrade_after_misses: 2,
+            recover_after_meets: 4,
+            skip_when_late_periods: 2.0,
+            shed_after_misses: 6,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// Default knobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the resolution-halving cap (`0` disables scaling).
+    pub fn max_resolution_shift(mut self, shift: u32) -> Self {
+        self.max_resolution_shift = shift;
+        self
+    }
+
+    /// Sets the miss streak that triggers one halving (clamped ≥ 1).
+    pub fn degrade_after_misses(mut self, misses: u32) -> Self {
+        self.degrade_after_misses = misses.max(1);
+        self
+    }
+
+    /// Sets the meet streak that restores one halving (clamped ≥ 1).
+    pub fn recover_after_meets(mut self, meets: u32) -> Self {
+        self.recover_after_meets = meets.max(1);
+        self
+    }
+
+    /// Sets the lateness (in periods) that stages a frame skip;
+    /// non-finite disables skipping.
+    pub fn skip_when_late_periods(mut self, periods: f64) -> Self {
+        self.skip_when_late_periods = periods;
+        self
+    }
+
+    /// Sets the at-max-degradation miss streak that sheds a victim
+    /// (`0` disables shedding).
+    pub fn shed_after_misses(mut self, misses: u32) -> Self {
+        self.shed_after_misses = misses;
+        self
+    }
 }
 
 /// A frame dispatched to a lane, awaiting in-order delivery.
 struct Pending {
     session: usize,
     index: usize,
+    /// Resolution halvings the frame was dispatched at.
+    res_shift: u32,
     ticket: Ticket<Rendered>,
 }
 
@@ -349,6 +579,16 @@ pub struct RenderServer {
     total_seconds: f64,
     in_frame_reconfigs: u64,
     deadline_misses: u64,
+    /// Feasibility knobs for [`RenderServer::try_admit`]; `None` means
+    /// `try_admit` admits unconditionally (like `admit`).
+    admission: Option<AdmissionControl>,
+    /// Mid-serve degradation knobs; `None` disables every degraded mode.
+    degrade: Option<DegradePolicy>,
+    refusals: u64,
+    queued_admissions: u64,
+    frames_skipped: u64,
+    degraded_frames: u64,
+    shed_sessions: u64,
 }
 
 impl RenderServer {
@@ -383,6 +623,13 @@ impl RenderServer {
             total_seconds: 0.0,
             in_frame_reconfigs: 0,
             deadline_misses: 0,
+            admission: None,
+            degrade: None,
+            refusals: 0,
+            queued_admissions: 0,
+            frames_skipped: 0,
+            degraded_frames: 0,
+            shed_sessions: 0,
         }
     }
 
@@ -481,6 +728,36 @@ impl RenderServer {
         self
     }
 
+    /// Enables deadline-aware admission control: subsequent
+    /// [`try_admit`](RenderServer::try_admit) calls predict feasibility
+    /// against the live load before scheduling a request. Without this,
+    /// `try_admit` admits unconditionally, exactly like
+    /// [`admit`](RenderServer::admit). May be set at any time — the
+    /// knobs shape only future decisions, never the existing schedule.
+    pub fn with_admission_control(mut self, control: AdmissionControl) -> Self {
+        self.admission = Some(control);
+        self
+    }
+
+    /// Enables graceful degradation for overload that develops
+    /// mid-serve: resolution scaling, frame skipping, and shedding per
+    /// `policy` (see [`DegradePolicy`] for the decision rules and the
+    /// determinism argument). Only meaningful with an accelerator
+    /// attached — without one no deadline accounting exists to react to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after serving has started — degraded modes are
+    /// part of the deterministic schedule.
+    pub fn with_degradation(mut self, policy: DegradePolicy) -> Self {
+        assert!(
+            self.ticks == 0,
+            "degradation policy must be set before serving starts"
+        );
+        self.degrade = Some(policy);
+        self
+    }
+
     /// Registers a camera stream and returns its dense session id.
     ///
     /// Equivalent to `admit(request).id()` — kept for callers of the
@@ -555,9 +832,135 @@ impl RenderServer {
             deadline_epoch: 0.0,
             epoch_anchored: !mid_serve,
             latencies: Vec::new(),
+            res_shift: 0,
+            staged_shift: None,
+            staged_skip: None,
+            skips_pending: 0,
+            miss_streak: 0,
+            meet_streak: 0,
             stats,
         });
         SessionHandle(id)
+    }
+
+    /// Admits a camera stream **subject to admission control**: predicts
+    /// whether the request is feasible against the live load and returns
+    /// a typed [`AdmitDecision`] instead of unconditionally scheduling.
+    /// Without [`RenderServer::with_admission_control`] this is exactly
+    /// [`admit`](RenderServer::admit) (always `Admitted`).
+    ///
+    /// The prediction: one scheduling round over the live sessions plus
+    /// the candidate costs the sum of per-session mean frame costs
+    /// (settled `seconds / frames`; the configured prior where a session
+    /// has no history) plus [`SwitchCostModel::round_cost`] of the
+    /// round's pipeline sequence. The request is *admitted* when
+    /// `headroom × round` fits inside every live deadline period and the
+    /// candidate's own; *queued* (staged with a delayed, deterministic
+    /// activation slot) when it becomes feasible after the
+    /// shortest-remaining live sessions drain and the queue has room;
+    /// *refused* (dropped) otherwise. Every input is a schedule-order
+    /// fact, so the decision stream is bit-identical at any thread
+    /// count.
+    pub fn try_admit(&mut self, request: SessionRequest) -> AdmitDecision {
+        let Some(control) = self.admission else {
+            return AdmitDecision::Admitted(self.admit(request));
+        };
+        // Live load: sessions that will still demand frames — active or
+        // staged, not closed (and not closing), path not exhausted.
+        let live: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.closed && s.closed_from.is_none() && s.scheduled < s.len)
+            .map(|(id, _)| id)
+            .collect();
+        let candidate_pipeline = request.renderer.pipeline();
+        let candidate_period = request
+            .deadline_hz
+            .filter(|hz| hz.is_finite() && *hz > 0.0)
+            .map(f64::recip);
+        let mean_cost = |id: usize| {
+            let stats = &self.sessions[id].stats;
+            if stats.frames > 0 {
+                stats.seconds / stats.frames as f64
+            } else {
+                control.frame_cost_prior
+            }
+        };
+        // Predicted slack of the tightest constraint for one round over
+        // `ids` + the candidate; `None` when nothing is deadline-bound.
+        let round_slack = |ids: &[usize]| -> Option<f64> {
+            let mut round: f64 = ids.iter().map(|&id| mean_cost(id)).sum();
+            round += control.frame_cost_prior;
+            if let Some(model) = &self.switch_costs {
+                let mut pipelines: Vec<Pipeline> =
+                    ids.iter().map(|&id| self.sessions[id].pipeline).collect();
+                pipelines.push(candidate_pipeline);
+                round += model.round_cost(&pipelines);
+            }
+            let tightest = ids
+                .iter()
+                .filter_map(|&id| self.sessions[id].period)
+                .chain(candidate_period)
+                .min_by(f64::total_cmp)?;
+            Some(tightest - control.headroom * round)
+        };
+        let slack_now = round_slack(&live);
+        if slack_now.is_none_or(|s| s >= 0.0) {
+            return AdmitDecision::Admitted(self.admit(request));
+        }
+        let predicted_slack = slack_now.expect("checked above");
+        // Infeasible now. Peel live sessions in ascending remaining
+        // frames (ties: ascending id) until the remainder + candidate
+        // fits — the drain the candidate must wait for.
+        let mut by_drain = live.clone();
+        by_drain.sort_by_key(|&id| {
+            let s = &self.sessions[id];
+            (s.len - s.scheduled + s.skips_pending, id)
+        });
+        let queued = self
+            .sessions
+            .iter()
+            .filter(|s| !s.active && s.closed_from.is_none() && !s.closed)
+            .count();
+        for peeled in 1..=by_drain.len() {
+            let rest: Vec<usize> = by_drain[peeled..].to_vec();
+            if round_slack(&rest).is_some_and(|s| s < 0.0) {
+                continue;
+            }
+            if queued >= control.max_queued {
+                break;
+            }
+            // Feasible once the `peeled` shortest sessions drain. Under
+            // round-robin-style service, the last of them drains after
+            // roughly Σ min(remaining_s, r_max) frames across the live
+            // set — a schedule-order estimate; an earlier real drain
+            // activates the session at the drain point instead.
+            let r_max = {
+                let s = &self.sessions[by_drain[peeled - 1]];
+                s.len - s.scheduled
+            };
+            let drain_frames: usize = live
+                .iter()
+                .map(|&id| {
+                    let s = &self.sessions[id];
+                    (s.len - s.scheduled).min(r_max)
+                })
+                .sum();
+            let activates_at = self.delivered + drain_frames.max(self.window_limit());
+            let handle = self.admit(request);
+            let slot = &mut self.sessions[handle.0];
+            slot.active = false;
+            slot.active_from = activates_at;
+            slot.epoch_anchored = false;
+            self.queued_admissions += 1;
+            return AdmitDecision::Queued {
+                handle,
+                activates_at,
+            };
+        }
+        self.refusals += 1;
+        AdmitDecision::Refused { predicted_slack }
     }
 
     /// Closes a session early: no further frames of it are scheduled
@@ -752,7 +1155,17 @@ impl RenderServer {
                 });
             }
         }
-        self.sessions[session].stats.frames += 1;
+        {
+            let slot = &mut self.sessions[session];
+            slot.stats.frames += 1;
+            if pending.res_shift > 0 {
+                slot.stats.degraded_frames += 1;
+                self.degraded_frames += 1;
+            }
+        }
+        if let Some(slack) = deadline_slack {
+            self.degrade_on_delivery(session, slack);
+        }
 
         Some(ServedFrame {
             session,
@@ -766,7 +1179,104 @@ impl RenderServer {
                 boundary_reconfiguration: boundary,
             },
             deadline_slack,
+            resolution_shift: pending.res_shift,
         })
+    }
+
+    /// The mid-serve degradation controller, run once per delivered
+    /// deadline-bound frame (a schedule-order moment). Reads only the
+    /// delivered slack and the session's streak counters; every reaction
+    /// is *staged* under the churn slot rule (`delivered + dispatch
+    /// window`), so degraded schedules remain bit-identical at any
+    /// thread or lane count. No-op without
+    /// [`RenderServer::with_degradation`].
+    fn degrade_on_delivery(&mut self, session: usize, slack: f64) {
+        let Some(policy) = self.degrade else {
+            return;
+        };
+        let activates_at = self.delivered + self.window_limit();
+        let mut shed_now = false;
+        {
+            let slot = &mut self.sessions[session];
+            if slack < 0.0 {
+                slot.miss_streak += 1;
+                slot.meet_streak = 0;
+            } else {
+                slot.meet_streak += 1;
+                slot.miss_streak = 0;
+            }
+            // The shift decisions compare against — the staged value
+            // when a change is already in flight, so streaks never
+            // double-stage.
+            let effective_shift = slot.staged_shift.map_or(slot.res_shift, |(_, s)| s);
+            if slack < 0.0 {
+                // One more halving after a sustained miss streak.
+                if slot.miss_streak >= policy.degrade_after_misses
+                    && effective_shift < policy.max_resolution_shift
+                    && slot.staged_shift.is_none()
+                {
+                    slot.staged_shift = Some((activates_at, effective_shift + 1));
+                    slot.miss_streak = 0;
+                }
+                // A delivery multiple periods late stages one explicit
+                // skip: dropping the next frame advances the deadline
+                // ladder a full period for zero rendering cost.
+                if let Some(period) = slot.period {
+                    if policy.skip_when_late_periods.is_finite()
+                        && slack < -(policy.skip_when_late_periods * period)
+                        && slot.staged_skip.is_none()
+                        && slot.skips_pending == 0
+                    {
+                        slot.staged_skip = Some((activates_at, 1));
+                    }
+                }
+                // Still drowning at maximum degradation: shed a victim.
+                if policy.shed_after_misses > 0
+                    && effective_shift >= policy.max_resolution_shift
+                    && slot.miss_streak >= policy.shed_after_misses
+                {
+                    slot.miss_streak = 0;
+                    shed_now = true;
+                }
+            } else if slot.meet_streak >= policy.recover_after_meets
+                && effective_shift > 0
+                && slot.staged_shift.is_none()
+            {
+                // Sustained recovery: restore one halving.
+                slot.staged_shift = Some((activates_at, effective_shift - 1));
+                slot.meet_streak = 0;
+            }
+        }
+        if shed_now {
+            // The cheapest victim: lowest priority, then lowest weight,
+            // then the youngest session (highest id). Marked shed and
+            // staged exactly like a caller close, but not counted in
+            // `closes` — the server, not the caller, hung up. Never
+            // fires with fewer than two live sessions: the last stream
+            // degrades but keeps serving rather than self-destructing.
+            let live: Vec<usize> = self
+                .sessions
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.active && !s.closed && s.closed_from.is_none() && s.scheduled < s.len
+                })
+                .map(|(id, _)| id)
+                .collect();
+            if live.len() >= 2 {
+                let victim = live
+                    .into_iter()
+                    .min_by_key(|&id| {
+                        let s = &self.sessions[id];
+                        (s.stats.priority, s.stats.weight, std::cmp::Reverse(id))
+                    })
+                    .expect("nonempty");
+                let slot = &mut self.sessions[victim];
+                slot.closed_from = Some(activates_at);
+                slot.stats.shed = true;
+                self.shed_sessions += 1;
+            }
+        }
     }
 
     /// Serves every remaining frame, recycling each buffer internally,
@@ -794,6 +1304,11 @@ impl RenderServer {
             policy: self.policy.name().to_string(),
             admissions: self.admissions,
             closes: self.closes,
+            refusals: self.refusals,
+            queued_admissions: self.queued_admissions,
+            frames_skipped: self.frames_skipped,
+            degraded_frames: self.degraded_frames,
+            shed_sessions: self.shed_sessions,
             deadline_misses: self.deadline_misses,
             scheduled_frames: self.delivered,
             total_cycles: self.total_cycles,
@@ -810,6 +1325,7 @@ impl RenderServer {
         let mut stats = slot.stats.clone();
         stats.framebuffer_allocations =
             slot.state.lock().expect("session state").pool.allocations();
+        stats.resolution_shift = slot.staged_shift.map_or(slot.res_shift, |(_, s)| s);
         if !slot.latencies.is_empty() {
             let mut sorted = slot.latencies.clone();
             sorted.sort_by(f64::total_cmp);
@@ -845,6 +1361,24 @@ impl RenderServer {
                     if slot.scheduled < slot.len {
                         slot.stats.closed_early = true;
                     }
+                    changed = true;
+                }
+            }
+            // Staged degradation follows the same slot rule as churn:
+            // the shift a given schedule entry renders at — and the
+            // point a skip drops frames at — is a function of delivered
+            // counts and ticks, never of lane progress.
+            if let Some((at, shift)) = slot.staged_shift {
+                if at <= slot_index {
+                    slot.res_shift = shift;
+                    slot.staged_shift = None;
+                    changed = true;
+                }
+            }
+            if let Some((at, skips)) = slot.staged_skip {
+                if at <= slot_index {
+                    slot.skips_pending += skips;
+                    slot.staged_skip = None;
                     changed = true;
                 }
             }
@@ -899,6 +1433,7 @@ impl RenderServer {
         while self.pending.len() < window {
             let slot_index = self.ticks as usize;
             self.apply_staged(slot_index);
+            self.consume_skips();
             let views = self.views();
             let pick = if views.is_empty() {
                 None
@@ -909,6 +1444,7 @@ impl RenderServer {
                     last_pipeline: self.last_pipeline,
                     now_seconds: self.total_seconds,
                     switch_costs: self.switch_costs.as_ref(),
+                    load: self.load_view(),
                 };
                 self.policy.pick(&ctx, &views)
             };
@@ -942,6 +1478,10 @@ impl RenderServer {
             self.last_session = Some(sid);
             self.last_pipeline = Some(slot.pipeline);
 
+            // The shift this schedule entry renders at is the slot's
+            // current (staged-rule-applied) value — captured here so the
+            // lane closure is a pure function of the dispatch decision.
+            let res_shift = slot.res_shift;
             let state = Arc::clone(&slot.state);
             let scene = Arc::clone(&self.scene);
             let accel = self.accel.clone();
@@ -956,7 +1496,7 @@ impl RenderServer {
                     let staged: Ticket<Staged> = pool.submit_at(tick, move || {
                         let mut guard = render_state.lock().expect("session state");
                         let state = &mut *guard;
-                        let camera = state.path.camera(index);
+                        let camera = degraded_camera(state.path.camera(index), res_shift);
                         let mut image = state.pool.acquire_for(camera.width, camera.height);
                         state.renderer.render_into(&scene, &camera, &mut image);
                         let trace = state.renderer.trace(&scene, &camera);
@@ -986,7 +1526,7 @@ impl RenderServer {
                 (accel, _) => pool.submit_at(tick, move || {
                     let mut guard = state.lock().expect("session state");
                     let state = &mut *guard;
-                    let camera = state.path.camera(index);
+                    let camera = degraded_camera(state.path.camera(index), res_shift);
                     let mut image = state.pool.acquire_for(camera.width, camera.height);
                     state.renderer.render_into(&scene, &camera, &mut image);
                     let (trace, sim) = match &accel {
@@ -1008,10 +1548,79 @@ impl RenderServer {
             self.pending.push_back(Pending {
                 session: sid,
                 index,
+                res_shift,
                 ticket,
             });
         }
     }
+
+    /// Drops every activated-but-unconsumed frame skip: the session's
+    /// next undispatched frames advance past without rendering, in
+    /// session-id order. Runs inside the dispatch loop right after
+    /// [`RenderServer::apply_staged`], so skips land at the same tick at
+    /// any lane count. Skipped frames are counted, never delivered —
+    /// they leave index gaps in the served stream and advance the
+    /// session's deadline ladder.
+    fn consume_skips(&mut self) {
+        for slot in &mut self.sessions {
+            if slot.skips_pending == 0 {
+                continue;
+            }
+            if !slot.active || slot.closed {
+                slot.skips_pending = 0;
+                continue;
+            }
+            let skipped = slot.skips_pending.min(slot.len - slot.scheduled);
+            slot.skips_pending = 0;
+            slot.scheduled += skipped;
+            slot.stats.frames_skipped += skipped as u64;
+            self.frames_skipped += skipped as u64;
+        }
+    }
+
+    /// Aggregate load view over the currently schedulable sessions —
+    /// what policies observe as [`PolicyContext::load`], computed from
+    /// settled accounting and the switch-cost model only.
+    fn load_view(&self) -> LoadView {
+        let prior = self.admission.map_or(0.0, |c| c.frame_cost_prior);
+        let mut view = LoadView::default();
+        let mut pipelines: Vec<Pipeline> = Vec::new();
+        for slot in &self.sessions {
+            if !slot.schedulable() {
+                continue;
+            }
+            view.live_sessions += 1;
+            view.predicted_round_seconds += if slot.stats.frames > 0 {
+                slot.stats.seconds / slot.stats.frames as f64
+            } else {
+                prior
+            };
+            pipelines.push(slot.pipeline);
+            if let Some(p) = slot.period {
+                view.deadline_bound += 1;
+                view.min_period = Some(match view.min_period {
+                    Some(m) => m.min(p),
+                    None => p,
+                });
+            }
+        }
+        if let Some(model) = &self.switch_costs {
+            view.predicted_round_seconds += model.round_cost(&pipelines);
+        }
+        view
+    }
+}
+
+/// `camera` with each image dimension halved `shift` times (floor of 1
+/// pixel). View and projection are untouched: the frustum is identical,
+/// only the sampling density drops — which is what makes the degraded
+/// frame a cheaper rendering of the *same* view.
+fn degraded_camera(mut camera: Camera, shift: u32) -> Camera {
+    if shift > 0 {
+        camera.width = (camera.width >> shift).max(1);
+        camera.height = (camera.height >> shift).max(1);
+    }
+    camera
 }
 
 #[cfg(test)]
@@ -1215,6 +1824,172 @@ mod tests {
         assert_eq!(server.session_stats(other).expect("other").frames, 3);
         assert_eq!(server.summary().closes, 1);
         assert_eq!(server.remaining(), 0);
+    }
+
+    #[test]
+    fn try_admit_without_control_always_admits() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene).with_lanes(1);
+        let decision = server.try_admit(SessionRequest::new(
+            Box::new(MeshPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 2),
+        ));
+        assert!(matches!(decision, AdmitDecision::Admitted(_)));
+        assert_eq!(server.summary().refusals, 0);
+    }
+
+    #[test]
+    fn try_admit_predicts_feasibility_from_priors_and_periods() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene)
+            .with_lanes(1)
+            .with_admission_control(AdmissionControl::new().frame_cost_prior(0.1));
+        // One best-effort session in the mix: a round over it plus any
+        // candidate is predicted at 2 × 0.1 s.
+        server.admit(SessionRequest::new(
+            Box::new(MeshPipeline::default()),
+            CameraPath::orbit(spec.orbit(16, 12), 3),
+        ));
+        // Plenty of slack: period 0.25 s ≥ 0.2 s round.
+        let roomy = server.try_admit(
+            SessionRequest::new(
+                Box::new(MlpPipeline::default()),
+                CameraPath::orbit(spec.orbit(16, 12), 2),
+            )
+            .deadline_hz(4.0),
+        );
+        let AdmitDecision::Admitted(roomy) = roomy else {
+            panic!("feasible request admitted, got {roomy:?}");
+        };
+        // Infeasible now (0.15 < 0.3 round over three sessions) but
+        // feasible once the two live sessions drain: queued.
+        let tight = server.try_admit(
+            SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(16, 12), 2),
+            )
+            .deadline_hz(1.0 / 0.15),
+        );
+        let AdmitDecision::Queued { handle, .. } = tight else {
+            panic!("drainable overload queues, got {tight:?}");
+        };
+        // Hopeless even alone (0.05 < 0.1 prior): refused, queue or not.
+        let hopeless = server.try_admit(
+            SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(16, 12), 2),
+            )
+            .deadline_hz(20.0),
+        );
+        let AdmitDecision::Refused { predicted_slack } = hopeless else {
+            panic!("infeasible request refused, got {hopeless:?}");
+        };
+        assert!(predicted_slack < 0.0, "refusal reports the deficit");
+        assert!(hopeless.handle().is_none());
+
+        // Every admitted-or-queued stream is served to completion.
+        let summary = server.run();
+        assert!(summary.is_consistent());
+        assert_eq!(summary.refusals, 1);
+        assert_eq!(summary.queued_admissions, 1);
+        assert_eq!(summary.scheduled_frames, 7, "3 + 2 + 2 frames served");
+        assert_eq!(server.session_stats(roomy).expect("roomy").frames, 2);
+        assert_eq!(server.session_stats(handle).expect("queued").frames, 2);
+    }
+
+    #[test]
+    fn degradation_scales_resolution_and_skips_under_hopeless_deadlines() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene)
+            .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+            .with_lanes(1)
+            .with_lookahead(1)
+            .with_degradation(
+                DegradePolicy::new()
+                    .degrade_after_misses(1)
+                    .skip_when_late_periods(0.5)
+                    .shed_after_misses(0),
+            );
+        // A deadline no schedule can hold: every delivery misses, so the
+        // controller must walk the session down to max degradation and
+        // start skipping.
+        let handle = server.admit(
+            SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(32, 24), 10),
+            )
+            .deadline_hz(1.0e7),
+        );
+        let mut shifts = Vec::new();
+        let mut indices = Vec::new();
+        while let Some(frame) = server.next_frame() {
+            shifts.push(frame.resolution_shift);
+            indices.push(frame.report.index);
+            server.recycle(frame.session, frame.report.image);
+        }
+        let stats = server.session_stats(handle).expect("stats");
+        assert!(stats.degraded_frames > 0, "resolution degradation engaged");
+        assert!(stats.frames_skipped > 0, "skipping engaged");
+        assert_eq!(
+            stats.resolution_shift, 2,
+            "walked down to the default max shift"
+        );
+        assert_eq!(shifts[0], 0, "first frame rendered at native resolution");
+        assert_eq!(*shifts.last().expect("frames"), 2);
+        assert!(
+            indices.windows(2).any(|w| w[1] > w[0] + 1),
+            "skips leave index gaps in the served stream: {indices:?}"
+        );
+        assert_eq!(
+            stats.frames as u64 + stats.frames_skipped,
+            10,
+            "every path frame is either delivered or explicitly skipped"
+        );
+        let summary = server.summary();
+        assert!(summary.is_consistent());
+        assert_eq!(summary.degraded_frames, stats.degraded_frames);
+        assert_eq!(summary.frames_skipped, stats.frames_skipped);
+    }
+
+    #[test]
+    fn shedding_closes_the_lowest_priority_session_without_counting_a_close() {
+        let (scene, spec) = scene_and_spec();
+        let mut server = RenderServer::new(scene)
+            .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+            .with_lanes(1)
+            .with_lookahead(1)
+            .with_degradation(
+                DegradePolicy::new()
+                    .max_resolution_shift(0)
+                    .skip_when_late_periods(f64::INFINITY)
+                    .shed_after_misses(2),
+            );
+        let bound = server.admit(
+            SessionRequest::new(
+                Box::new(MeshPipeline::default()),
+                CameraPath::orbit(spec.orbit(24, 16), 8),
+            )
+            .priority(5)
+            .deadline_hz(1.0e7),
+        );
+        let victim = server.admit(
+            SessionRequest::new(
+                Box::new(MlpPipeline::default()),
+                CameraPath::orbit(spec.orbit(16, 12), 8),
+            )
+            .priority(0),
+        );
+        let summary = server.run();
+        assert!(summary.is_consistent());
+        assert_eq!(summary.shed_sessions, 1);
+        assert_eq!(summary.closes, 0, "shedding is not a caller close");
+        let victim_stats = server.session_stats(victim).expect("victim");
+        assert!(victim_stats.shed, "lowest-priority session was shed");
+        assert!(victim_stats.closed_early);
+        assert!(victim_stats.frames < 8, "its tail was cancelled");
+        let bound_stats = server.session_stats(bound).expect("bound");
+        assert!(!bound_stats.shed);
+        assert_eq!(bound_stats.frames, 8, "the deadline session kept serving");
     }
 
     #[test]

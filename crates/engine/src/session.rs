@@ -64,6 +64,14 @@ pub struct StreamSummary {
     pub boundary_switches_avoided: u64,
     /// Fresh framebuffer allocations the session's pool performed.
     pub framebuffer_allocations: u64,
+    /// Median simulated per-frame latency (seconds: execution plus the
+    /// boundary reconfiguration entering the frame), nearest-rank over
+    /// the delivered frames; `0.0` until a simulated frame streams.
+    pub latency_p50: f64,
+    /// 99th-percentile simulated per-frame latency (nearest-rank);
+    /// `0.0` until a simulated frame streams. Computed by the same
+    /// shared [`uni_microops::percentile`] as the server summaries.
+    pub latency_p99: f64,
 }
 
 impl StreamSummary {
@@ -139,6 +147,10 @@ pub struct RenderSession {
     total_cycles: u64,
     total_seconds: f64,
     in_frame_reconfigs: u64,
+    /// Per delivered frame: the sim-seconds charged to it, in delivery
+    /// order — the population the summary's latency percentiles are
+    /// computed over.
+    latencies: Vec<f64>,
 }
 
 impl RenderSession {
@@ -167,6 +179,7 @@ impl RenderSession {
             total_cycles: 0,
             total_seconds: 0.0,
             in_frame_reconfigs: 0,
+            latencies: Vec::new(),
         }
     }
 
@@ -344,6 +357,7 @@ impl RenderSession {
         sim: &SimReport,
     ) -> bool {
         let mut boundary = false;
+        let mut frame_seconds = sim.seconds;
         if self.boundary.observe(trace.first_op(), trace.last_op()) {
             boundary = true;
             // Per-frame simulation charges only in-frame switches
@@ -352,15 +366,27 @@ impl RenderSession {
             // consistent with total_reconfigurations().
             self.total_cycles += cfg.reconfig_cycles;
             self.total_seconds += cfg.cycles_to_seconds(cfg.reconfig_cycles);
+            frame_seconds += cfg.cycles_to_seconds(cfg.reconfig_cycles);
         }
         self.in_frame_reconfigs += sim.reconfigurations;
         self.total_cycles += sim.cycles;
         self.total_seconds += sim.seconds;
+        self.latencies.push(frame_seconds);
         boundary
     }
 
     /// Statistics over the frames streamed so far.
     pub fn summary(&self) -> StreamSummary {
+        let (latency_p50, latency_p99) = if self.latencies.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mut sorted = self.latencies.clone();
+            sorted.sort_by(f64::total_cmp);
+            (
+                uni_microops::percentile(&sorted, 50.0),
+                uni_microops::percentile(&sorted, 99.0),
+            )
+        };
         StreamSummary {
             frames: self.frames_done,
             total_cycles: self.total_cycles,
@@ -369,6 +395,8 @@ impl RenderSession {
             boundary_reconfigurations: self.boundary.switches(),
             boundary_switches_avoided: self.boundary.avoided(),
             framebuffer_allocations: self.pool.allocations(),
+            latency_p50,
+            latency_p99,
         }
     }
 

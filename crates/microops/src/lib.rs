@@ -42,7 +42,7 @@ pub use cost::CostVector;
 pub use invoke::{Invocation, PrimitiveKind, Workload};
 pub use op::{Dims, IndexFunction, IndexingTask, MemAccessPattern, MicroOp, ReductionTask};
 pub use pipeline::Pipeline;
-pub use serve::{BoundaryEvent, BoundaryMeter, ServerSummary, SessionStats};
+pub use serve::{percentile, BoundaryEvent, BoundaryMeter, ServerSummary, SessionStats};
 pub use stats::TraceStats;
 pub use switch::SwitchCostModel;
 pub use trace::Trace;

@@ -23,6 +23,25 @@ use crate::op::MicroOp;
 use crate::pipeline::Pipeline;
 use serde::{Deserialize, Serialize};
 
+/// Nearest-rank percentile over an ascending-sorted sample: the value at
+/// 1-indexed rank `ceil(p/100 · n)`, with the rank clamped into
+/// `[1, n]` so out-of-range `p` (≤ 0 or ≥ 100) degrades to the sample
+/// minimum / maximum instead of indexing out of bounds. Deterministic —
+/// no interpolation, no ambient state — and shared by every latency
+/// summary in the workspace ([`SessionStats::latency_p50`] /
+/// [`SessionStats::latency_p99`] and the session-stream percentiles), so
+/// the serving stack has exactly one definition of "p99" to trust.
+///
+/// # Panics
+///
+/// Panics on an empty sample — a percentile of nothing is a caller bug,
+/// not a value.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// One pipeline-aware schedule boundary a [`BoundaryMeter`] crossed: the
 /// ordered pipeline pair and whether entering `to` reconfigured.
 ///
@@ -231,6 +250,26 @@ pub struct SessionStats {
     pub latency_p99: f64,
     /// Frames of this session the server has delivered.
     pub frames: usize,
+    /// Frames of this session's path the server *skipped* under
+    /// overload (explicit frame-skipping degradation): their indices
+    /// were consumed without rendering, simulating, or delivering
+    /// anything, so they appear in neither [`SessionStats::frames`] nor
+    /// the deadline-miss denominator — shed load is accounted here, not
+    /// silently dropped.
+    pub frames_skipped: u64,
+    /// Delivered frames rendered below the path's native resolution
+    /// (dynamic resolution-scaling degradation was active when they were
+    /// scheduled).
+    pub degraded_frames: u64,
+    /// The session's resolution downscale shift at the end of the run
+    /// (each frame axis is halved `resolution_shift` times; 0 = native
+    /// resolution).
+    pub resolution_shift: u32,
+    /// Whether the server shed this session under overload
+    /// (priority-weighted shedding closed it early to protect
+    /// higher-priority deadline sessions). Implies
+    /// [`SessionStats::closed_early`] once the staged close applies.
+    pub shed: bool,
     /// Simulated cycles attributed to this session, including the
     /// boundary reconfigurations charged when its frames were scheduled.
     pub cycles: u64,
@@ -266,6 +305,10 @@ impl SessionStats {
             latency_p50: 0.0,
             latency_p99: 0.0,
             frames: 0,
+            frames_skipped: 0,
+            degraded_frames: 0,
+            resolution_shift: 0,
+            shed: false,
             cycles: 0,
             seconds: 0.0,
             in_frame_reconfigurations: 0,
@@ -309,6 +352,27 @@ pub struct ServerSummary {
     pub admissions: u64,
     /// Sessions closed early (cancelled before their paths finished).
     pub closes: u64,
+    /// Session requests the admission controller refused outright
+    /// (predicted infeasible even after the current load drains). A
+    /// refused request never becomes a session: it has no
+    /// [`SessionStats`] entry and no share of any counter below.
+    pub refusals: u64,
+    /// Session requests admitted *queued*: predicted infeasible against
+    /// the current load but feasible once part of it drains, so they
+    /// were staged to join the schedule at a deterministic later slot
+    /// instead of being refused.
+    pub queued_admissions: u64,
+    /// Frames skipped across all sessions under frame-skipping
+    /// degradation (sum of [`SessionStats::frames_skipped`]). Skipped
+    /// frames are not delivered and not in
+    /// [`ServerSummary::scheduled_frames`].
+    pub frames_skipped: u64,
+    /// Delivered frames rendered below native resolution, across all
+    /// sessions (sum of [`SessionStats::degraded_frames`]).
+    pub degraded_frames: u64,
+    /// Sessions the server shed under overload (count of
+    /// [`SessionStats::shed`]).
+    pub shed_sessions: u64,
     /// Deadline misses summed over every deadline-bound session.
     /// Misses are *schedule-order* facts (cumulative sim-time at
     /// delivery vs. the frame's sim-time deadline), never lane-timing
@@ -412,6 +476,17 @@ impl ServerSummary {
             .fold(0.0, f64::max)
     }
 
+    /// The largest per-session p50 (median) sim latency; 0 when nothing
+    /// was simulated. Reported next to [`ServerSummary::p99_sim_latency`]
+    /// so a tail/median gap is visible where the sample distribution
+    /// has one.
+    pub fn p50_sim_latency(&self) -> f64 {
+        self.per_session
+            .iter()
+            .map(|s| s.latency_p50)
+            .fold(0.0, f64::max)
+    }
+
     /// Simulated schedule throughput (frames per simulated second); 0
     /// when nothing was simulated.
     pub fn mean_fps(&self) -> f64 {
@@ -444,12 +519,18 @@ impl ServerSummary {
             .sum();
         let seconds: f64 = self.per_session.iter().map(|s| s.seconds).sum();
         let misses: u64 = self.per_session.iter().map(|s| s.deadline_misses).sum();
+        let skipped: u64 = self.per_session.iter().map(|s| s.frames_skipped).sum();
+        let degraded: u64 = self.per_session.iter().map(|s| s.degraded_frames).sum();
+        let shed = self.per_session.iter().filter(|s| s.shed).count() as u64;
         frames == self.scheduled_frames
             && misses == self.deadline_misses
             && cycles == self.total_cycles
             && in_frame == self.in_frame_reconfigurations
             && boundary == self.boundary_reconfigurations
             && avoided == self.boundary_switches_avoided
+            && skipped == self.frames_skipped
+            && degraded == self.degraded_frames
+            && shed == self.shed_sessions
             && (seconds - self.total_seconds).abs() <= 1e-9 * self.total_seconds.abs().max(1.0)
     }
 }
@@ -601,6 +682,11 @@ mod tests {
             policy: "round_robin".to_string(),
             admissions: 1,
             closes: 0,
+            refusals: 0,
+            queued_admissions: 0,
+            frames_skipped: 0,
+            degraded_frames: 0,
+            shed_sessions: 0,
             deadline_misses: 0,
             scheduled_frames: 5,
             total_cycles: 150,
@@ -623,5 +709,48 @@ mod tests {
         let mut broken = summary.clone();
         broken.total_cycles = 151;
         assert!(!broken.is_consistent());
+
+        // Degradation accounting participates in the same invariant.
+        let mut skew = summary.clone();
+        skew.frames_skipped = 1;
+        assert!(
+            !skew.is_consistent(),
+            "aggregate skips without session skips"
+        );
+        let mut skew = summary.clone();
+        skew.degraded_frames = 1;
+        assert!(!skew.is_consistent());
+        let mut skew = summary;
+        skew.shed_sessions = 1;
+        assert!(!skew.is_consistent(), "shed count disagrees with flags");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_with_distinct_p50_and_p99() {
+        // n = 1: every percentile is the only sample.
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // n = 2: p50 takes rank ceil(0.5 * 2) = 1, p99 rank ceil(1.98) = 2.
+        assert_eq!(percentile(&[1.0, 9.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 9.0], 99.0), 9.0);
+        // n = 3: p50 is the true median (rank 2), p99 the maximum.
+        assert_eq!(percentile(&[1.0, 2.0, 30.0], 50.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 30.0], 99.0), 30.0);
+        // n = 100 with a heavy tail: p50 = rank 50, p99 = rank 99 — the
+        // tail sample, not the median and not the maximum.
+        let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sample, 50.0), 50.0);
+        assert_eq!(percentile(&sample, 99.0), 99.0);
+        assert_eq!(percentile(&sample, 100.0), 100.0);
+        // Out-of-range percentiles clamp to the sample instead of
+        // indexing past it.
+        assert_eq!(percentile(&sample, 0.0), 1.0);
+        assert_eq!(percentile(&sample, 150.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_an_empty_sample() {
+        percentile(&[], 50.0);
     }
 }

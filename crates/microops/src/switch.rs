@@ -174,6 +174,27 @@ impl SwitchCostModel {
         (self.estimate(from, instead) - self.estimate(from, keep)).max(0.0)
     }
 
+    /// Expected simulated seconds one full scheduling round over
+    /// `pipelines` (in the given order) pays in switch costs: the sum of
+    /// the ordered consecutive-pair estimates plus the wrap-around pair
+    /// from the last pipeline back to the first — a round-robin visit of
+    /// every session pays exactly these boundaries. A single pipeline
+    /// pays its diagonal (its frames still chain through its own seam);
+    /// an empty round pays nothing. Admission control uses this to
+    /// predict the switch overhead a candidate mix of sessions adds on
+    /// top of their per-frame render costs.
+    pub fn round_cost(&self, pipelines: &[Pipeline]) -> f64 {
+        match pipelines {
+            [] => 0.0,
+            [only] => self.estimate(*only, *only),
+            _ => pipelines
+                .iter()
+                .zip(pipelines.iter().cycle().skip(1))
+                .map(|(&from, &to)| self.estimate(from, to))
+                .sum(),
+        }
+    }
+
     /// Boundaries observed for one ordered pair.
     pub fn observations(&self, from: Pipeline, to: Pipeline) -> u64 {
         self.pairs.get(&(from, to)).map_or(0, |e| e.observations)
@@ -298,6 +319,22 @@ mod tests {
             model.saving(Pipeline::Mesh, Pipeline::Mesh, Pipeline::Mlp),
             0.0
         );
+    }
+
+    #[test]
+    fn round_cost_sums_consecutive_pairs_with_wraparound() {
+        let model = SwitchCostModel::seeded(3.0e-6);
+        assert_eq!(model.round_cost(&[]), 0.0);
+        // A lone pipeline pays only its (free-by-prior) diagonal.
+        assert_eq!(model.round_cost(&[Pipeline::Mesh]), 0.0);
+        // Two distinct pipelines pay both crossings.
+        assert_eq!(model.round_cost(&[Pipeline::Mesh, Pipeline::Mlp]), 6.0e-6);
+        // Learned pairs participate: Mesh->Mlp learned cheap, the other
+        // two boundaries of the 3-round stay at the prior.
+        let mut learned = SwitchCostModel::seeded(3.0e-6);
+        learned.seed_pair(Pipeline::Mesh, Pipeline::Mlp, 1.0e-6);
+        let round = learned.round_cost(&[Pipeline::Mesh, Pipeline::Mlp, Pipeline::HashGrid]);
+        assert!((round - 7.0e-6).abs() < 1e-18);
     }
 
     #[test]

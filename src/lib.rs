@@ -77,10 +77,10 @@ pub mod prelude {
     pub use uni_baselines::{all_baselines, commercial_devices, dedicated_accelerators, Device};
     pub use uni_core::{Accelerator, AcceleratorConfig, ReplayScratch, SimReport};
     pub use uni_engine::{
-        CameraPath, CostAware, EarliestDeadline, FramePool, FrameReport, PolicyContext, Priority,
-        RenderServer, RenderSession, RoundRobin, ScheduleContext, SchedulePolicy, ServedFrame,
-        ServerSummary, SessionHandle, SessionRequest, SessionStats, SessionView, StreamSummary,
-        SwitchCostModel, WeightedFair,
+        AdmissionControl, AdmitDecision, CameraPath, CostAware, DegradePolicy, EarliestDeadline,
+        FramePool, FrameReport, LoadView, PolicyContext, Priority, RenderServer, RenderSession,
+        RoundRobin, ScheduleContext, SchedulePolicy, ServedFrame, ServerSummary, SessionHandle,
+        SessionRequest, SessionStats, SessionView, StreamSummary, SwitchCostModel, WeightedFair,
     };
     pub use uni_geometry::{Aabb, Camera, Image, Mat4, Orbit, Ray, Rgb, Vec2, Vec3, Vec4};
     pub use uni_microops::{MicroOp, Pipeline, Trace};

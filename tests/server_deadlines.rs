@@ -397,56 +397,58 @@ fn deadline_churn_is_bit_deterministic_across_thread_counts() {
         })
         .collect();
     let round_seconds = with_threads("1", || mean_round_seconds(&mixes));
-    let churn = |threads: &str, lanes: usize, fresh: fn() -> Box<dyn SchedulePolicy>| {
-        with_threads(threads, || {
-            let mut server = RenderServer::new(scene())
-                .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
-                .with_policy(fresh())
-                .with_lanes(lanes);
-            let mut handles = Vec::new();
-            for (id, &mix) in mixes.iter().enumerate() {
-                handles.push(server.admit(request_for(id, mix, round_seconds)));
-            }
-            let late_mix = Mix {
-                pipeline: 3,
-                frames: 3,
-                resolution: (16, 12),
-                deadline_scale: Some(1.5),
-            };
-            let mut stream = Vec::new();
-            let mut late = None;
-            while let Some(frame) = server.next_frame() {
-                stream.push((
-                    frame.session,
-                    frame.report.index,
-                    frame_hash(&frame.report.image),
-                    frame.deadline_slack.map(f64::to_bits),
-                ));
-                server.recycle(frame.session, frame.report.image);
-                if stream.len() == 3 {
-                    late = Some(server.admit(request_for(3, late_mix, round_seconds)));
+    let churn =
+        |threads: &str, lanes: usize, overlap: bool, fresh: fn() -> Box<dyn SchedulePolicy>| {
+            with_threads(threads, || {
+                let mut server = RenderServer::new(scene())
+                    .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+                    .with_policy(fresh())
+                    .with_lanes(lanes)
+                    .with_overlap(overlap);
+                let mut handles = Vec::new();
+                for (id, &mix) in mixes.iter().enumerate() {
+                    handles.push(server.admit(request_for(id, mix, round_seconds)));
                 }
-                if stream.len() == 6 {
-                    assert!(server.close(handles[2]), "open session closes");
+                let late_mix = Mix {
+                    pipeline: 3,
+                    frames: 3,
+                    resolution: (16, 12),
+                    deadline_scale: Some(1.5),
+                };
+                let mut stream = Vec::new();
+                let mut late = None;
+                while let Some(frame) = server.next_frame() {
+                    stream.push((
+                        frame.session,
+                        frame.report.index,
+                        frame_hash(&frame.report.image),
+                        frame.deadline_slack.map(f64::to_bits),
+                    ));
+                    server.recycle(frame.session, frame.report.image);
+                    if stream.len() == 3 {
+                        late = Some(server.admit(request_for(3, late_mix, round_seconds)));
+                    }
+                    if stream.len() == 6 {
+                        assert!(server.close(handles[2]), "open session closes");
+                    }
                 }
-            }
-            let late = late.expect("admitted mid-serve");
-            let summary = server.summary();
-            assert!(summary.is_consistent());
-            assert_eq!(summary.admissions, 1);
-            assert_eq!(summary.closes, 1);
-            assert_eq!(
-                summary.per_session[late.id()].frames,
-                late_mix.frames,
-                "late session served fully"
-            );
-            assert!(
-                summary.per_session[late.id()].worst_slack.is_some(),
-                "late session's deadline clock engaged at first delivery"
-            );
-            (stream, summary)
-        })
-    };
+                let late = late.expect("admitted mid-serve");
+                let summary = server.summary();
+                assert!(summary.is_consistent());
+                assert_eq!(summary.admissions, 1);
+                assert_eq!(summary.closes, 1);
+                assert_eq!(
+                    summary.per_session[late.id()].frames,
+                    late_mix.frames,
+                    "late session served fully"
+                );
+                assert!(
+                    summary.per_session[late.id()].worst_slack.is_some(),
+                    "late session's deadline clock engaged at first delivery"
+                );
+                (stream, summary)
+            })
+        };
     for fresh in [
         (|| Box::new(EarliestDeadline::new()) as Box<dyn SchedulePolicy>) as fn() -> _,
         (|| Box::new(CostAware::new()) as Box<dyn SchedulePolicy>) as fn() -> _,
@@ -455,10 +457,19 @@ fn deadline_churn_is_bit_deterministic_across_thread_counts() {
         // deadline epochs.
         (|| Box::new(RoundRobin::new()) as Box<dyn SchedulePolicy>) as fn() -> _,
     ] {
-        assert_eq!(
-            churn("1", 1, fresh),
-            churn("4", 4, fresh),
-            "churn timing must be lane- and thread-invariant"
-        );
+        // 2 thread counts × overlap on/off: the mid-serve admit's
+        // deadline epoch is anchored at first *delivery*, so the
+        // render/replay pipelining must be bit-invisible to every
+        // slack in the stream — the regression for a dispatch-order
+        // epoch under `UNI_RENDER_OVERLAP=1`.
+        let reference = churn("1", 1, false, fresh);
+        for (threads, lanes, overlap) in [("1", 1, true), ("4", 4, false), ("4", 4, true)] {
+            assert_eq!(
+                reference,
+                churn(threads, lanes, overlap, fresh),
+                "churn timing must be lane-, thread-, and overlap-invariant \
+                 (threads {threads}, overlap {overlap})"
+            );
+        }
     }
 }

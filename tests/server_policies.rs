@@ -456,3 +456,85 @@ fn mid_serve_churn_is_bit_deterministic_across_thread_counts() {
         "churn timing must be lane-invariant"
     );
 }
+
+/// Closing a still-*staged* session (admitted mid-serve, activation slot
+/// not yet reached) cancels the pending activation outright: the session
+/// serves zero frames, leaves no ghost slot in the sim-time shares, and
+/// the rest of the stream is bit-identical to a run that never saw the
+/// churn — at any thread count.
+#[test]
+fn close_of_a_staged_session_cancels_its_activation() {
+    let _guard = env_lock();
+    let mixes: Vec<Mix> = (0..2)
+        .map(|id| Mix {
+            pipeline: id,
+            frames: 5,
+            resolution: (24, 16),
+        })
+        .collect();
+    let ghost_mix = Mix {
+        pipeline: 4,
+        frames: 4,
+        resolution: (16, 12),
+    };
+    let serve = |threads: &str, churn: bool| {
+        with_threads(threads, || {
+            let mut server = RenderServer::new(scene())
+                .with_accelerator(Accelerator::new(AcceleratorConfig::paper()))
+                .with_policy(WeightedFair::new())
+                .with_lanes(4);
+            for (id, &mix) in mixes.iter().enumerate() {
+                server.admit(request_for(id, mix));
+            }
+            let mut stream = Vec::new();
+            let mut ghost = None;
+            while let Some(frame) = server.next_frame() {
+                stream.push((
+                    frame.session,
+                    frame.report.index,
+                    frame_hash(&frame.report.image),
+                ));
+                server.recycle(frame.session, frame.report.image);
+                if churn && stream.len() == 2 {
+                    // Admit and close in the same delivery: the close
+                    // lands while the admission is still staged.
+                    let handle = server.admit(
+                        SessionRequest::new(renderer(ghost_mix.pipeline), path_for(2, ghost_mix))
+                            .label("ghost"),
+                    );
+                    assert!(server.close(handle), "staged session accepts a close");
+                    ghost = Some(handle);
+                }
+            }
+            let summary = server.summary();
+            assert!(summary.is_consistent());
+            if let Some(ghost) = ghost {
+                let stats = server.session_stats(ghost).expect("ghost stats");
+                assert_eq!(stats.frames, 0, "cancelled activation serves nothing");
+                assert!(stats.closed_early);
+                assert_eq!(stats.seconds, 0.0, "no sim time charged to the ghost");
+                assert_eq!(
+                    summary.sim_time_share(ghost.id()),
+                    0.0,
+                    "no ghost slot skews the shares"
+                );
+                let live_shares: f64 = summary.sim_time_shares().iter().sum();
+                assert!(
+                    (live_shares - 1.0).abs() < 1e-9,
+                    "shares still sum to 1 over the real sessions"
+                );
+            }
+            (stream, summary.total_seconds.to_bits())
+        })
+    };
+    let (churned_1, seconds_1) = serve("1", true);
+    let (churned_4, seconds_4) = serve("4", true);
+    assert_eq!(churned_1, churned_4, "cancelled churn is lane-invariant");
+    assert_eq!(seconds_1, seconds_4);
+    let (clean, _) = serve("1", false);
+    assert_eq!(
+        churned_1, clean,
+        "an admit+close round trip on a staged session must leave the \
+         served stream untouched"
+    );
+}
