@@ -107,6 +107,7 @@ impl Aabb {
     /// Grid representations (hash grid, tri-plane) index with normalized
     /// coordinates; points outside the box map outside `[0, 1]`.
     #[inline]
+    // uni-lint: hot
     pub fn normalize_point(&self, p: Vec3) -> Vec3 {
         let e = self.extent();
         Vec3::new(

@@ -23,6 +23,7 @@ pub struct CellCoord {
 /// coordinate `u` in `[0, 1]` spans `resolution - 1` cells. The base index
 /// is clamped so `base + 1` is always a valid vertex, which matches how
 /// grid pipelines treat boundary samples.
+// uni-lint: hot
 pub fn cell_coord(u: f32, resolution: u32) -> CellCoord {
     debug_assert!(resolution >= 2, "grids need at least 2 vertices per axis");
     let scaled = u.clamp(0.0, 1.0) * (resolution - 1) as f32;
@@ -47,6 +48,7 @@ pub fn bilinear_weights(fx: f32, fy: f32) -> [f32; 4] {
 ///
 /// Order: z-major over the bilinear order. The weights always sum to 1.
 #[inline]
+// uni-lint: hot
 pub fn trilinear_weights(fx: f32, fy: f32, fz: f32) -> [f32; 8] {
     let b = bilinear_weights(fx, fy);
     let gz = 1.0 - fz;

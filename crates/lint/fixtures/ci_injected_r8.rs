@@ -1,0 +1,17 @@
+//! Injected R8 violation for the CI negative control: the allocating
+//! helper sits two calls below the hot fn, so only the interprocedural
+//! pass can catch it — proving the call-graph gate actually gates.
+
+// uni-lint: hot
+pub fn render_rows(n: usize) -> usize {
+    helper(n)
+}
+
+fn helper(n: usize) -> usize {
+    deeper(n)
+}
+
+fn deeper(n: usize) -> usize {
+    let buf = vec![0u8; n];
+    buf.len()
+}

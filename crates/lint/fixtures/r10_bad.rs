@@ -1,0 +1,23 @@
+//! R10 fixture: inconsistent acquisition order between `alpha` and
+//! `beta` (one leg routed through a helper call, so only the
+//! interprocedural edge closes the cycle) plus a guard held across a
+//! ticket wait.
+
+pub fn forward(s: &State) {
+    let _a = s.alpha.lock().unwrap();
+    let _b = s.beta.lock().unwrap();
+}
+
+pub fn backward(s: &State) {
+    let _b = s.beta.lock().unwrap();
+    grab_alpha(s);
+}
+
+fn grab_alpha(s: &State) {
+    let _a = s.alpha.lock().unwrap();
+}
+
+pub fn stall(s: &State, t: &Ticket) {
+    let _a = s.alpha.lock().unwrap();
+    t.wait();
+}

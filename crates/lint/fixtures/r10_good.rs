@@ -1,0 +1,23 @@
+//! R10 good twin: both legs acquire `alpha` before `beta` (one global
+//! order) and the guard is dropped before the ticket wait.
+
+pub fn forward(s: &State) {
+    let _a = s.alpha.lock().unwrap();
+    let _b = s.beta.lock().unwrap();
+}
+
+pub fn backward(s: &State) {
+    let a = s.alpha.lock().unwrap();
+    grab_beta(s);
+    drop(a);
+}
+
+fn grab_beta(s: &State) {
+    let _b = s.beta.lock().unwrap();
+}
+
+pub fn stall(s: &State, t: &Ticket) {
+    let a = s.alpha.lock().unwrap();
+    drop(a);
+    t.wait();
+}

@@ -1,0 +1,8 @@
+//! R11 fixture: a reasoned suppression that is *not* in the committed
+//! baseline — the ratchet must deny it until it is re-blessed with
+//! `--write-baseline`.
+
+pub fn order(a: f32, b: f32) -> Option<Ordering> {
+    // uni-lint: allow(R3, new suppression smuggled in without re-blessing)
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,7 @@
+//! R11 good twin: the same suppression, but the test blesses it into a
+//! baseline first — a blessed suppression passes the ratchet.
+
+pub fn order(a: f32, b: f32) -> Option<Ordering> {
+    // uni-lint: allow(R3, blessed suppression recorded in the committed baseline)
+    a.partial_cmp(&b)
+}

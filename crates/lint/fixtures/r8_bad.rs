@@ -1,0 +1,17 @@
+//! R8 fixture: the allocation hides two calls below the hot fn — only
+//! the interprocedural pass can see it, and the diagnostic must carry
+//! the call chain.
+
+// uni-lint: hot
+pub fn render_rows(n: usize) -> usize {
+    helper(n)
+}
+
+fn helper(n: usize) -> usize {
+    deeper(n)
+}
+
+fn deeper(n: usize) -> usize {
+    let v = vec![0u8; n];
+    v.len()
+}

@@ -1,0 +1,16 @@
+//! R8 good twin: the same call chain stays allocation-free by writing
+//! into caller-owned scratch.
+
+// uni-lint: hot
+pub fn render_rows(out: &mut [u8]) -> usize {
+    helper(out)
+}
+
+fn helper(out: &mut [u8]) -> usize {
+    deeper(out)
+}
+
+fn deeper(out: &mut [u8]) -> usize {
+    out.fill(1);
+    out.len()
+}

@@ -1,0 +1,33 @@
+//! R9 fixture: the wall clock and the unordered map hide behind free
+//! helpers outside every R4/R5 path scope — only determinism taint from
+//! the policy impl and the server method reaches them.
+
+pub struct Fifo;
+
+impl SchedulePolicy for Fifo {
+    fn pick(&self, n: usize) -> usize {
+        score(n)
+    }
+}
+
+fn score(n: usize) -> usize {
+    stamp() + n
+}
+
+fn stamp() -> usize {
+    let t = Instant::now();
+    t.elapsed().as_micros() as usize
+}
+
+pub struct RenderServer;
+
+impl RenderServer {
+    pub fn next_frame(&self) -> usize {
+        tally()
+    }
+}
+
+fn tally() -> usize {
+    let seen = HashMap::<u32, u32>::new();
+    seen.len()
+}

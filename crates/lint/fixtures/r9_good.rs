@@ -1,0 +1,27 @@
+//! R9 good twin: sim-time is threaded through as a parameter and the
+//! tally uses an ordered map, so the same call shape carries no taint.
+
+pub struct Fifo;
+
+impl SchedulePolicy for Fifo {
+    fn pick(&self, now_us: u64, n: usize) -> usize {
+        score(now_us, n)
+    }
+}
+
+fn score(now_us: u64, n: usize) -> usize {
+    (now_us as usize) + n
+}
+
+pub struct RenderServer;
+
+impl RenderServer {
+    pub fn next_frame(&self) -> usize {
+        tally()
+    }
+}
+
+fn tally() -> usize {
+    let seen = BTreeMap::<u32, u32>::new();
+    seen.len()
+}

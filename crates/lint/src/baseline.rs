@@ -1,0 +1,415 @@
+//! R11: the ratcheting baseline.
+//!
+//! `lint-baseline.json` is a committed snapshot of every finding and
+//! every `uni-lint: allow` suppression in the tree. With `--baseline`,
+//! findings present in the snapshot are downgraded to warnings (they are
+//! known debt, tracked, not a regression) while anything *new* stays
+//! denied — and every suppression not in the snapshot becomes a denied
+//! R11 diagnostic of its own. The only way to add a suppression is to
+//! re-bless the snapshot with `--write-baseline`, which makes the diff
+//! reviewable; removing findings or suppressions needs no ceremony, so
+//! the counts can only ratchet down silently, never up.
+//!
+//! Keys deliberately omit line numbers: inserting a line above a known
+//! finding must not turn it into a "new" one. A (rule, path, message)
+//! triple with a count is stable under unrelated edits and still unique
+//! enough to pin real regressions.
+//!
+//! The parser below is a minimal recursive-descent JSON reader. The lint
+//! crate is dependency-free by design (it gates the build everything
+//! else depends on), so it cannot pull in serde; the subset of JSON the
+//! baseline uses (objects, arrays, strings, unsigned ints) keeps this
+//! small.
+
+use crate::{Diagnostic, Report};
+use std::collections::BTreeMap;
+
+/// A committed findings snapshot.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// (rule, path, message) -> count
+    pub findings: BTreeMap<(String, String, String), u32>,
+    /// (rule, path, reason) -> count
+    pub allows: BTreeMap<(String, String, String), u32>,
+}
+
+impl Baseline {
+    /// Snapshots a report: every diagnostic and every used suppression.
+    pub fn from_report(report: &Report) -> Self {
+        let mut b = Baseline::default();
+        for d in &report.diagnostics {
+            *b.findings
+                .entry((d.rule.clone(), d.path.clone(), d.message.clone()))
+                .or_insert(0) += 1;
+        }
+        for a in &report.allows_used {
+            *b.allows
+                .entry((a.rule.clone(), a.path.clone(), a.reason.clone()))
+                .or_insert(0) += 1;
+        }
+        b
+    }
+
+    /// Applies the baseline to a report: known findings downgrade to
+    /// warnings, unknown suppressions become denied R11 diagnostics.
+    /// Returns human-readable notes about stale baseline entries (debt
+    /// that has been paid off — time to re-bless and shrink the file).
+    pub fn rebase(&self, report: &mut Report) -> Vec<String> {
+        let mut remaining_findings = self.findings.clone();
+        let mut remaining_allows = self.allows.clone();
+
+        for d in &mut report.diagnostics {
+            let key = (d.rule.clone(), d.path.clone(), d.message.clone());
+            if let Some(n) = remaining_findings.get_mut(&key) {
+                if *n > 0 {
+                    *n -= 1;
+                    d.denied = false;
+                }
+            }
+        }
+
+        let mut new_allow_diags = Vec::new();
+        for a in &report.allows_used {
+            let key = (a.rule.clone(), a.path.clone(), a.reason.clone());
+            let known = remaining_allows.get_mut(&key).is_some_and(|n| {
+                if *n > 0 {
+                    *n -= 1;
+                    true
+                } else {
+                    false
+                }
+            });
+            if !known {
+                new_allow_diags.push(Diagnostic {
+                    rule: "R11".to_string(),
+                    path: a.path.clone(),
+                    line: a.line,
+                    col: 1,
+                    message: format!(
+                        "suppression not in baseline: allow({}, \"{}\") — new suppressions must be reviewed and blessed via --write-baseline",
+                        a.rule, a.reason
+                    ),
+                    denied: true,
+                });
+            }
+        }
+        report.diagnostics.extend(new_allow_diags);
+        report.diagnostics.sort_by(|a, b| {
+            (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule))
+        });
+
+        let mut notes = Vec::new();
+        for ((rule, path, message), n) in &remaining_findings {
+            if *n > 0 {
+                notes.push(format!(
+                    "baseline entry no longer observed ({n}x): {rule} {path}: {message} — re-bless with --write-baseline to ratchet down"
+                ));
+            }
+        }
+        for ((rule, path, reason), n) in &remaining_allows {
+            if *n > 0 {
+                notes.push(format!(
+                    "baseline suppression no longer used ({n}x): allow({rule}) in {path} (\"{reason}\") — re-bless with --write-baseline to ratchet down"
+                ));
+            }
+        }
+        notes
+    }
+
+    /// Deterministic serialization (sorted keys, stable shape).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        let mut first = true;
+        for ((rule, path, message), n) in &self.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"message\": {}, \"count\": {n}}}",
+                crate::json_str(rule),
+                crate::json_str(path),
+                crate::json_str(message)
+            ));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"allows\": [");
+        first = true;
+        for ((rule, path, reason), n) in &self.allows {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"reason\": {}, \"count\": {n}}}",
+                crate::json_str(rule),
+                crate::json_str(path),
+                crate::json_str(reason)
+            ));
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a baseline file. Errors carry enough context to fix the
+    /// file by hand.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let value = Json::parse(src)?;
+        let obj = value.as_object().ok_or("baseline root must be an object")?;
+        let mut b = Baseline::default();
+        if let Some(findings) = obj.get("findings") {
+            let arr = findings
+                .as_array()
+                .ok_or("baseline `findings` must be an array")?;
+            for entry in arr {
+                let e = entry
+                    .as_object()
+                    .ok_or("baseline finding entries must be objects")?;
+                let key = (
+                    field_str(e, "rule")?,
+                    field_str(e, "path")?,
+                    field_str(e, "message")?,
+                );
+                let count = field_count(e);
+                *b.findings.entry(key).or_insert(0) += count;
+            }
+        }
+        if let Some(allows) = obj.get("allows") {
+            let arr = allows
+                .as_array()
+                .ok_or("baseline `allows` must be an array")?;
+            for entry in arr {
+                let e = entry
+                    .as_object()
+                    .ok_or("baseline allow entries must be objects")?;
+                let key = (
+                    field_str(e, "rule")?,
+                    field_str(e, "path")?,
+                    field_str(e, "reason")?,
+                );
+                let count = field_count(e);
+                *b.allows.entry(key).or_insert(0) += count;
+            }
+        }
+        Ok(b)
+    }
+}
+
+fn field_str(obj: &BTreeMap<String, Json>, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("baseline entry missing string field `{key}`"))
+}
+
+fn field_count(obj: &BTreeMap<String, Json>) -> u32 {
+    obj.get("count")
+        .and_then(|v| v.as_u32())
+        .unwrap_or(1)
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos} in baseline JSON"));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of baseline JSON".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            while let Some(&b) = bytes.get(*pos) {
+                match b {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .and_then(char::from_u32)
+                                    .ok_or_else(|| {
+                                        format!("bad \\u escape at byte {pos} in baseline JSON")
+                                    })?;
+                                s.push(hex);
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // Consume one UTF-8 scalar (multi-byte safe).
+                        let start = *pos;
+                        *pos += 1;
+                        while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                            *pos += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&bytes[start..*pos])
+                                .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                        );
+                    }
+                }
+            }
+            Err("unterminated string in baseline JSON".to_string())
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad token at byte {start} in baseline JSON"))
+        }
+    }
+}

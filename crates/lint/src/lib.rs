@@ -5,15 +5,21 @@
 //! policies, allocation-free hot loops) used to be enforced by review.
 //! This crate machine-enforces them: a dependency-free lexer strips
 //! comments/strings/attributes, a context tracker follows `impl`/`fn`
-//! nesting, and seven deny-by-default rules (R1–R7, see
-//! [`rules::RULES`]) turn each convention into `file:line:col`
-//! diagnostics. Suppression is explicit and audited:
+//! nesting, and eleven deny-by-default rules (see [`rules::RULES`]) turn
+//! each convention into `file:line:col` diagnostics. R1–R7 are
+//! single-function passes; R8–R10 run over a whole-workspace call graph
+//! ([`graph`]) so the no-alloc, determinism, and lock-order contracts
+//! follow calls instead of stopping at the first `fn` boundary; R11
+//! ratchets findings and suppressions against a committed baseline
+//! ([`baseline`]). Suppression is explicit and audited:
 //! `// uni-lint: allow(RULE, reason)` with a mandatory reason, counted
-//! in every report.
+//! in every report and gated by the baseline.
 //!
 //! Run it as `cargo run -p uni-lint -- --deny-all` (CI does, between
 //! clippy and the build).
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 
@@ -78,13 +84,71 @@ impl Report {
     }
 }
 
+/// Lints a set of files as one workspace: intra-function rules R1–R7
+/// per file, then the interprocedural rules R8–R10 over the combined
+/// call graph, then allow-directive filtering per file. Diagnostics are
+/// sorted by (path, line, col, rule) and deduplicated, so output is
+/// stable regardless of walk order — the property the baseline diff and
+/// the exact-snapshot selftests rely on.
+pub fn analyze_files(files: &[(String, String)], config: &Config) -> Report {
+    let mut ws = graph::Workspace::default();
+    let mut lexed_files = Vec::with_capacity(files.len());
+    for (path, src) in files {
+        let lexed = lexer::lex(src);
+        ws.index_file(path, &lexed);
+        lexed_files.push(lexed);
+    }
+    let ws_diags = graph::check_workspace(&ws);
+
+    let mut report = Report::default();
+    for (fi, (path, _)) in files.iter().enumerate() {
+        let mut raw = rules::check(path, &lexed_files[fi]);
+        raw.extend(
+            ws_diags
+                .iter()
+                .filter(|w| w.file == fi)
+                .map(|w| w.diag.clone()),
+        );
+        apply_allows(path, &lexed_files[fi], raw, config, &mut report);
+        report.files_scanned += 1;
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
+    report.diagnostics.dedup_by(|a, b| {
+        a.path == b.path
+            && a.line == b.line
+            && a.col == b.col
+            && a.rule == b.rule
+            && a.message == b.message
+    });
+    report
+        .allows_used
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report
+}
+
 /// Lints one file's source under a (virtual) workspace-relative path.
 /// The path drives rule scoping, so self-tests can lint fixture text as
-/// if it lived in any crate.
+/// if it lived in any crate. The interprocedural rules see just this
+/// file's call graph.
 pub fn analyze_source(path: &str, src: &str, config: &Config, report: &mut Report) {
-    let lexed = lexer::lex(src);
-    let raw = rules::check(path, &lexed);
+    let single = analyze_files(&[(path.to_string(), src.to_string())], config);
+    report.files_scanned += single.files_scanned;
+    report.diagnostics.extend(single.diagnostics);
+    report.allows_used.extend(single.allows_used);
+}
 
+/// Filters raw diagnostics through the file's `allow` directives and
+/// records malformed directives as denied findings.
+fn apply_allows(
+    path: &str,
+    lexed: &lexer::Lexed,
+    raw: Vec<RawDiag>,
+    config: &Config,
+    report: &mut Report,
+) {
     let allows: Vec<(&u32, &String, &String)> = lexed
         .directives
         .iter()
@@ -141,7 +205,6 @@ pub fn analyze_source(path: &str, src: &str, config: &Config, report: &mut Repor
             denied: config.denies(rule),
         });
     }
-    report.files_scanned += 1;
 }
 
 /// Directory names never descended into.
@@ -177,14 +240,15 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lints `files` (or, when empty, the whole tree under `root`).
+/// Lints `files` (or, when empty, the whole tree under `root`) as one
+/// workspace, so the interprocedural rules see cross-crate calls.
 pub fn run(root: &Path, files: &[PathBuf], config: &Config) -> std::io::Result<Report> {
     let files = if files.is_empty() {
         collect_files(root)?
     } else {
         files.to_vec()
     };
-    let mut report = Report::default();
+    let mut inputs = Vec::with_capacity(files.len());
     for file in &files {
         let rel = file
             .strip_prefix(root)
@@ -192,9 +256,9 @@ pub fn run(root: &Path, files: &[PathBuf], config: &Config) -> std::io::Result<R
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(file)?;
-        analyze_source(&rel, &src, config, &mut report);
+        inputs.push((rel, src));
     }
-    Ok(report)
+    Ok(analyze_files(&inputs, config))
 }
 
 /// Human-readable report (one diagnostic per line, then the audit trail
@@ -265,7 +329,7 @@ pub fn render_json(report: &Report) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -17,7 +17,7 @@ pub struct Rule {
     pub summary: &'static str,
 }
 
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 11] = [
     Rule {
         id: "R1",
         name: "no-nested-vec",
@@ -52,6 +52,26 @@ pub const RULES: [Rule; 7] = [
         id: "R7",
         name: "no-alloc-in-hot-loop",
         summary: "allocation (Vec::new/vec!/to_vec/collect/Box::new/..) inside a `// uni-lint: hot` function",
+    },
+    Rule {
+        id: "R8",
+        name: "transitive-hot-alloc",
+        summary: "allocation anywhere in the call tree under a `// uni-lint: hot` fn — the diagnostic carries the call chain",
+    },
+    Rule {
+        id: "R9",
+        name: "determinism-taint",
+        summary: "wall clocks / unordered maps in anything reachable from a SchedulePolicy impl or a RenderServer method",
+    },
+    Rule {
+        id: "R10",
+        name: "lock-order",
+        summary: "Mutex acquisition-order cycles, or a guard held across Ticket::wait / lane submission",
+    },
+    Rule {
+        id: "R11",
+        name: "baseline-ratchet",
+        summary: "finding or suppression not in the committed lint-baseline.json — debt can only ratchet down",
     },
 ];
 
@@ -91,20 +111,45 @@ struct PathScope {
 impl PathScope {
     fn of(path: &str) -> Self {
         let in_dir = |p: &str| path.starts_with(p);
-        let file = path.rsplit('/').next().unwrap_or(path);
         Self {
             hot_crate: in_dir("crates/geometry/src")
                 || in_dir("crates/scene/src")
                 || in_dir("crates/renderers/src"),
             parallel_crate: in_dir("crates/parallel/"),
-            scheduling: file == "sched.rs" || in_dir("crates/microops/src"),
-            ordered_iteration: in_dir("crates/engine/src") || in_dir("crates/microops/src"),
+            scheduling: in_scheduling_scope(path),
+            ordered_iteration: in_ordered_scope(path),
         }
     }
 }
 
-/// Idents R4 treats as wall-clock/date sources.
-const WALL_CLOCK: [&str; 4] = ["Instant", "SystemTime", "UNIX_EPOCH", "DateTime"];
+/// R4's path scope: any sched.rs, or microops (accounting). R9 skips
+/// sites here — the intra rule already reports them.
+pub(crate) fn in_scheduling_scope(path: &str) -> bool {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    file == "sched.rs" || path.starts_with("crates/microops/src")
+}
+
+/// R5's path scope: engine + microops (scheduling/accounting/delivery).
+/// R9 skips sites here — the intra rule already reports them.
+pub(crate) fn in_ordered_scope(path: &str) -> bool {
+    path.starts_with("crates/engine/src") || path.starts_with("crates/microops/src")
+}
+
+/// Whether the token at `i` is an allocation site under the R7 pattern.
+/// Shared with R8 so "alloc" means the same thing inside a hot fn and
+/// two calls below one.
+pub(crate) fn alloc_token(toks: &[Tok], i: usize) -> bool {
+    let text = |j: usize| toks.get(j).map(|t| t.text.as_str()).unwrap_or("");
+    match text(i) {
+        "Vec" | "Box" | "String" => text(i + 1) == "::" && text(i + 2) == "new",
+        "vec" | "format" => text(i + 1) == "!",
+        "to_vec" | "collect" | "to_string" | "with_capacity" => true,
+        _ => false,
+    }
+}
+
+/// Idents R4 (and R9, transitively) treat as wall-clock/date sources.
+pub(crate) const WALL_CLOCK: [&str; 4] = ["Instant", "SystemTime", "UNIX_EPOCH", "DateTime"];
 /// Interior-mutability / ambient-state idents R6 denies in policies.
 const IMPURE: [&str; 8] = [
     "Cell", "RefCell", "Mutex", "RwLock", "OnceLock", "OnceCell", "LazyLock", "LazyCell",
@@ -253,20 +298,12 @@ pub fn check(path: &str, lexed: &Lexed) -> Vec<RawDiag> {
             }
         }
 
-        if in_hot(&scopes) {
-            let alloc = match t {
-                "Vec" | "Box" | "String" => text(i + 1) == "::" && text(i + 2) == "new",
-                "vec" | "format" => text(i + 1) == "!",
-                "to_vec" | "collect" | "to_string" | "with_capacity" => true,
-                _ => false,
-            };
-            if alloc {
-                diags.push(diag(
-                    "R7",
-                    tok,
-                    "allocation inside a `// uni-lint: hot` function: hot loops borrow pooled buffers and scratch arenas, steady-state frames allocate nothing",
-                ));
-            }
+        if in_hot(&scopes) && alloc_token(toks, i) {
+            diags.push(diag(
+                "R7",
+                tok,
+                "allocation inside a `// uni-lint: hot` function: hot loops borrow pooled buffers and scratch arenas, steady-state frames allocate nothing",
+            ));
         }
     }
     diags

@@ -194,6 +194,7 @@ impl HashGrid {
 
     /// Slot index of vertex `(x, y, z)` at level `l`: linear for dense
     /// levels, spatial hash otherwise.
+    // uni-lint: hot
     pub fn slot(&self, l: u32, x: u32, y: u32, z: u32) -> usize {
         let m = self.level_meta[l as usize];
         if m.dense {
@@ -228,6 +229,7 @@ impl HashGrid {
     /// hashed levels XOR-combine two precomputed products per axis —
     /// corner order matches the trilinear weight order (x fastest).
     #[inline]
+    // uni-lint: hot
     fn corner_slots(&self, l: usize, x0: u32, y0: u32, z0: u32) -> [usize; 8] {
         let m = self.level_meta[l];
         if m.dense {
