@@ -3,6 +3,11 @@
 //! session counts *and scheduling policies*, with a **deadline
 //! dimension**: part of the mix is deadline-bound, and every row reports
 //! miss rate, worst slack, and tail sim-latency alongside throughput.
+//! A **fleet dimension** extends the sweep across scenes: a `ServerFleet`
+//! serves three scenes in drain-separated waves at cache capacities
+//! `scenes` and `scenes - 1`, so one row pays eviction + rebake and must
+//! still keep the admitted sessions' deadline miss rate under the
+//! committed limit.
 //!
 //! Runs as a criterion harness (`cargo bench --bench serve_hot`; pass
 //! `-- --quick` for a single-shot smoke that still refreshes the JSON)
@@ -41,8 +46,9 @@ use std::sync::Arc;
 use uni_bench::HARNESS_DETAIL;
 use uni_core::{Accelerator, AcceleratorConfig};
 use uni_engine::{
-    AdmissionControl, CameraPath, CostAware, DegradePolicy, EarliestDeadline, Priority,
-    RenderServer, RoundRobin, SchedulePolicy, ServerSummary, SessionRequest, WeightedFair,
+    AdmissionControl, CameraPath, CostAware, DegradePolicy, EarliestDeadline, FleetSessionRequest,
+    FleetSummary, Priority, RenderServer, RoundRobin, SceneCacheConfig, SchedulePolicy,
+    ServerFleet, ServerSummary, SessionRequest, WeightedFair,
 };
 use uni_renderers::{GaussianPipeline, HashGridPipeline, MeshPipeline, MlpPipeline, Renderer};
 use uni_scene::{BakedScene, SceneSpec};
@@ -66,6 +72,20 @@ const OVERLOAD_OFFERED: usize = 16;
 const OVERLOAD_FRAMES: usize = 8;
 const OVERLOAD_PERIOD_FRAMES: f64 = 6.0;
 const OVERLOAD_MISS_RATE_LIMIT: f64 = 0.05;
+
+/// The fleet dimension: [`FLEET_SCENES`] distinct scenes served through
+/// a [`ServerFleet`] in waves (two deadline-bound sessions per wave,
+/// offered through `try_admit`; the final wave revisits scene 0), at
+/// two scene-cache capacities — `scenes` (everything stays resident)
+/// and `scenes - 1` (the last scene's bake evicts the least-recently-
+/// delivered resident and the revisit rebakes it). The committed
+/// contract: even with `max_resident < scenes`, the admitted sessions'
+/// deadline miss rate stays under [`OVERLOAD_MISS_RATE_LIMIT`].
+const FLEET_SCENES: usize = 3;
+const FLEET_SESSIONS_PER_WAVE: usize = 2;
+const FLEET_FRAMES: usize = 4;
+const FLEET_CAPACITIES: [usize; 2] = [FLEET_SCENES, FLEET_SCENES - 1];
+const FLEET_PERIOD_FRAMES: f64 = 4.0;
 
 /// `(policy name, session count)` sweep, round-robin baselines first.
 const SWEEP: [(&str, usize); 13] = [
@@ -199,6 +219,71 @@ fn serve_overload(scene: &Arc<BakedScene>, spec: &SceneSpec, frame_seconds: f64)
     server.run()
 }
 
+fn fleet_spec(scene: usize) -> SceneSpec {
+    SceneSpec::demo(format!("serve-hot-fleet-{scene}"), 3025 + scene as u64)
+        .with_detail(HARNESS_DETAIL)
+}
+
+fn fleet_request(scene: usize, s: usize, deadline_hz: Option<f64>) -> FleetSessionRequest {
+    let spec = fleet_spec(scene);
+    let orbit = spec.orbit(RESOLUTION.0, RESOLUTION.1);
+    let mut request = FleetSessionRequest::new(
+        move || renderer(s),
+        CameraPath::orbit_arc(orbit, 0.4 * s as f32, 1.6, FLEET_FRAMES),
+    );
+    if let Some(hz) = deadline_hz {
+        request = request.deadline_hz(hz);
+    }
+    request
+}
+
+/// Serves the fleet workload: `FLEET_SCENES + 1` waves (the last
+/// revisits scene 0), each admitting [`FLEET_SESSIONS_PER_WAVE`]
+/// sessions on one scene through `try_admit` and draining before the
+/// next — so at `capacity < FLEET_SCENES` the wave on the last scene
+/// must evict and the revisit must rebake.
+fn serve_fleet(
+    capacity: usize,
+    deadline_hz: Option<f64>,
+    frame_cost_prior: Option<f64>,
+) -> FleetSummary {
+    let mut fleet = ServerFleet::new(SceneCacheConfig {
+        max_resident: capacity,
+        max_bytes: None,
+    })
+    .with_accelerator_config(AcceleratorConfig::paper())
+    .with_policy_factory(|| Box::new(EarliestDeadline::new()));
+    if let Some(prior) = frame_cost_prior {
+        fleet = fleet.with_admission_control(AdmissionControl::new().frame_cost_prior(prior));
+    }
+    for wave in 0..=FLEET_SCENES {
+        let scene = wave % FLEET_SCENES;
+        for s in 0..FLEET_SESSIONS_PER_WAVE {
+            let _ = fleet.try_admit(
+                &fleet_spec(scene),
+                fleet_request(scene, wave * FLEET_SESSIONS_PER_WAVE + s, deadline_hz),
+            );
+        }
+        while let Some(frame) = fleet.next_frame() {
+            let handle = frame.handle;
+            fleet.recycle(handle, frame.frame.report.image);
+        }
+    }
+    fleet.summary()
+}
+
+/// Mean frame sim-time across the whole fleet schedule — the fleet
+/// rows' deadline calibration and admission prior.
+fn fleet_mean_frame_seconds(summary: &FleetSummary) -> f64 {
+    let seconds: f64 = summary
+        .shards
+        .iter()
+        .flat_map(|shard| shard.servers.iter())
+        .map(|s| s.total_seconds)
+        .sum();
+    seconds / summary.delivered_frames.max(1) as f64
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let spec = SceneSpec::demo("serve-hot", 2025).with_detail(HARNESS_DETAIL);
@@ -288,6 +373,25 @@ fn main() {
         );
     }
 
+    // The fleet dimension runs single-shot in both modes: its rows are
+    // serving-quality contracts (eviction, rebake, admitted deadline
+    // misses), and every run re-bakes scenes — too heavy to iterate
+    // under criterion. Calibration: a deadline-free fleet pass at full
+    // capacity pins the deadline rate and the admission prior.
+    let fleet_calibration = serve_fleet(FLEET_SCENES, None, None);
+    let fleet_frame_seconds = fleet_mean_frame_seconds(&fleet_calibration);
+    let fleet_hz = 1.0 / (FLEET_PERIOD_FRAMES * fleet_frame_seconds);
+    let fleet_rows: Vec<(usize, f64, FleetSummary)> = FLEET_CAPACITIES
+        .iter()
+        .map(|&capacity| {
+            let start = std::time::Instant::now();
+            let summary = serve_fleet(capacity, Some(fleet_hz), Some(fleet_frame_seconds));
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            println!("bench serve_hot/fleet/{FLEET_SCENES}x{capacity} {ms:>12.3} ms (single-shot)");
+            (capacity, ms, summary)
+        })
+        .collect();
+
     // The reconfiguration-aware schedules must hold their contracts on
     // the mixed 4-session workload: the fixed coalescer beats interleaved
     // round-robin on reconfigs/frame, and cost_aware pays no more than
@@ -357,6 +461,33 @@ fn main() {
         ov.scheduled_frames
     );
 
+    // The fleet contract: full capacity never evicts; one scene short
+    // of capacity must evict and rebake — and either way the admitted
+    // sessions' deadline miss rate stays under the committed limit.
+    for (capacity, _, summary) in &fleet_rows {
+        assert!(summary.is_consistent(), "fleet accounting must sum");
+        if *capacity < FLEET_SCENES {
+            assert!(
+                summary.cache.evictions > 0,
+                "capacity {capacity} < {FLEET_SCENES} scenes must evict"
+            );
+            assert!(
+                summary.cache.rebakes > 0,
+                "revisiting the evicted scene must rebake"
+            );
+        } else {
+            assert_eq!(summary.cache.evictions, 0, "full capacity never evicts");
+        }
+        assert!(
+            summary.deadline_miss_rate() < OVERLOAD_MISS_RATE_LIMIT,
+            "fleet (capacity {capacity}) admitted sessions must miss < {:.0}% of deadlines \
+             (got {:.2}% over {} frames)",
+            100.0 * OVERLOAD_MISS_RATE_LIMIT,
+            100.0 * summary.deadline_miss_rate(),
+            summary.delivered_frames
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"serve_hot\",\n");
@@ -383,7 +514,11 @@ fn main() {
          round_robin_coalesced in reconfigs_per_frame with strictly lower worst slack loss; the \
          admission row offers 16 all-deadline-bound sessions through try_admit (headroom 1.1, \
          calibrated frame-cost prior, queue depth 2) with graceful degradation armed, and asserts \
-         refusals > 0, queueing > 0, and admitted deadline_miss_rate < 0.05\",\n",
+         refusals > 0, queueing > 0, and admitted deadline_miss_rate < 0.05; the fleet rows serve \
+         3 scenes through a ServerFleet in drain-separated waves (two deadline-bound sessions per \
+         wave via try_admit, final wave revisits scene 0) at cache capacities 3 and 2 — asserted: \
+         capacity 2 evicts and rebakes, capacity 3 never evicts, both keep admitted \
+         deadline_miss_rate < 0.05; fleet rows are single-shot timed\",\n",
     );
     json.push_str("  \"configs\": [\n");
     for (&(policy_name, sessions), (ms, summary)) in SWEEP.iter().zip(&results) {
@@ -452,7 +587,7 @@ fn main() {
              \"wall_ms\": {ms:.2}, \"wall_fps\": {wall_fps:.2}, \
              \"sim_fps\": {:.2}, \"reconfigs_per_frame\": {:.4}, \
              \"deadline_miss_rate\": {:.4}, \"worst_slack_s\": {worst_slack}, \
-             \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6} }}\n",
+             \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6} }},\n",
             summary.per_session.len(),
             summary.refusals,
             summary.queued_admissions,
@@ -461,6 +596,45 @@ fn main() {
             summary.shed_sessions,
             summary.mean_fps(),
             summary.reconfigurations_per_frame(),
+            summary.deadline_miss_rate(),
+            summary.p50_sim_latency(),
+            summary.p99_sim_latency(),
+        ));
+    }
+    for (row, (capacity, ms, summary)) in fleet_rows.iter().enumerate() {
+        let frames = summary.delivered_frames;
+        let wall_fps = frames as f64 / (ms / 1e3);
+        println!(
+            "serve_hot/fleet/{FLEET_SCENES}x{capacity}: {} sessions over {FLEET_SCENES} scenes \
+             (cache {capacity}), {frames} frames, {} bakes ({} rebakes, {} evictions, {} hits), \
+             {:.1}% deadline misses, p50 {:.3} ms, p99 {:.3} ms",
+            summary.session_count(),
+            summary.cache.bakes,
+            summary.cache.rebakes,
+            summary.cache.evictions,
+            summary.cache.hits,
+            100.0 * summary.deadline_miss_rate(),
+            summary.p50_sim_latency() * 1e3,
+            summary.p99_sim_latency() * 1e3,
+        );
+        let worst_slack = summary
+            .worst_slack()
+            .map_or("null".to_string(), |s| format!("{s:.6}"));
+        let comma = if row + 1 < fleet_rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"policy\": \"fleet_earliest_deadline\", \
+             \"scenes\": {FLEET_SCENES}, \"cache_capacity\": {capacity}, \
+             \"sessions\": {}, \"frames\": {frames}, \
+             \"bakes\": {}, \"rebakes\": {}, \"evictions\": {}, \
+             \"cache_hits\": {}, \"wall_ms\": {ms:.2}, \
+             \"wall_fps\": {wall_fps:.2}, \"deadline_miss_rate\": {:.4}, \
+             \"worst_slack_s\": {worst_slack}, \"p50_latency_s\": {:.6}, \
+             \"p99_latency_s\": {:.6} }}{comma}\n",
+            summary.session_count(),
+            summary.cache.bakes,
+            summary.cache.rebakes,
+            summary.cache.evictions,
+            summary.cache.hits,
             summary.deadline_miss_rate(),
             summary.p50_sim_latency(),
             summary.p99_sim_latency(),

@@ -34,14 +34,21 @@
 //! target entry point of `uni_renderers` — sessions are the canonical
 //! consumer of that API.
 
+pub mod fleet;
 pub mod path;
 pub mod pool;
+pub mod scene_cache;
 pub mod sched;
 pub mod server;
 pub mod session;
 
+pub use fleet::{
+    FleetAdmitDecision, FleetFrame, FleetHandle, FleetSessionRequest, PolicyFactory,
+    RendererFactory, ServerFleet,
+};
 pub use path::CameraPath;
 pub use pool::FramePool;
+pub use scene_cache::{SceneCache, SceneCacheConfig, SceneKey};
 pub use sched::{
     CostAware, EarliestDeadline, LoadView, PolicyContext, Priority, RoundRobin, ScheduleContext,
     SchedulePolicy, SessionHandle, SessionView, WeightedFair,
@@ -53,4 +60,7 @@ pub use server::{
 pub use session::{FrameReport, RenderSession, StreamSummary};
 // The serving summaries live in `uni_microops::serve`; re-export them so
 // engine consumers get the whole serving surface from one crate.
-pub use uni_microops::{percentile, ServerSummary, SessionStats, SwitchCostModel};
+pub use uni_microops::{
+    percentile, FleetCacheStats, FleetSummary, ServerSummary, SessionStats, ShardSummary,
+    SwitchCostModel,
+};

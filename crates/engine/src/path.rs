@@ -131,6 +131,20 @@ impl CameraPath {
     pub fn iter(&self) -> impl Iterator<Item = Camera> + '_ {
         (0..self.frames).map(|i| self.camera(i))
     }
+
+    /// The tail of this path from frame `start` (inclusive) to the end,
+    /// as an explicit waypoint list.
+    ///
+    /// Frame `i` of the suffix is **bit-identical** to frame
+    /// `start + i` of the original: the cameras are materialized through
+    /// the same [`CameraPath::camera`] arithmetic the original path
+    /// would use, never re-parameterized — which is what lets a migrated
+    /// session resume mid-path on another shard and still deliver the
+    /// exact frames the unmigrated session would have. `start >= len()`
+    /// yields an empty path.
+    pub fn suffix(&self, start: usize) -> Self {
+        Self::waypoints((start..self.frames).map(|i| self.camera(i)).collect())
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +203,20 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_frame_panics() {
         CameraPath::orbit(orbit(), 2).camera(2);
+    }
+
+    #[test]
+    fn suffix_reproduces_the_original_frames_bit_for_bit() {
+        let path = CameraPath::orbit_arc(orbit(), 0.3, 2.5, 7);
+        let tail = path.suffix(3);
+        assert_eq!(tail.len(), 4);
+        for i in 0..tail.len() {
+            // Bit-identical, not approximately equal: the suffix stores
+            // the exact cameras the original arithmetic produces.
+            assert_eq!(tail.camera(i).eye, path.camera(3 + i).eye, "frame {i}");
+            assert_eq!(tail.camera(i).fov_y, path.camera(3 + i).fov_y);
+        }
+        assert!(path.suffix(7).is_empty());
+        assert!(path.suffix(99).is_empty());
     }
 }

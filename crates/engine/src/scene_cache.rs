@@ -1,0 +1,330 @@
+//! Scene residency as a managed resource: a stable scene identity
+//! ([`SceneKey`]) and a capacity-bounded bake cache ([`SceneCache`]).
+//!
+//! A fleet cannot keep every scene baked: residency is bounded by a
+//! scene count and (optionally) a byte budget, and everything about it
+//! — identity, routing, eviction order — must be deterministic.
+//! Identity is the canonical encoding of a [`SceneSpec`] (never the
+//! pointer identity of a baked `Arc`), routing hashes that encoding
+//! with FNV-1a, and eviction picks the resident with the
+//! least-recently-*delivered* schedule slot: the fleet's delivered-frame
+//! counter, never a wall clock, so the eviction sequence is a pure
+//! function of the delivered schedule and bit-identical at any
+//! `UNI_RENDER_THREADS`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use uni_microops::FleetCacheStats;
+use uni_scene::{BakedScene, SceneSpec};
+
+/// A stable, content-derived scene identity.
+///
+/// Two specs with equal identity fields produce equal keys — and, since
+/// baking is seeded purely from [`SceneSpec::seed`], equal baked scenes.
+/// The key is the canonical unit-separated encoding of every identity
+/// field, with floats encoded bit-exactly; [`SceneKey::route_hash`] is
+/// the FNV-1a hash of that encoding, which is what the fleet routes on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SceneKey(String);
+
+impl SceneKey {
+    /// The canonical key of a scene spec.
+    pub fn of(spec: &SceneSpec) -> Self {
+        Self(format!(
+            "{}\u{1f}{:016x}\u{1f}{:?}\u{1f}{}\u{1f}{:08x}\u{1f}{:08x}\u{1f}{:?}",
+            spec.name,
+            spec.seed,
+            spec.flavor,
+            spec.object_count,
+            spec.extent.to_bits(),
+            spec.detail.to_bits(),
+            spec.repr,
+        ))
+    }
+
+    /// The canonical encoding (the key itself).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// FNV-1a (64-bit) of the canonical encoding — the routing hash.
+    /// Stable across runs, platforms, and pointer identities.
+    pub fn route_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        self.0
+            .as_bytes()
+            .iter()
+            .fold(OFFSET, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+    }
+}
+
+/// Capacity knobs of a [`SceneCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SceneCacheConfig {
+    /// Maximum scenes resident at once. Clamped to ≥ 1.
+    pub max_resident: usize,
+    /// Optional resident-byte budget (the sum of
+    /// [`BakedScene::resident_bytes`] across residents). `None` means
+    /// count-bounded only.
+    pub max_bytes: Option<u64>,
+}
+
+impl Default for SceneCacheConfig {
+    fn default() -> Self {
+        Self {
+            max_resident: 4,
+            max_bytes: None,
+        }
+    }
+}
+
+/// One resident scene.
+struct Resident {
+    scene: Arc<BakedScene>,
+    bytes: u64,
+    /// The fleet's delivered-slot clock when this scene last produced a
+    /// delivery (or was admitted to) — the eviction key.
+    last_slot: u64,
+}
+
+/// A capacity-bounded, deterministically evicting bake cache.
+///
+/// The cache never decides *when* to evict — the fleet does, because
+/// only the fleet knows which residents are pinned by live sessions.
+/// The cache owns the deterministic pieces: residency, bake/rebake/hit
+/// accounting, and the eviction *order* (least-recently-delivered slot,
+/// ties broken by key order).
+pub struct SceneCache {
+    config: SceneCacheConfig,
+    residents: BTreeMap<SceneKey, Resident>,
+    /// Every key ever baked — distinguishes a rebake (eviction cost paid
+    /// twice) from a first bake.
+    ever_baked: BTreeSet<SceneKey>,
+    bakes: u64,
+    rebakes: u64,
+    evictions: u64,
+    hits: u64,
+    baked_bytes: u64,
+}
+
+impl SceneCache {
+    /// An empty cache with the given capacity knobs.
+    pub fn new(config: SceneCacheConfig) -> Self {
+        Self {
+            config: SceneCacheConfig {
+                max_resident: config.max_resident.max(1),
+                max_bytes: config.max_bytes,
+            },
+            residents: BTreeMap::new(),
+            ever_baked: BTreeSet::new(),
+            bakes: 0,
+            rebakes: 0,
+            evictions: 0,
+            hits: 0,
+            baked_bytes: 0,
+        }
+    }
+
+    /// The configured capacity knobs.
+    pub fn config(&self) -> SceneCacheConfig {
+        self.config
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: &SceneKey) -> bool {
+        self.residents.contains_key(key)
+    }
+
+    /// The resident scene for `key`, touched to `slot`, baking it if it
+    /// is not resident. A hit bumps the hit counter; a miss bakes
+    /// (counting a rebake when the key was resident before) and charges
+    /// the scene's resident bytes to the bake-cost account.
+    pub fn acquire(&mut self, key: &SceneKey, spec: &SceneSpec, slot: u64) -> Arc<BakedScene> {
+        if let Some(resident) = self.residents.get_mut(key) {
+            self.hits += 1;
+            resident.last_slot = slot;
+            return Arc::clone(&resident.scene);
+        }
+        debug_assert_eq!(
+            *key,
+            SceneKey::of(spec),
+            "acquire called with a key that is not the spec's"
+        );
+        let scene = Arc::new(spec.bake());
+        let bytes = scene.resident_bytes();
+        self.bakes += 1;
+        self.baked_bytes += bytes;
+        if !self.ever_baked.insert(key.clone()) {
+            self.rebakes += 1;
+        }
+        self.residents.insert(
+            key.clone(),
+            Resident {
+                scene: Arc::clone(&scene),
+                bytes,
+                last_slot: slot,
+            },
+        );
+        scene
+    }
+
+    /// Bumps `key`'s last-delivered slot (called at every delivery the
+    /// scene produces). Unknown keys are ignored.
+    pub fn touch(&mut self, key: &SceneKey, slot: u64) {
+        if let Some(resident) = self.residents.get_mut(key) {
+            resident.last_slot = slot;
+        }
+    }
+
+    /// Whether residency exceeds the configured budget (count or bytes).
+    pub fn over_capacity(&self) -> bool {
+        self.residents.len() > self.config.max_resident
+            || self
+                .config
+                .max_bytes
+                .is_some_and(|budget| self.resident_bytes() > budget)
+    }
+
+    /// The eviction candidate: among residents not in `pinned`, the one
+    /// with the least-recently-delivered slot, ties broken by key order.
+    /// `None` when every resident is pinned.
+    pub fn evict_candidate(&self, pinned: &BTreeSet<SceneKey>) -> Option<SceneKey> {
+        self.residents
+            .iter()
+            .filter(|(key, _)| !pinned.contains(key))
+            .min_by_key(|(key, resident)| (resident.last_slot, (*key).clone()))
+            .map(|(key, _)| key.clone())
+    }
+
+    /// Drops `key` from residency, counting an eviction. Returns whether
+    /// the key was resident.
+    pub fn evict(&mut self, key: &SceneKey) -> bool {
+        if self.residents.remove(key).is_some() {
+            self.evictions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scenes currently resident.
+    pub fn resident_scenes(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.residents.values().map(|r| r.bytes).sum()
+    }
+
+    /// A snapshot of every counter.
+    pub fn stats(&self) -> FleetCacheStats {
+        FleetCacheStats {
+            bakes: self.bakes,
+            rebakes: self.rebakes,
+            evictions: self.evictions,
+            hits: self.hits,
+            baked_bytes: self.baked_bytes,
+            resident_scenes: self.resident_scenes(),
+            resident_bytes: self.resident_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, seed: u64) -> SceneSpec {
+        SceneSpec::demo(name, seed).with_detail(0.02)
+    }
+
+    #[test]
+    fn scene_keys_are_content_derived_and_stable() {
+        let a = SceneKey::of(&spec("a", 1));
+        let a2 = SceneKey::of(&spec("a", 1));
+        let b = SceneKey::of(&spec("b", 1));
+        let a_reseeded = SceneKey::of(&spec("a", 2));
+        assert_eq!(a, a2);
+        assert_eq!(a.route_hash(), a2.route_hash());
+        assert_ne!(a, b);
+        assert_ne!(a, a_reseeded);
+        // FNV-1a of the empty input is the offset basis; of "a" it is
+        // the published vector — pin the constants so the routing hash
+        // can never silently change.
+        assert_eq!(SceneKey(String::new()).route_hash(), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(
+            SceneKey("a".to_string()).route_hash(),
+            0xAF63_DC4C_8601_EC8C
+        );
+    }
+
+    #[test]
+    fn cache_counts_hits_bakes_rebakes_and_evictions() {
+        let sa = spec("a", 1);
+        let sb = spec("b", 2);
+        let ka = SceneKey::of(&sa);
+        let kb = SceneKey::of(&sb);
+        let mut cache = SceneCache::new(SceneCacheConfig {
+            max_resident: 1,
+            max_bytes: None,
+        });
+        let first = cache.acquire(&ka, &sa, 0);
+        cache.acquire(&ka, &sa, 1);
+        assert_eq!(cache.stats().bakes, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().baked_bytes, first.resident_bytes());
+
+        cache.acquire(&kb, &sb, 2);
+        assert!(cache.over_capacity());
+        let victim = cache.evict_candidate(&BTreeSet::new()).unwrap();
+        assert_eq!(victim, ka, "least-recently-delivered resident evicts");
+        assert!(cache.evict(&victim));
+        assert!(!cache.over_capacity());
+
+        // Re-acquiring the evicted scene is a rebake — bit-identical to
+        // the first bake, but the cost is paid again.
+        let again = cache.acquire(&ka, &sa, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.bakes, 3);
+        assert_eq!(stats.rebakes, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(*again, *first, "rebake reproduces the scene");
+    }
+
+    #[test]
+    fn eviction_respects_pins_and_breaks_slot_ties_by_key() {
+        let sa = spec("a", 1);
+        let sb = spec("b", 2);
+        let ka = SceneKey::of(&sa);
+        let kb = SceneKey::of(&sb);
+        let mut cache = SceneCache::new(SceneCacheConfig::default());
+        cache.acquire(&ka, &sa, 5);
+        cache.acquire(&kb, &sb, 5);
+        // Equal slots: key order decides.
+        assert_eq!(cache.evict_candidate(&BTreeSet::new()), Some(ka.clone()));
+        // Pinning the tie-winner moves to the next candidate; pinning
+        // everything yields none.
+        let pinned: BTreeSet<SceneKey> = [ka.clone()].into_iter().collect();
+        assert_eq!(cache.evict_candidate(&pinned), Some(kb.clone()));
+        let all: BTreeSet<SceneKey> = [ka, kb].into_iter().collect();
+        assert_eq!(cache.evict_candidate(&all), None);
+    }
+
+    #[test]
+    fn byte_budget_bounds_residency() {
+        let sa = spec("a", 1);
+        let ka = SceneKey::of(&sa);
+        let mut cache = SceneCache::new(SceneCacheConfig {
+            max_resident: 8,
+            max_bytes: Some(1),
+        });
+        cache.acquire(&ka, &sa, 0);
+        assert!(
+            cache.over_capacity(),
+            "any real scene busts a 1-byte budget"
+        );
+    }
+}

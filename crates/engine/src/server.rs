@@ -1031,6 +1031,32 @@ impl RenderServer {
             .map(|slot| self.slot_stats(slot))
     }
 
+    /// Whether a session's stream is fully settled on this server: every
+    /// frame it will ever get here has been delivered (its path ran out,
+    /// or a close took effect) and none of its frames is still in
+    /// flight. Checked between deliveries this is a pure function of the
+    /// delivered schedule — the fleet's migration hand-off polls it, so
+    /// the hand-off slot is bit-identical at any thread count. `false`
+    /// for unknown handles.
+    pub fn session_drained(&self, handle: SessionHandle) -> bool {
+        self.sessions
+            .get(handle.0)
+            .is_some_and(|slot| (slot.closed || slot.scheduled >= slot.len) && !slot.in_flight)
+    }
+
+    /// Whether every admitted session is drained and nothing is pending
+    /// delivery — this server will never deliver another frame. Unlike
+    /// [`RenderServer::remaining`], which over-counts while a staged
+    /// close or frame skip is outstanding, this is exact — it is the
+    /// scene cache's eviction-safety check.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+            && self
+                .sessions
+                .iter()
+                .all(|slot| (slot.closed || slot.scheduled >= slot.len) && !slot.in_flight)
+    }
+
     /// Returns a delivered frame's buffer to its session's pool, and
     /// reports whether the pool took it. Recycle every frame before
     /// asking for the next one and each session's pool stays at a single

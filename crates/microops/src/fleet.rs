@@ -1,0 +1,288 @@
+//! Fleet-level serving accounts: per-shard [`ServerSummary`] roll-ups
+//! plus scene-cache and migration counters.
+//!
+//! A fleet serves many scenes by routing sessions to per-scene server
+//! shards; scene residency is a managed resource (bakes, rebakes,
+//! evictions all cost something and are all counted here). Like
+//! [`ServerSummary`], every number in a [`FleetSummary`] is a
+//! *schedule-order* fact — populated from delivery counts and cache
+//! decisions keyed to the fleet's delivered-slot clock, never from wall
+//! time — so summaries are bit-identical at any `UNI_RENDER_THREADS`.
+
+use crate::serve::{percentile, ServerSummary, SessionStats};
+use serde::{Deserialize, Serialize};
+
+/// Scene-cache counters: how often residency was reused, how often it
+/// had to be (re)built, and what the builds cost.
+///
+/// `baked_bytes` is the bake-cost account: the cumulative resident size
+/// of every bake performed, a deterministic proxy for the work spent
+/// building scene residency (rebakes pay it again in full).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetCacheStats {
+    /// Total bake operations (first-time bakes plus rebakes).
+    pub bakes: u64,
+    /// Bakes of a scene that had been resident before — eviction made
+    /// this work happen twice. Always `<= bakes`.
+    pub rebakes: u64,
+    /// Scenes evicted to stay inside the residency budget.
+    pub evictions: u64,
+    /// Residency requests answered without baking.
+    pub hits: u64,
+    /// Cumulative bytes baked across all bake operations.
+    pub baked_bytes: u64,
+    /// Scenes resident when the summary was taken.
+    pub resident_scenes: usize,
+    /// Bytes resident when the summary was taken.
+    pub resident_bytes: u64,
+}
+
+/// One scene shard's account: the scene's stable key, its routing hash,
+/// and one [`ServerSummary`] per residency generation (a shard whose
+/// scene was evicted and rebaked serves each generation with a fresh
+/// server; generations are ordered oldest first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Canonical scene key this shard serves.
+    pub scene: String,
+    /// FNV-1a routing hash of the scene key.
+    pub route_hash: u64,
+    /// Per-residency-generation server summaries, oldest first.
+    pub servers: Vec<ServerSummary>,
+}
+
+impl ShardSummary {
+    /// Frames delivered by this shard across all generations.
+    pub fn scheduled_frames(&self) -> usize {
+        self.servers.iter().map(|s| s.scheduled_frames).sum()
+    }
+
+    /// Deadline misses across all generations.
+    pub fn deadline_misses(&self) -> u64 {
+        self.servers.iter().map(|s| s.deadline_misses).sum()
+    }
+
+    /// Number of residency generations this shard has served.
+    pub fn generations(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Every per-session stats row across all generations.
+    pub fn sessions(&self) -> impl Iterator<Item = &SessionStats> {
+        self.servers.iter().flat_map(|s| s.per_session.iter())
+    }
+}
+
+/// A fleet-wide serving account: per-shard roll-ups, the fleet's
+/// delivered-slot clock, cache counters, and migration outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Per-scene shard summaries, in shard registration order.
+    pub shards: Vec<ShardSummary>,
+    /// Frames delivered by the fleet (the delivered-slot clock).
+    pub delivered_frames: usize,
+    /// Deadline misses across every shard.
+    pub deadline_misses: u64,
+    /// Scene-cache counters.
+    pub cache: FleetCacheStats,
+    /// Migrations staged via `ServerFleet::migrate`.
+    pub migrations: u64,
+    /// Migrations whose session finished its hand-off (including those
+    /// whose source segment drained the whole path, leaving nothing to
+    /// re-admit).
+    pub migrations_completed: u64,
+    /// Migrations cancelled because the session closed while staged.
+    pub migrations_cancelled: u64,
+    /// Migrations refused by the target shard's admission control.
+    pub migrations_refused: u64,
+}
+
+impl FleetSummary {
+    /// Deadline misses per delivered frame of the deadline-bound
+    /// sessions across every shard and generation; 0 when no session
+    /// carries a deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let bound: usize = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.sessions())
+            .filter(|s| s.deadline_hz.is_some())
+            .map(|s| s.frames)
+            .sum();
+        if bound == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / bound as f64
+        }
+    }
+
+    /// The worst (smallest) sim-time slack any deadline-bound frame was
+    /// delivered with, across the fleet.
+    pub fn worst_slack(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.sessions())
+            .filter_map(|s| s.worst_slack)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Sessions served across every shard and generation.
+    pub fn session_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.sessions().count())
+            .sum()
+    }
+
+    /// The p99 of the per-session p99 sim latencies across the fleet —
+    /// the tail of the session tails, via the shared nearest-rank
+    /// [`percentile`]; 0 when nothing was delivered.
+    pub fn p99_sim_latency(&self) -> f64 {
+        self.latency_percentile(|s| s.latency_p99, 99.0)
+    }
+
+    /// The p50 of the per-session p50 (median) sim latencies across the
+    /// fleet; 0 when nothing was delivered.
+    pub fn p50_sim_latency(&self) -> f64 {
+        self.latency_percentile(|s| s.latency_p50, 50.0)
+    }
+
+    fn latency_percentile(&self, pick: impl Fn(&SessionStats) -> f64, p: f64) -> f64 {
+        let mut sample: Vec<f64> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.sessions())
+            .filter(|s| s.frames > 0)
+            .map(pick)
+            .collect();
+        if sample.is_empty() {
+            return 0.0;
+        }
+        sample.sort_by(f64::total_cmp);
+        percentile(&sample, p)
+    }
+
+    /// Whether the fleet-level aggregates agree with their per-shard
+    /// roll-ups, every constituent [`ServerSummary`] is itself
+    /// consistent, and the cache/migration counters are arithmetically
+    /// sane. Thread-invariant by construction.
+    pub fn is_consistent(&self) -> bool {
+        let frames: usize = self.shards.iter().map(|s| s.scheduled_frames()).sum();
+        let misses: u64 = self.shards.iter().map(|s| s.deadline_misses()).sum();
+        self.shards
+            .iter()
+            .all(|shard| shard.servers.iter().all(|s| s.is_consistent()))
+            && frames == self.delivered_frames
+            && misses == self.deadline_misses
+            && self.cache.rebakes <= self.cache.bakes
+            && self.migrations_completed + self.migrations_cancelled + self.migrations_refused
+                <= self.migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    fn server_summary(frames: usize, misses: u64) -> ServerSummary {
+        let mut s = SessionStats::new(0, Pipeline::Mesh);
+        s.frames = frames;
+        s.deadline_misses = misses;
+        s.deadline_hz = if misses > 0 { Some(30.0) } else { None };
+        s.worst_slack = if misses > 0 { Some(-0.5) } else { None };
+        s.latency_p50 = 1.0;
+        s.latency_p99 = 2.0;
+        ServerSummary {
+            per_session: vec![s],
+            policy: "round_robin".to_string(),
+            admissions: 1,
+            closes: 0,
+            refusals: 0,
+            queued_admissions: 0,
+            frames_skipped: 0,
+            degraded_frames: 0,
+            shed_sessions: 0,
+            deadline_misses: misses,
+            scheduled_frames: frames,
+            total_cycles: 0,
+            total_seconds: 0.0,
+            in_frame_reconfigurations: 0,
+            boundary_reconfigurations: 0,
+            boundary_switches_avoided: 0,
+        }
+    }
+
+    fn fleet_summary() -> FleetSummary {
+        FleetSummary {
+            shards: vec![
+                ShardSummary {
+                    scene: "a".to_string(),
+                    route_hash: 1,
+                    servers: vec![server_summary(4, 1), server_summary(2, 0)],
+                },
+                ShardSummary {
+                    scene: "b".to_string(),
+                    route_hash: 2,
+                    servers: vec![server_summary(3, 0)],
+                },
+            ],
+            delivered_frames: 9,
+            deadline_misses: 1,
+            cache: FleetCacheStats {
+                bakes: 3,
+                rebakes: 1,
+                evictions: 1,
+                hits: 0,
+                baked_bytes: 300,
+                resident_scenes: 2,
+                resident_bytes: 200,
+            },
+            migrations: 2,
+            migrations_completed: 1,
+            migrations_cancelled: 1,
+            migrations_refused: 0,
+        }
+    }
+
+    #[test]
+    fn fleet_summary_rolls_up_shards() {
+        let summary = fleet_summary();
+        assert!(summary.is_consistent());
+        assert_eq!(summary.session_count(), 3);
+        assert_eq!(summary.shards[0].scheduled_frames(), 6);
+        assert_eq!(summary.shards[0].generations(), 2);
+        // Miss rate over deadline-bound frames only: one bound session
+        // with 4 frames, 1 miss.
+        assert!((summary.deadline_miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(summary.worst_slack(), Some(-0.5));
+        // All sessions share the same per-session percentiles here, so
+        // the fleet-level aggregation lands on them exactly.
+        assert_eq!(summary.p50_sim_latency(), 1.0);
+        assert_eq!(summary.p99_sim_latency(), 2.0);
+    }
+
+    #[test]
+    fn fleet_consistency_rejects_skewed_aggregates() {
+        let mut skew = fleet_summary();
+        skew.delivered_frames += 1;
+        assert!(!skew.is_consistent(), "delivered != sum of shard frames");
+
+        let mut skew = fleet_summary();
+        skew.deadline_misses += 1;
+        assert!(!skew.is_consistent(), "misses != sum of shard misses");
+
+        let mut skew = fleet_summary();
+        skew.cache.rebakes = skew.cache.bakes + 1;
+        assert!(!skew.is_consistent(), "more rebakes than bakes");
+
+        let mut skew = fleet_summary();
+        skew.migrations = 0;
+        assert!(!skew.is_consistent(), "migration outcomes exceed stagings");
+
+        // A broken constituent server summary poisons the roll-up.
+        let mut skew = fleet_summary();
+        skew.shards[1].servers[0].total_cycles += 1;
+        assert!(!skew.is_consistent(), "inconsistent shard server summary");
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod cost;
+pub mod fleet;
 pub mod invoke;
 pub mod op;
 pub mod pipeline;
@@ -39,6 +40,7 @@ pub mod switch;
 pub mod trace;
 
 pub use cost::CostVector;
+pub use fleet::{FleetCacheStats, FleetSummary, ShardSummary};
 pub use invoke::{Invocation, PrimitiveKind, Workload};
 pub use op::{Dims, IndexFunction, IndexingTask, MemAccessPattern, MicroOp, ReductionTask};
 pub use pipeline::Pipeline;

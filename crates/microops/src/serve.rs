@@ -498,7 +498,20 @@ impl ServerSummary {
     }
 
     /// Whether every aggregate counter equals the sum of its per-session
-    /// counterparts — the invariant a correct server maintains.
+    /// counterparts — the invariant a correct server maintains — and the
+    /// per-session counters are cross-consistent with their delivered
+    /// totals:
+    ///
+    /// - a session cannot miss more deadlines or degrade more frames
+    ///   than it delivered (both are counted at delivery);
+    /// - skipped frames and recorded slack only exist for deadline-bound
+    ///   sessions;
+    /// - a session with misses must have recorded a negative worst
+    ///   slack.
+    ///
+    /// Fleet-level roll-ups ([`crate::FleetSummary`]) inherit this check
+    /// per constituent summary, so a shard that double-counts misses is
+    /// caught here rather than surviving aggregation.
     pub fn is_consistent(&self) -> bool {
         let frames: usize = self.per_session.iter().map(|s| s.frames).sum();
         let cycles: u64 = self.per_session.iter().map(|s| s.cycles).sum();
@@ -522,7 +535,15 @@ impl ServerSummary {
         let skipped: u64 = self.per_session.iter().map(|s| s.frames_skipped).sum();
         let degraded: u64 = self.per_session.iter().map(|s| s.degraded_frames).sum();
         let shed = self.per_session.iter().filter(|s| s.shed).count() as u64;
-        frames == self.scheduled_frames
+        let cross_consistent = self.per_session.iter().all(|s| {
+            s.deadline_misses <= s.frames as u64
+                && s.degraded_frames <= s.frames as u64
+                && (s.frames_skipped == 0 || s.deadline_hz.is_some())
+                && (s.worst_slack.is_none() || s.deadline_hz.is_some())
+                && (s.deadline_misses == 0 || s.worst_slack.is_some_and(|w| w < 0.0))
+        });
+        cross_consistent
+            && frames == self.scheduled_frames
             && misses == self.deadline_misses
             && cycles == self.total_cycles
             && in_frame == self.in_frame_reconfigurations
@@ -723,6 +744,74 @@ mod tests {
         let mut skew = summary;
         skew.shed_sessions = 1;
         assert!(!skew.is_consistent(), "shed count disagrees with flags");
+    }
+
+    #[test]
+    fn summary_consistency_cross_checks_per_session_delivery_totals() {
+        // A deadline-bound session whose counters agree with its
+        // delivered total.
+        let mut s = SessionStats::new(0, Pipeline::Mesh);
+        s.frames = 4;
+        s.deadline_hz = Some(30.0);
+        s.deadline_misses = 1;
+        s.worst_slack = Some(-0.25);
+        s.frames_skipped = 2;
+        s.degraded_frames = 3;
+        let summary = ServerSummary {
+            per_session: vec![s],
+            policy: "edf".to_string(),
+            admissions: 1,
+            closes: 0,
+            refusals: 0,
+            queued_admissions: 0,
+            frames_skipped: 2,
+            degraded_frames: 3,
+            shed_sessions: 0,
+            deadline_misses: 1,
+            scheduled_frames: 4,
+            total_cycles: 0,
+            total_seconds: 0.0,
+            in_frame_reconfigurations: 0,
+            boundary_reconfigurations: 0,
+            boundary_switches_avoided: 0,
+        };
+        assert!(summary.is_consistent());
+
+        // More misses than delivered frames: misses are counted at
+        // delivery, so this cannot happen in a correct server even
+        // though the aggregate sums still match.
+        let mut skew = summary.clone();
+        skew.per_session[0].deadline_misses = 5;
+        skew.deadline_misses = 5;
+        assert!(!skew.is_consistent(), "misses exceed delivered frames");
+
+        // More degraded frames than delivered frames.
+        let mut skew = summary.clone();
+        skew.per_session[0].degraded_frames = 5;
+        skew.degraded_frames = 5;
+        assert!(!skew.is_consistent(), "degraded exceed delivered frames");
+
+        // Skips on a best-effort session: skipping is deadline-driven.
+        let mut skew = summary.clone();
+        skew.per_session[0].deadline_hz = None;
+        skew.per_session[0].deadline_misses = 0;
+        skew.deadline_misses = 0;
+        skew.per_session[0].worst_slack = None;
+        assert!(!skew.is_consistent(), "skips require a deadline");
+
+        // Misses without a recorded negative worst slack.
+        let mut skew = summary.clone();
+        skew.per_session[0].worst_slack = Some(0.5);
+        assert!(!skew.is_consistent(), "a miss implies negative slack");
+
+        // Recorded slack on a best-effort session.
+        let mut skew = summary;
+        skew.per_session[0].deadline_hz = None;
+        skew.per_session[0].deadline_misses = 0;
+        skew.deadline_misses = 0;
+        skew.per_session[0].frames_skipped = 0;
+        skew.frames_skipped = 0;
+        assert!(!skew.is_consistent(), "slack requires a deadline");
     }
 
     #[test]

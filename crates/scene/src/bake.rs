@@ -145,6 +145,22 @@ impl BakedScene {
         &self.kilonerf
     }
 
+    /// Total bytes this baked scene keeps resident across every
+    /// representation — the unit a capacity-bounded scene cache budgets
+    /// and the bake-cost account charges. Deterministic for a given
+    /// spec: baking is seeded purely from [`SceneSpec::seed`], so the
+    /// same spec always bakes to the same resident size.
+    pub fn resident_bytes(&self) -> u64 {
+        self.mesh.storage_bytes()
+            + self.texture.storage_bytes()
+            + self.gaussians.storage_bytes()
+            + self.hashgrid.config().storage_bytes()
+            + self.hash_decoder.weight_bytes()
+            + self.triplane.config().storage_bytes()
+            + self.deferred_mlp.weight_bytes()
+            + self.kilonerf.storage_bytes()
+    }
+
     /// The default test-view orbit at a dataset-appropriate resolution.
     pub fn orbit(&self) -> Orbit {
         use crate::synthetic::SceneFlavor;

@@ -1,0 +1,184 @@
+//! Fleet serving scenario: many scenes, one bounded machine.
+//!
+//! A [`ServerFleet`] extends the single-scene [`RenderServer`] to
+//! production-shaped traffic: sessions name a *scene* (by spec, routed
+//! on a stable content-derived [`SceneKey`] hashed with FNV-1a — never
+//! pointer identity), the fleet bakes scenes on demand behind a
+//! capacity-bounded scene cache, and every shard is a full
+//! `RenderServer` with its own accelerator, policy, and accounting.
+//!
+//! The tour serves three users across two scenes, then:
+//!
+//! - **migrates** alice from the plaza to the atrium *mid-serve* — her
+//!   stream drains on the source shard at the deterministic churn slot
+//!   and the remaining path suffix re-admits on the target shard, one
+//!   uninterrupted `path_index` space;
+//! - admits a user on a **third** scene, which busts the 2-scene cache
+//!   budget and **evicts** the least-recently-delivered resident (a
+//!   schedule fact, never a wall clock);
+//! - re-admits a user on the evicted scene, paying a **rebake** — baking
+//!   is seeded purely from the spec, so the rebaked scene is
+//!   bit-identical to the original residency.
+//!
+//! Everything — routing, interleaving, eviction, the migration
+//! hand-off — is deterministic at any `UNI_RENDER_THREADS`.
+//!
+//! ```sh
+//! cargo run --release --example fleet_tour
+//! ```
+
+use uni_render::prelude::*;
+
+const FRAMES: usize = 6;
+const RESOLUTION: (u32, u32) = (160, 120);
+
+fn scenes() -> [(&'static str, SceneSpec); 3] {
+    [
+        (
+            "plaza",
+            SceneSpec::demo("fleet-plaza", 41).with_detail(0.06),
+        ),
+        (
+            "atrium",
+            SceneSpec::demo("fleet-atrium", 42).with_detail(0.06),
+        ),
+        (
+            "gallery",
+            SceneSpec::demo("fleet-gallery", 43).with_detail(0.06),
+        ),
+    ]
+}
+
+fn request(pipeline: usize, spec: &SceneSpec, start: f32, label: &str) -> FleetSessionRequest {
+    let path = CameraPath::orbit_arc(spec.orbit(RESOLUTION.0, RESOLUTION.1), start, 2.0, FRAMES);
+    FleetSessionRequest::new(
+        move || match pipeline {
+            0 => Box::new(GaussianPipeline::default()),
+            1 => Box::new(MeshPipeline::default()),
+            _ => Box::new(HashGridPipeline::default()),
+        },
+        path,
+    )
+    .label(label)
+}
+
+fn drain(fleet: &mut ServerFleet, names: &[&str], scene_names: &[&str]) {
+    while let Some(frame) = fleet.next_frame() {
+        println!(
+            "  {:<6} frame {} (scene '{}', shard {})",
+            names[frame.handle.id()],
+            frame.path_index,
+            scene_names[frame.shard],
+            frame.shard,
+        );
+        fleet.recycle(frame.handle, frame.frame.report.image);
+    }
+}
+
+fn main() {
+    let roster = scenes();
+    let mut fleet = ServerFleet::new(SceneCacheConfig {
+        max_resident: 2,
+        max_bytes: None,
+    })
+    .with_accelerator_config(AcceleratorConfig::paper())
+    .with_lanes(2)
+    .with_lookahead(2);
+
+    println!("Scene routing (content-derived keys, FNV-1a route hashes):");
+    for (name, spec) in &roster {
+        let key = fleet.register(spec);
+        println!(
+            "  '{name}' -> shard {} (hash {:#018x})",
+            fleet.shard_of(&key).expect("registered"),
+            key.route_hash()
+        );
+    }
+
+    // Wave 1: alice + bob on the plaza, carol in the atrium. The two
+    // scenes bake on first use; the cache (capacity 2) is now full.
+    println!("\nWave 1: alice (gaussian) + bob (mesh) on 'plaza', carol (hash-grid) in 'atrium'");
+    let alice = fleet.admit(&roster[0].1, request(0, &roster[0].1, 0.0, "alice"));
+    let _bob = fleet.admit(&roster[0].1, request(1, &roster[0].1, 1.3, "bob"));
+    let _carol = fleet.admit(&roster[1].1, request(2, &roster[1].1, 2.6, "carol"));
+    let names = ["alice", "bob", "carol", "dave", "erin"];
+    let scene_names: Vec<&str> = roster.iter().map(|(n, _)| *n).collect();
+
+    // Serve a few frames, then migrate alice to the atrium mid-serve:
+    // her plaza stream drains at the deterministic churn slot and the
+    // remaining suffix re-admits on the atrium shard through its
+    // admission control — path_index continues uninterrupted.
+    for _ in 0..4 {
+        let frame = fleet.next_frame().expect("frames remain");
+        println!(
+            "  {:<6} frame {} (scene '{}', shard {})",
+            names[frame.handle.id()],
+            frame.path_index,
+            scene_names[frame.shard],
+            frame.shard,
+        );
+        fleet.recycle(frame.handle, frame.frame.report.image);
+    }
+    assert!(
+        fleet.migrate(alice, &roster[1].1),
+        "alice's migration stages"
+    );
+    println!(
+        "  >> migrating alice: 'plaza' -> 'atrium' (drains at the churn slot, then re-admits)"
+    );
+    drain(&mut fleet, &names, &scene_names);
+
+    // Wave 2: dave opens the third scene. Capacity is 2, every session
+    // above has drained — the least-recently-delivered resident is
+    // evicted to make room (a pure function of the delivered schedule).
+    println!("\nWave 2: dave (mesh) opens 'gallery' — the cache must evict");
+    let _dave = fleet.admit(&roster[2].1, request(1, &roster[2].1, 3.9, "dave"));
+    drain(&mut fleet, &names, &scene_names);
+
+    // Wave 3: erin returns to the plaza — evicted above, so it rebakes
+    // (bit-identical: baking is seeded purely from the spec).
+    println!("\nWave 3: erin (gaussian) returns to 'plaza' — evicted, so it rebakes");
+    let _erin = fleet.admit(&roster[0].1, request(0, &roster[0].1, 5.2, "erin"));
+    drain(&mut fleet, &names, &scene_names);
+
+    let summary = fleet.summary();
+    assert!(summary.is_consistent());
+    assert_eq!(summary.migrations, 1);
+    assert_eq!(summary.migrations_completed, 1, "alice's hand-off landed");
+    assert!(summary.cache.evictions >= 1, "the gallery bake evicted");
+    assert!(summary.cache.rebakes >= 1, "the plaza return rebaked");
+    assert_eq!(summary.delivered_frames, 5 * FRAMES);
+
+    println!("\nPer-shard accounts (one ServerSummary per residency generation):");
+    for (idx, shard) in summary.shards.iter().enumerate() {
+        println!(
+            "  shard {idx} '{}': {} generation(s), {} frames, {} session record(s)",
+            scene_names[idx],
+            shard.generations(),
+            shard.scheduled_frames(),
+            shard.sessions().count(),
+        );
+    }
+    println!(
+        "\nCache: {} bakes ({} rebakes, {} evictions, {} hits), {:.1} MB baked total, \
+         {} scene(s) / {:.1} MB resident at the end",
+        summary.cache.bakes,
+        summary.cache.rebakes,
+        summary.cache.evictions,
+        summary.cache.hits,
+        summary.cache.baked_bytes as f64 / 1e6,
+        summary.cache.resident_scenes,
+        summary.cache.resident_bytes as f64 / 1e6,
+    );
+    println!(
+        "Fleet: {} frames over {} shards, {} session segment(s), {} migration(s) \
+         ({} completed), p50/p99 sim latency {:.2}/{:.2} ms",
+        summary.delivered_frames,
+        summary.shards.len(),
+        summary.session_count(),
+        summary.migrations,
+        summary.migrations_completed,
+        1e3 * summary.p50_sim_latency(),
+        1e3 * summary.p99_sim_latency(),
+    );
+}

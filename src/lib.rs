@@ -78,9 +78,11 @@ pub mod prelude {
     pub use uni_core::{Accelerator, AcceleratorConfig, ReplayScratch, SimReport};
     pub use uni_engine::{
         AdmissionControl, AdmitDecision, CameraPath, CostAware, DegradePolicy, EarliestDeadline,
-        FramePool, FrameReport, LoadView, PolicyContext, Priority, RenderServer, RenderSession,
-        RoundRobin, ScheduleContext, SchedulePolicy, ServedFrame, ServerSummary, SessionHandle,
-        SessionRequest, SessionStats, SessionView, StreamSummary, SwitchCostModel, WeightedFair,
+        FleetAdmitDecision, FleetCacheStats, FleetFrame, FleetHandle, FleetSessionRequest,
+        FleetSummary, FramePool, FrameReport, LoadView, PolicyContext, Priority, RenderServer,
+        RenderSession, RoundRobin, SceneCache, SceneCacheConfig, SceneKey, ScheduleContext,
+        SchedulePolicy, ServedFrame, ServerFleet, ServerSummary, SessionHandle, SessionRequest,
+        SessionStats, SessionView, ShardSummary, StreamSummary, SwitchCostModel, WeightedFair,
     };
     pub use uni_geometry::{Aabb, Camera, Image, Mat4, Orbit, Ray, Rgb, Vec2, Vec3, Vec4};
     pub use uni_microops::{MicroOp, Pipeline, Trace};

@@ -58,6 +58,16 @@ const GOLDEN_PRIORITY_STREAM: u64 = 0xa042f556408f4926;
 /// re-bless together with `GOLDEN`.
 const GOLDEN_EDF_STREAM: u64 = 0x6457e00dcf626652;
 
+/// Checked-in hash of a whole *fleet* schedule under eviction pressure:
+/// three scenes over a `max_resident = scenes - 1` cache, admitted in
+/// waves so the third scene's bake evicts the least-recently-delivered
+/// resident and the final wave rebakes it. Folds every delivered
+/// `(fleet-session, path-index, frame-hash)` triple in delivery order —
+/// pins the routing interleave, the eviction point, and the frames a
+/// rebaked scene serves. Thread-invariant like every other golden;
+/// re-bless together with `GOLDEN`.
+const GOLDEN_FLEET_STREAM: u64 = 0x6167552f0ece5f93;
+
 fn golden_frames() -> Vec<(String, u64)> {
     let spec = SceneSpec::demo("golden", GOLDEN_SEED).with_detail(GOLDEN_DETAIL);
     let scene = spec.bake();
@@ -145,6 +155,80 @@ fn edf_stream_hash() -> u64 {
         server.admit(request);
     }
     served_stream_hash(server)
+}
+
+/// The golden fleet scene roster: the golden scene plus two siblings.
+fn fleet_scene(index: usize) -> SceneSpec {
+    let name = ["golden", "golden-b", "golden-c"][index];
+    SceneSpec::demo(name, GOLDEN_SEED + index as u64).with_detail(GOLDEN_DETAIL)
+}
+
+/// Serves three scenes through a capacity-2 fleet in three waves —
+/// mesh on scene 0 and hash-grid on scene 1 together, then gaussian on
+/// scene 2 (evicting the least-recently-delivered resident), then mesh
+/// on scene 0 again (rebaking it) — and folds the delivery stream into
+/// one hash.
+fn fleet_stream_hash() -> u64 {
+    let mut fleet = ServerFleet::new(SceneCacheConfig {
+        max_resident: 2,
+        max_bytes: None,
+    })
+    .with_accelerator_config(AcceleratorConfig::paper())
+    .with_lanes(2);
+    let mut triples: Vec<(u64, u64, u64)> = Vec::new();
+    let drain = |fleet: &mut ServerFleet, out: &mut Vec<(u64, u64, u64)>| {
+        while let Some(frame) = fleet.next_frame() {
+            out.push((
+                frame.handle.id() as u64,
+                frame.path_index as u64,
+                fnv1a(&frame.frame.report.image),
+            ));
+            fleet.recycle(frame.handle, frame.frame.report.image);
+        }
+    };
+    // (scene, pipeline index per `common::renderer`): mesh on scene 0
+    // and hash-grid on scene 1 together, gaussian on scene 2, mesh back
+    // on scene 0.
+    let waves: [&[(usize, usize)]; 3] = [&[(0, 0), (1, 3)], &[(2, 4)], &[(0, 0)]];
+    for wave in waves {
+        for &(scene, pipeline) in wave {
+            let spec = fleet_scene(scene);
+            let path = golden_path(&spec);
+            fleet.admit(
+                &spec,
+                FleetSessionRequest::new(move || common::renderer(pipeline), path),
+            );
+        }
+        drain(&mut fleet, &mut triples);
+    }
+    let stats = fleet.cache_stats();
+    assert!(stats.evictions >= 1, "the third scene must evict");
+    assert!(stats.rebakes >= 1, "the final wave must rebake");
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for (session, index, frame) in triples {
+        for value in [session, index, frame] {
+            for byte in value.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn fleet_schedule_matches_its_golden_stream_hash() {
+    let actual = fleet_stream_hash();
+    if std::env::var("UNI_RENDER_BLESS").is_ok_and(|v| v == "1") {
+        println!("const GOLDEN_FLEET_STREAM: u64 = {actual:#018x};");
+        return;
+    }
+    assert_eq!(
+        actual, GOLDEN_FLEET_STREAM,
+        "fleet served stream changed (routing, eviction point, or frames) — \
+         if intentional, re-bless with UNI_RENDER_BLESS=1 cargo test --test \
+         golden_frames -- --nocapture"
+    );
 }
 
 #[test]
